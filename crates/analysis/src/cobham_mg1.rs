@@ -1,0 +1,230 @@
+//! Cobham's formula for the non-preemptive priority **M/G/1** queue.
+//!
+//! The exponential-service form in [`crate::cobham`] matches the paper's
+//! §4.2.2 derivation, but the actual transmission times in the system are
+//! *not* exponential — they are the discrete item-length law (1..=5 with
+//! mean 2). The general-service version replaces the mean-residual term
+//! with the Pollaczek–Khinchine residual
+//!
+//! ```text
+//! W₀ = ½ · Σ_j λ_j · E[S_j²]
+//! W_q^{(i)} = W₀ / ((1 − σ_{i−1})(1 − σ_i))
+//! ```
+//!
+//! which needs the *second moment* of each class's service time. For a
+//! discrete length pmf this is exact, and for deterministic lengths it is
+//! half the exponential value — a genuinely better fit for the simulator's
+//! fixed per-item lengths.
+
+use serde::{Deserialize, Serialize};
+
+use hybridcast_workload::lengths::LengthModel;
+
+/// One priority class with a general service-time law described by its
+/// first two moments.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mg1Class {
+    /// Arrival rate λ_j.
+    pub lambda: f64,
+    /// Mean service time `E[S_j]`.
+    pub mean_service: f64,
+    /// Second moment `E[S_j²]`.
+    pub second_moment: f64,
+}
+
+impl Mg1Class {
+    /// A class with *exponential* service at rate `mu` (`E[S²] = 2/μ²`) —
+    /// reduces the M/G/1 form to the paper's M/M/1 one.
+    pub fn exponential(lambda: f64, mu: f64) -> Self {
+        Mg1Class {
+            lambda,
+            mean_service: 1.0 / mu,
+            second_moment: 2.0 / (mu * mu),
+        }
+    }
+
+    /// A class with *deterministic* service time `s` (`E[S²] = s²`).
+    pub fn deterministic(lambda: f64, s: f64) -> Self {
+        Mg1Class {
+            lambda,
+            mean_service: s,
+            second_moment: s * s,
+        }
+    }
+
+    /// A class whose service time is an item length drawn from
+    /// `lengths`, scaled by `unit` broadcast units per length unit.
+    pub fn from_length_model(lambda: f64, lengths: &LengthModel, unit: f64) -> Self {
+        let (min, pmf) = lengths.pmf();
+        let mut m1 = 0.0;
+        let mut m2 = 0.0;
+        for (k, &p) in pmf.iter().enumerate() {
+            let s = (min as f64 + k as f64) * unit;
+            m1 += p * s;
+            m2 += p * s * s;
+        }
+        Mg1Class {
+            lambda,
+            mean_service: m1,
+            second_moment: m2,
+        }
+    }
+
+    /// Utilization contribution `ρ_j = λ_j·E[S_j]`.
+    pub fn rho(&self) -> f64 {
+        self.lambda * self.mean_service
+    }
+}
+
+/// Non-preemptive priority M/G/1 (classes ordered highest priority first).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CobhamMg1 {
+    classes: Vec<Mg1Class>,
+}
+
+impl CobhamMg1 {
+    /// Builds the queue.
+    ///
+    /// # Panics
+    /// Panics if `classes` is empty or any moment is invalid (second
+    /// moment must be at least the squared mean).
+    pub fn new(classes: Vec<Mg1Class>) -> Self {
+        assert!(!classes.is_empty(), "need at least one class");
+        for (i, c) in classes.iter().enumerate() {
+            assert!(
+                c.lambda > 0.0 && c.lambda.is_finite(),
+                "class {i} lambda invalid"
+            );
+            assert!(
+                c.mean_service > 0.0 && c.mean_service.is_finite(),
+                "class {i} mean service invalid"
+            );
+            assert!(
+                c.second_moment >= c.mean_service * c.mean_service - 1e-12,
+                "class {i}: E[S²] = {} below E[S]² = {}",
+                c.second_moment,
+                c.mean_service * c.mean_service
+            );
+        }
+        CobhamMg1 { classes }
+    }
+
+    /// Pollaczek–Khinchine mean residual work `W0 = 0.5·Σ λ_j·E[S_j²]`.
+    pub fn mean_residual(&self) -> f64 {
+        0.5 * self
+            .classes
+            .iter()
+            .map(|c| c.lambda * c.second_moment)
+            .sum::<f64>()
+    }
+
+    fn sigma_through(&self, i: usize) -> f64 {
+        self.classes[..=i].iter().map(Mg1Class::rho).sum()
+    }
+
+    /// Total utilization.
+    pub fn total_rho(&self) -> f64 {
+        self.sigma_through(self.classes.len() - 1)
+    }
+
+    /// Queueing wait of class `i`; `None` when saturated.
+    pub fn class_wait(&self, i: usize) -> Option<f64> {
+        let prev = if i == 0 {
+            0.0
+        } else {
+            self.sigma_through(i - 1)
+        };
+        let cur = self.sigma_through(i);
+        if cur >= 1.0 || prev >= 1.0 {
+            return None;
+        }
+        Some(self.mean_residual() / ((1.0 - prev) * (1.0 - cur)))
+    }
+
+    /// Sojourn (wait + own service) of class `i`.
+    pub fn class_sojourn(&self, i: usize) -> Option<f64> {
+        Some(self.class_wait(i)? + self.classes[i].mean_service)
+    }
+
+    /// All queueing waits.
+    pub fn waits(&self) -> Vec<Option<f64>> {
+        (0..self.classes.len())
+            .map(|i| self.class_wait(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cobham::CobhamQueue;
+
+    #[test]
+    fn exponential_classes_reduce_to_mm1_cobham() {
+        let mg1 = CobhamMg1::new(vec![
+            Mg1Class::exponential(0.2, 1.0),
+            Mg1Class::exponential(0.3, 1.0),
+        ]);
+        let mm1 = CobhamQueue::with_common_service(&[0.2, 0.3], 1.0);
+        for i in 0..2 {
+            let a = mg1.class_wait(i).unwrap();
+            let b = mm1.class_wait(i).unwrap();
+            assert!((a - b).abs() < 1e-12, "class {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn deterministic_service_halves_the_residual() {
+        let exp = CobhamMg1::new(vec![Mg1Class::exponential(0.5, 1.0)]);
+        let det = CobhamMg1::new(vec![Mg1Class::deterministic(0.5, 1.0)]);
+        assert!((det.mean_residual() - 0.5 * exp.mean_residual()).abs() < 1e-12);
+        // single-class M/D/1: Wq = ρ/(2μ(1−ρ)) = half the M/M/1 wait
+        let wd = det.class_wait(0).unwrap();
+        let we = exp.class_wait(0).unwrap();
+        assert!((wd - 0.5 * we).abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_model_moments_are_exact() {
+        // paper default: lengths 1..=5, mean 2
+        let c = Mg1Class::from_length_model(1.0, &LengthModel::paper_default(), 1.0);
+        assert!((c.mean_service - 2.0).abs() < 1e-6);
+        // E[S²] ≥ E[S]² with strict inequality for a non-degenerate law
+        assert!(c.second_moment > 4.0);
+        // fixed lengths give the degenerate second moment
+        let f = Mg1Class::from_length_model(1.0, &LengthModel::Fixed { length: 3 }, 1.0);
+        assert!((f.second_moment - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn priority_ordering_preserved() {
+        let q = CobhamMg1::new(vec![
+            Mg1Class::from_length_model(0.1, &LengthModel::paper_default(), 1.0),
+            Mg1Class::from_length_model(0.15, &LengthModel::paper_default(), 1.0),
+            Mg1Class::from_length_model(0.2, &LengthModel::paper_default(), 1.0),
+        ]);
+        let w: Vec<f64> = q.waits().into_iter().map(Option::unwrap).collect();
+        assert!(w[0] < w[1] && w[1] < w[2]);
+    }
+
+    #[test]
+    fn saturation_detected() {
+        let q = CobhamMg1::new(vec![
+            Mg1Class::deterministic(0.4, 1.0),
+            Mg1Class::deterministic(0.7, 1.0),
+        ]);
+        assert!(q.class_wait(0).is_some());
+        assert_eq!(q.class_wait(1), None);
+        assert!(q.total_rho() > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "below")]
+    fn invalid_second_moment_rejected() {
+        let _ = CobhamMg1::new(vec![Mg1Class {
+            lambda: 1.0,
+            mean_service: 2.0,
+            second_moment: 1.0,
+        }]);
+    }
+}

@@ -1,0 +1,49 @@
+//! # hybridcast-analysis — queueing-theoretic models of the hybrid
+//! scheduler (§4 of the paper)
+//!
+//! * [`mm1`] — M/M/1 closed forms (validation bedrock);
+//! * [`birth_death`] — §4.1's alternating push/pull chain: the closed-form
+//!   idle probability `p(0,0) = 1 − ρ − ρ/f` plus a numerically exact
+//!   truncated-chain solution for `E[L_pull]`;
+//! * [`cobham`] — §4.2.2's non-preemptive multi-class priority waits
+//!   (Cobham's formula, the paper's Eq. 15–18);
+//! * [`cobham_mg1`] — the M/G/1 generalization with Pollaczek–Khinchine
+//!   residuals, exact for the discrete item-length law;
+//! * [`erlang`] — Erlang-B blocking for the per-class bandwidth
+//!   partitions (analytic counterpart of the CLAIM-BLOCK experiment);
+//! * [`two_class`] — §4.2.1's two-class chain solved numerically (the
+//!   paper's z-transform treatment leaves a boundary function unevaluated;
+//!   the tests here close that loop against Cobham);
+//! * [`hybrid_model`] — Eq. 19's expected access time, the per-class delay
+//!   model behind Figure 7, and the model-side optimal-cutoff search.
+//!
+//! ```
+//! use hybridcast_analysis::cobham::CobhamQueue;
+//!
+//! // Three priority classes sharing one server: premium waits least.
+//! let q = CobhamQueue::with_common_service(&[0.2, 0.2, 0.2], 1.0);
+//! let w: Vec<f64> = q.waits().into_iter().map(Option::unwrap).collect();
+//! assert!(w[0] < w[1] && w[1] < w[2]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod birth_death;
+pub mod cobham;
+pub mod cobham_mg1;
+pub mod erlang;
+pub mod hybrid_model;
+pub mod mm1;
+pub mod two_class;
+
+/// One-stop imports for model users.
+pub mod prelude {
+    pub use crate::birth_death::{BirthDeathModel, BirthDeathSolution};
+    pub use crate::cobham::{CobhamQueue, PriorityClass};
+    pub use crate::cobham_mg1::{CobhamMg1, Mg1Class};
+    pub use crate::erlang::{erlang_b, erlang_b_fractional, PartitionBlockingModel};
+    pub use crate::hybrid_model::{HybridDelayModel, ModelDelays};
+    pub use crate::mm1::Mm1;
+    pub use crate::two_class::{TwoClassQueue, TwoClassSolution};
+}

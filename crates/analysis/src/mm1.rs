@@ -1,0 +1,108 @@
+//! Plain M/M/1 closed forms — the sanity bedrock the other models are
+//! validated against.
+
+use serde::{Deserialize, Serialize};
+
+/// An M/M/1 queue with Poisson arrivals at `lambda` and exponential service
+/// at `mu`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mm1 {
+    /// Arrival rate λ.
+    pub lambda: f64,
+    /// Service rate μ.
+    pub mu: f64,
+}
+
+impl Mm1 {
+    /// # Panics
+    /// Panics unless both rates are positive and finite.
+    pub fn new(lambda: f64, mu: f64) -> Self {
+        assert!(
+            lambda > 0.0 && lambda.is_finite(),
+            "lambda must be positive (got {lambda})"
+        );
+        assert!(mu > 0.0 && mu.is_finite(), "mu must be positive (got {mu})");
+        Mm1 { lambda, mu }
+    }
+
+    /// Utilization ρ = λ/μ.
+    pub fn rho(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// `true` when ρ < 1.
+    pub fn is_stable(&self) -> bool {
+        self.rho() < 1.0
+    }
+
+    /// Mean number in system `L = ρ/(1−ρ)`; `None` if unstable.
+    pub fn mean_in_system(&self) -> Option<f64> {
+        let r = self.rho();
+        self.is_stable().then(|| r / (1.0 - r))
+    }
+
+    /// Mean number waiting `Lq = ρ²/(1−ρ)`; `None` if unstable.
+    pub fn mean_in_queue(&self) -> Option<f64> {
+        let r = self.rho();
+        self.is_stable().then(|| r * r / (1.0 - r))
+    }
+
+    /// Mean time in system `W = 1/(μ−λ)`; `None` if unstable.
+    pub fn mean_time_in_system(&self) -> Option<f64> {
+        self.is_stable().then(|| 1.0 / (self.mu - self.lambda))
+    }
+
+    /// Mean waiting time `Wq = ρ/(μ−λ)`; `None` if unstable.
+    pub fn mean_wait(&self) -> Option<f64> {
+        self.is_stable()
+            .then(|| self.rho() / (self.mu - self.lambda))
+    }
+
+    /// Stationary probability of `n` customers: `(1−ρ)ρⁿ`.
+    pub fn p_n(&self, n: u32) -> Option<f64> {
+        let r = self.rho();
+        self.is_stable().then(|| (1.0 - r) * r.powi(n as i32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_values_at_half_load() {
+        let q = Mm1::new(0.5, 1.0);
+        assert_eq!(q.rho(), 0.5);
+        assert_eq!(q.mean_in_system(), Some(1.0));
+        assert_eq!(q.mean_in_queue(), Some(0.5));
+        assert_eq!(q.mean_time_in_system(), Some(2.0));
+        assert_eq!(q.mean_wait(), Some(1.0));
+    }
+
+    #[test]
+    fn littles_law_holds() {
+        let q = Mm1::new(0.7, 1.3);
+        let l = q.mean_in_system().unwrap();
+        let w = q.mean_time_in_system().unwrap();
+        assert!((l - q.lambda * w).abs() < 1e-12);
+        let lq = q.mean_in_queue().unwrap();
+        let wq = q.mean_wait().unwrap();
+        assert!((lq - q.lambda * wq).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unstable_returns_none() {
+        let q = Mm1::new(2.0, 1.0);
+        assert!(!q.is_stable());
+        assert_eq!(q.mean_in_system(), None);
+        assert_eq!(q.mean_wait(), None);
+        assert_eq!(q.p_n(0), None);
+    }
+
+    #[test]
+    fn state_probabilities_sum_to_one() {
+        let q = Mm1::new(0.6, 1.0);
+        let total: f64 = (0..200).map(|n| q.p_n(n).unwrap()).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

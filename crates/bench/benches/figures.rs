@@ -1,0 +1,88 @@
+//! `cargo bench` target that regenerates *every* paper figure at smoke
+//! scale (harness = false). Each section prints the same markdown table
+//! the publication-scale binaries emit, so the mapping
+//! figure → data series is exercised on every bench run.
+//!
+//! For publication-scale numbers use
+//! `cargo run --release -p hybridcast-bench --bin all_experiments`.
+
+use hybridcast_bench::figures::{
+    adaptive_vs_static, analytic_vs_sim, blocking_vs_bandwidth, channel_ablation, churn_vs_alpha,
+    cost_dynamics, cost_vs_alpha, delay_vs_cutoff, drift_tracking, policy_shootout, push_ablation,
+    stretch_ablation, uplink_stress,
+};
+use hybridcast_bench::scale::RunScale;
+
+fn main() {
+    // `cargo bench -- --help`-style filters are not needed here; this is a
+    // deterministic smoke replay of the experiment suite.
+    let scale = RunScale::quick();
+    let ks: Vec<usize> = vec![20, 40, 60, 80];
+    let t0 = std::time::Instant::now();
+
+    println!("# Figure regeneration (smoke scale)\n");
+
+    for (label, alpha) in [("FIG3", 0.0), ("FIG4", 1.0)] {
+        let t = std::time::Instant::now();
+        let fig = delay_vs_cutoff(0.6, 5.0, alpha, &ks, &scale);
+        println!("{}", fig.to_markdown());
+        eprintln!("[{label} regenerated in {:.2?}]", t.elapsed());
+    }
+
+    {
+        let t = std::time::Instant::now();
+        let fig = cost_dynamics(0.6, 5.0, 0.25, &ks, &scale);
+        println!("{}", fig.to_markdown());
+        eprintln!("[FIG5 regenerated in {:.2?}]", t.elapsed());
+    }
+
+    {
+        let t = std::time::Instant::now();
+        let fig = cost_vs_alpha(&[0.2, 1.4], 5.0, &[0.0, 0.5, 1.0], &ks, &scale);
+        println!("{}", fig.to_markdown());
+        eprintln!("[FIG6 regenerated in {:.2?}]", t.elapsed());
+    }
+
+    {
+        let t = std::time::Instant::now();
+        let fig = analytic_vs_sim(0.6, 5.0, 0.75, &ks, &scale);
+        println!("{}", fig.to_markdown());
+        eprintln!("[FIG7 regenerated in {:.2?}]", t.elapsed());
+    }
+
+    {
+        let t = std::time::Instant::now();
+        let fig = blocking_vs_bandwidth(&[0.2, 0.5, 0.8], 40, &scale);
+        println!("{}", fig.to_markdown());
+        eprintln!("[CLAIM-BLOCK regenerated in {:.2?}]", t.elapsed());
+    }
+
+    {
+        let t = std::time::Instant::now();
+        let fig = policy_shootout(0.6, 40, 0.25, &scale);
+        println!("{}", fig.to_markdown());
+        eprintln!("[ABL-POLICY regenerated in {:.2?}]", t.elapsed());
+    }
+
+    {
+        let t = std::time::Instant::now();
+        println!("{}", adaptive_vs_static(&[0.6], 0.25, &scale).to_markdown());
+        println!("{}", drift_tracking(&[0, 30], &scale).to_markdown());
+        println!("{}", churn_vs_alpha(&[0.0, 1.0], 40, &scale).to_markdown());
+        println!("{}", uplink_stress(&[0.5, 1.0], 40, &scale).to_markdown());
+        eprintln!(
+            "[ADAPT + ADAPT-DRIFT + CHURN regenerated in {:.2?}]",
+            t.elapsed()
+        );
+    }
+
+    {
+        let t = std::time::Instant::now();
+        println!("{}", stretch_ablation(0.6, 40, &scale).to_markdown());
+        println!("{}", push_ablation(0.6, &ks, &scale).to_markdown());
+        println!("{}", channel_ablation(&[20, 60], &scale).to_markdown());
+        eprintln!("[ABL-STRETCH/ABL-PUSH regenerated in {:.2?}]", t.elapsed());
+    }
+
+    eprintln!("figure suite done in {:.1?}", t0.elapsed());
+}

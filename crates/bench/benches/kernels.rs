@@ -1,0 +1,225 @@
+//! Criterion micro-benchmarks of the scheduler kernels (the PERF row of
+//! DESIGN.md's experiment index): pull-queue operations, policy scoring,
+//! hybrid dispatch, and the simulation substrate.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hybridcast_core::config::HybridConfig;
+use hybridcast_core::hybrid::HybridScheduler;
+use hybridcast_core::pull::{PullContext, PullPolicyKind};
+use hybridcast_core::queue::PullQueue;
+use hybridcast_core::sim_driver::{simulate, SimParams};
+use hybridcast_sim::dist::Zipf;
+use hybridcast_sim::engine::Engine;
+use hybridcast_sim::rng::{streams, RngFactory, Xoshiro256};
+use hybridcast_sim::time::{SimDuration, SimTime};
+use hybridcast_workload::catalog::{Catalog, ItemId};
+use hybridcast_workload::classes::{ClassId, ClassSet};
+use hybridcast_workload::lengths::LengthModel;
+use hybridcast_workload::popularity::PopularityModel;
+use hybridcast_workload::requests::Request;
+use hybridcast_workload::scenario::ScenarioConfig;
+
+fn catalog(d: usize) -> Catalog {
+    let f = RngFactory::new(42);
+    let mut rng = f.stream(streams::LENGTHS);
+    Catalog::build(
+        d,
+        &PopularityModel::zipf(0.6),
+        &LengthModel::paper_default(),
+        &mut rng,
+    )
+}
+
+fn filled_queue(d: usize, fill: usize, requests_per_item: usize) -> PullQueue {
+    let classes = ClassSet::paper_default();
+    let mut q = PullQueue::new(d);
+    let mut t = 0.0;
+    for i in 0..fill {
+        for r in 0..requests_per_item {
+            t += 0.01;
+            let req = Request {
+                arrival: SimTime::new(t),
+                item: ItemId(i as u32),
+                class: ClassId((r % 3) as u8),
+            };
+            q.insert(&req, classes.priority(req.class));
+        }
+    }
+    q
+}
+
+fn bench_queue_ops(c: &mut Criterion) {
+    let classes = ClassSet::paper_default();
+    let mut group = c.benchmark_group("pull_queue");
+    for &fill in &[10usize, 50, 90] {
+        group.bench_with_input(BenchmarkId::new("insert", fill), &fill, |b, &fill| {
+            let template = filled_queue(100, fill, 3);
+            let req = Request {
+                arrival: SimTime::new(1e9),
+                item: ItemId(5),
+                class: ClassId(0),
+            };
+            b.iter_batched(
+                || template.clone(),
+                |mut q| {
+                    q.insert(black_box(&req), classes.priority(req.class));
+                    q
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("select_max", fill), &fill, |b, &fill| {
+            let q = filled_queue(100, fill, 3);
+            b.iter(|| q.select_max(|e| black_box(e.total_priority + e.count() as f64)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_policy_scoring(c: &mut Criterion) {
+    let cat = catalog(100);
+    let classes = ClassSet::paper_default();
+    let q = filled_queue(100, 60, 4);
+    let ctx = PullContext {
+        catalog: &cat,
+        classes: &classes,
+        now: SimTime::new(1e4),
+        mean_queue_len: 30.0,
+    };
+    let mut group = c.benchmark_group("policy_full_selection");
+    let kinds = [
+        PullPolicyKind::Fcfs,
+        PullPolicyKind::Mrf,
+        PullPolicyKind::Rxw,
+        PullPolicyKind::Stretch { exponent: 2.0 },
+        PullPolicyKind::Priority,
+        PullPolicyKind::importance(0.5),
+        PullPolicyKind::ImportanceExpected {
+            alpha: 0.5,
+            exponent: 2.0,
+        },
+    ];
+    for kind in kinds {
+        let policy = kind.build();
+        group.bench_function(policy.name(), |b| {
+            b.iter(|| q.select_max(|e| policy.score(black_box(e), &ctx)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hybrid_step(c: &mut Criterion) {
+    let factory = RngFactory::new(7);
+    c.bench_function("hybrid_dispatch_cycle", |b| {
+        let cat = catalog(100);
+        let classes = ClassSet::paper_default();
+        let cfg = HybridConfig::paper(40, 0.5);
+        let mut sched = HybridScheduler::new(cat, classes.clone(), &cfg, &factory);
+        let mut t = 0.0f64;
+        let mut i = 0u32;
+        b.iter(|| {
+            t += 1.0;
+            i = (i % 60) + 40;
+            let req = Request {
+                arrival: SimTime::new(t),
+                item: ItemId(i),
+                class: ClassId((i % 3) as u8),
+            };
+            sched.on_request(&req);
+            let (tx, _) = sched.next_transmission(SimTime::new(t));
+            if let Some(tx) = tx {
+                sched.complete_transmission(black_box(tx));
+            }
+        })
+    });
+}
+
+fn bench_substrate(c: &mut Criterion) {
+    c.bench_function("zipf_sample", |b| {
+        let z = Zipf::new(100, 0.6);
+        let mut rng = Xoshiro256::new(1);
+        b.iter(|| black_box(z.sample(&mut rng)))
+    });
+    c.bench_function("engine_schedule_pop", |b| {
+        b.iter_batched(
+            Engine::<u32>::new,
+            |mut eng| {
+                for i in 0..64u32 {
+                    eng.schedule_in(SimDuration::new(i as f64 % 7.0), i);
+                }
+                let mut acc = 0u64;
+                eng.run(|_, v| acc += v as u64);
+                acc
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_analysis_solvers(c: &mut Criterion) {
+    use hybridcast_analysis::birth_death::BirthDeathModel;
+    use hybridcast_analysis::cobham::CobhamQueue;
+    use hybridcast_analysis::erlang::erlang_b;
+    use hybridcast_analysis::hybrid_model::HybridDelayModel;
+    use hybridcast_analysis::two_class::TwoClassQueue;
+
+    let mut group = c.benchmark_group("analysis");
+    group.bench_function("birth_death_solve_400", |b| {
+        let m = BirthDeathModel::new(0.2, 1.0, 0.8);
+        b.iter(|| black_box(m.solve(400).mean_pull_items))
+    });
+    group.bench_function("two_class_solve_40", |b| {
+        let q = TwoClassQueue::new(0.2, 0.2, 1.0);
+        b.iter(|| black_box(q.solve(40).w1))
+    });
+    group.bench_function("cobham_waits_3class", |b| {
+        let q = CobhamQueue::with_common_service(&[0.2, 0.2, 0.2], 1.0);
+        b.iter(|| black_box(q.aggregate_wait()))
+    });
+    group.bench_function("rotation_fixed_point_d100", |b| {
+        let cat = catalog(100);
+        let classes = ClassSet::paper_default();
+        let m = HybridDelayModel::new(&cat, &classes, 5.0, 40);
+        b.iter(|| black_box(m.rotation_wait()))
+    });
+    group.bench_function("hybrid_model_full_delays", |b| {
+        let cat = catalog(100);
+        let classes = ClassSet::paper_default();
+        b.iter(|| {
+            let m = HybridDelayModel::new(&cat, &classes, 5.0, 40).with_alpha(0.75);
+            black_box(m.delays().total_prioritized_cost)
+        })
+    });
+    group.bench_function("erlang_b_100_servers", |b| {
+        b.iter(|| black_box(erlang_b(80.0, 100)))
+    });
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end_sim");
+    group.sample_size(10);
+    let scenario = ScenarioConfig::icpp2005(0.6).build();
+    let cfg = HybridConfig::paper(40, 0.5);
+    group.bench_function("horizon_2000bu", |b| {
+        let params = SimParams {
+            horizon: 2_000.0,
+            warmup: 200.0,
+            replication: 0,
+        };
+        b.iter(|| simulate(black_box(&scenario), &cfg, &params))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_queue_ops,
+    bench_policy_scoring,
+    bench_hybrid_step,
+    bench_substrate,
+    bench_analysis_solvers,
+    bench_end_to_end
+);
+criterion_main!(benches);

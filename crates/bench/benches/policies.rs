@@ -1,0 +1,52 @@
+//! Criterion benchmark comparing full end-to-end simulation throughput
+//! under each pull policy — shows the importance factor costs nothing over
+//! the classic baselines at the paper's scale.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use hybridcast_core::config::HybridConfig;
+use hybridcast_core::pull::PullPolicyKind;
+use hybridcast_core::sim_driver::{simulate, SimParams};
+use hybridcast_workload::scenario::ScenarioConfig;
+
+fn bench_policies_end_to_end(c: &mut Criterion) {
+    let scenario = ScenarioConfig::icpp2005(0.6).build();
+    let params = SimParams {
+        horizon: 1_000.0,
+        warmup: 100.0,
+        replication: 0,
+    };
+    let mut group = c.benchmark_group("sim_by_policy");
+    group.sample_size(10);
+    let mut kinds = PullPolicyKind::baselines();
+    kinds.push(PullPolicyKind::importance(0.5));
+    for kind in kinds {
+        let cfg = HybridConfig::paper(40, 0.5).with_pull(kind);
+        let name = kind.build().name();
+        group.bench_function(name, |b| {
+            b.iter(|| simulate(black_box(&scenario), &cfg, &params))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cutoff_extremes(c: &mut Criterion) {
+    let scenario = ScenarioConfig::icpp2005(0.6).build();
+    let params = SimParams {
+        horizon: 1_000.0,
+        warmup: 100.0,
+        replication: 0,
+    };
+    let mut group = c.benchmark_group("sim_by_cutoff");
+    group.sample_size(10);
+    for k in [0usize, 40, 100] {
+        let cfg = HybridConfig::paper(k, 0.5);
+        group.bench_function(format!("K{k}"), |b| {
+            b.iter(|| simulate(black_box(&scenario), &cfg, &params))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies_end_to_end, bench_cutoff_extremes);
+criterion_main!(benches);

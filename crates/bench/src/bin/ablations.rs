@@ -1,0 +1,19 @@
+//! ABL-STRETCH and ABL-PUSH regenerators.
+//!
+//! ```text
+//! cargo run --release -p hybridcast-bench --bin ablations -- \
+//!     [--theta 0.6] [--k 40] [--scale full|quick]
+//! ```
+
+use hybridcast_bench::figures::{default_ks, push_ablation, stretch_ablation};
+use hybridcast_bench::scale::RunScale;
+use hybridcast_bench::{emit, util};
+
+fn main() {
+    let args = util::Args::parse();
+    let theta = args.f64_or("theta", 0.6);
+    let k = args.usize_or("k", 40);
+    let scale = args.scale(RunScale::full());
+    emit(&stretch_ablation(theta, k, &scale));
+    emit(&push_ablation(theta, &default_ks(), &scale));
+}

@@ -1,0 +1,18 @@
+//! ADAPT regenerator: the periodic cutoff re-optimizer vs static cutoffs.
+//!
+//! ```text
+//! cargo run --release -p hybridcast-bench --bin adaptive_cutoff -- \
+//!     [--theta 0.2,0.6,1.0,1.4] [--alpha 0.25] [--scale full|quick]
+//! ```
+
+use hybridcast_bench::figures::{adaptive_vs_static, THETAS};
+use hybridcast_bench::scale::RunScale;
+use hybridcast_bench::{emit, util};
+
+fn main() {
+    let args = util::Args::parse();
+    let thetas = args.f64_list("theta", &THETAS);
+    let alpha = args.f64_or("alpha", 0.25);
+    let scale = args.scale(RunScale::full());
+    emit(&adaptive_vs_static(&thetas, alpha, &scale));
+}

@@ -1,0 +1,25 @@
+//! FIG7 regenerator: analytical model vs simulation, per class.
+//!
+//! ```text
+//! cargo run --release -p hybridcast-bench --bin analytic_vs_sim -- \
+//!     [--theta 0.6] [--alpha 0.75] [--scale full|quick]
+//! ```
+
+use hybridcast_bench::figures::{analytic_vs_sim, default_ks};
+use hybridcast_bench::scale::RunScale;
+use hybridcast_bench::{emit, util};
+
+fn main() {
+    let args = util::Args::parse();
+    let theta = args.f64_or("theta", 0.6);
+    let alpha = args.f64_or("alpha", 0.75);
+    let lambda = args.f64_or("lambda", 5.0);
+    let scale = args.scale(RunScale::full());
+    emit(&analytic_vs_sim(
+        theta,
+        lambda,
+        alpha,
+        &default_ks(),
+        &scale,
+    ));
+}

@@ -1,0 +1,18 @@
+//! CLAIM-BLOCK regenerator: per-class blocking vs Class-A bandwidth share.
+//!
+//! ```text
+//! cargo run --release -p hybridcast-bench --bin blocking_vs_bandwidth -- \
+//!     [--share 0.1,0.2,...,0.8] [--k 40] [--scale full|quick]
+//! ```
+
+use hybridcast_bench::figures::blocking_vs_bandwidth;
+use hybridcast_bench::scale::RunScale;
+use hybridcast_bench::{emit, util};
+
+fn main() {
+    let args = util::Args::parse();
+    let shares = args.f64_list("share", &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8]);
+    let k = args.usize_or("k", 40);
+    let scale = args.scale(RunScale::full());
+    emit(&blocking_vs_bandwidth(&shares, k, &scale));
+}

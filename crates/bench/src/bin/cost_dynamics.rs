@@ -1,0 +1,22 @@
+//! FIG5 regenerator: per-class prioritized cost vs cutoff K.
+//!
+//! ```text
+//! cargo run --release -p hybridcast-bench --bin cost_dynamics -- \
+//!     [--theta 0.6] [--alpha 0.25,0.75] [--scale full|quick]
+//! ```
+
+use hybridcast_bench::figures::{cost_dynamics, default_ks};
+use hybridcast_bench::scale::RunScale;
+use hybridcast_bench::{emit, util};
+
+fn main() {
+    let args = util::Args::parse();
+    let theta = args.f64_or("theta", 0.6);
+    let alphas = args.f64_list("alpha", &[0.25, 0.75]);
+    let lambda = args.f64_or("lambda", 5.0);
+    let scale = args.scale(RunScale::full());
+    let ks = default_ks();
+    for &alpha in &alphas {
+        emit(&cost_dynamics(theta, lambda, alpha, &ks, &scale));
+    }
+}

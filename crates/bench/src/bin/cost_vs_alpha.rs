@@ -1,0 +1,25 @@
+//! FIG6 regenerator: total optimal prioritized cost vs α, per θ.
+//!
+//! ```text
+//! cargo run --release -p hybridcast-bench --bin cost_vs_alpha -- \
+//!     [--theta 0.2,0.6,1.4] [--alpha 0,0.25,0.5,0.75,1] [--scale full|quick]
+//! ```
+
+use hybridcast_bench::figures::{cost_vs_alpha, default_ks, ALPHAS};
+use hybridcast_bench::scale::RunScale;
+use hybridcast_bench::{emit, util};
+
+fn main() {
+    let args = util::Args::parse();
+    let thetas = args.f64_list("theta", &[0.2, 0.6, 1.4]);
+    let alphas = args.f64_list("alpha", &ALPHAS);
+    let lambda = args.f64_or("lambda", 5.0);
+    let scale = args.scale(RunScale::full());
+    emit(&cost_vs_alpha(
+        &thetas,
+        lambda,
+        &alphas,
+        &default_ks(),
+        &scale,
+    ));
+}

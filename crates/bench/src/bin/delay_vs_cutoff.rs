@@ -1,0 +1,25 @@
+//! FIG3 / FIG4 / FIG3b regenerator: per-class delay vs cutoff K.
+//!
+//! ```text
+//! cargo run --release -p hybridcast-bench --bin delay_vs_cutoff -- \
+//!     [--theta 0.2,0.6,1.0,1.4] [--alpha 0,0.25,0.5,0.75,1] [--lambda 5] [--scale full|quick]
+//! ```
+
+use hybridcast_bench::figures::{default_ks, delay_vs_cutoff, ALPHAS, THETAS};
+use hybridcast_bench::scale::RunScale;
+use hybridcast_bench::{emit, util};
+
+fn main() {
+    let args = util::Args::parse();
+    let thetas = args.f64_list("theta", &THETAS);
+    let alphas = args.f64_list("alpha", &ALPHAS);
+    let lambda = args.f64_or("lambda", 5.0);
+    let scale = args.scale(RunScale::full());
+    let ks = default_ks();
+    for &theta in &thetas {
+        for &alpha in &alphas {
+            let fig = delay_vs_cutoff(theta, lambda, alpha, &ks, &scale);
+            emit(&fig);
+        }
+    }
+}

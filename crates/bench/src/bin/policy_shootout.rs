@@ -1,0 +1,19 @@
+//! ABL-POLICY regenerator: every pull policy at one operating point.
+//!
+//! ```text
+//! cargo run --release -p hybridcast-bench --bin policy_shootout -- \
+//!     [--theta 0.6] [--k 40] [--alpha 0.25] [--scale full|quick]
+//! ```
+
+use hybridcast_bench::figures::policy_shootout;
+use hybridcast_bench::scale::RunScale;
+use hybridcast_bench::{emit, util};
+
+fn main() {
+    let args = util::Args::parse();
+    let theta = args.f64_or("theta", 0.6);
+    let k = args.usize_or("k", 40);
+    let alpha = args.f64_or("alpha", 0.25);
+    let scale = args.scale(RunScale::full());
+    emit(&policy_shootout(theta, k, alpha, &scale));
+}

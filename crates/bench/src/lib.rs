@@ -1,0 +1,55 @@
+//! # hybridcast-bench — the experiment harness
+//!
+//! Regenerates every figure of the paper's evaluation (and the ablations
+//! listed in DESIGN.md) from the `hybridcast` stack:
+//!
+//! | experiment | paper artifact | function |
+//! |---|---|---|
+//! | FIG3/FIG4/FIG3b | Figures 3–4 (+ §5.2 middle α) | [`figures::delay_vs_cutoff`] |
+//! | FIG5 | Figure 5 | [`figures::cost_dynamics`] |
+//! | FIG6 | Figure 6 | [`figures::cost_vs_alpha`] |
+//! | FIG7 | Figure 7 | [`figures::analytic_vs_sim`] |
+//! | CLAIM-BLOCK | §5 blocking claim | [`figures::blocking_vs_bandwidth`] |
+//! | ABL-POLICY | baseline comparison | [`figures::policy_shootout`] |
+//! | ABL-STRETCH | `R/L` vs `R/L²` | [`figures::stretch_ablation`] |
+//! | ABL-PUSH | push-scheduler choice | [`figures::push_ablation`] |
+//!
+//! Binaries under `src/bin/` run each experiment at publication scale and
+//! write JSON/CSV under `results/`; the `figures` bench target replays the
+//! same code at smoke scale so `cargo bench` exercises every figure.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod figures;
+pub mod runner;
+pub mod scale;
+pub mod series;
+pub mod svg;
+pub mod util;
+
+use std::path::PathBuf;
+
+/// The workspace-level `results/` directory (overridable with
+/// `HYBRIDCAST_RESULTS`).
+pub fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("HYBRIDCAST_RESULTS") {
+        return PathBuf::from(dir);
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results")
+}
+
+/// Emits a figure to stdout (markdown) and persists JSON + CSV + SVG under
+/// [`results_dir`].
+pub fn emit(fig: &series::FigureData) {
+    println!("{}", fig.to_markdown());
+    let dir = results_dir();
+    let svg_result = std::fs::create_dir_all(&dir)
+        .and_then(|_| std::fs::write(dir.join(format!("{}.svg", fig.id)), svg::to_svg(fig)));
+    match fig.write_to(&dir).and(svg_result) {
+        Ok(()) => eprintln!("[saved {}/{}.{{json,csv,svg}}]", dir.display(), fig.id),
+        Err(e) => eprintln!("[warn: could not persist results: {e}]"),
+    }
+}

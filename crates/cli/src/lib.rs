@@ -1,0 +1,268 @@
+//! # hybridcast-cli — JSON-config front end
+//!
+//! Drives the `hybridcast` stack from serializable configs, so experiments
+//! can be scripted without writing Rust:
+//!
+//! ```text
+//! hybridcast init-config > experiment.json   # starter config (paper defaults)
+//! hybridcast simulate experiment.json        # one run → JSON report on stdout
+//! hybridcast adaptive experiment.json        # with periodic cutoff re-optimization
+//! hybridcast optimize experiment.json        # K grid search → sweep JSON
+//! hybridcast model    experiment.json        # analytic delays, no simulation
+//! ```
+//!
+//! The library half holds the [`ExperimentConfig`] schema and pure
+//! `run_*` functions (unit-tested); `main.rs` is a thin dispatcher.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use serde::{Deserialize, Serialize};
+
+use hybridcast_analysis::hybrid_model::{HybridDelayModel, ModelDelays};
+use hybridcast_core::churn::{simulate_with_churn, ChurnConfig, ChurnReport};
+use hybridcast_core::config::HybridConfig;
+use hybridcast_core::cutoff::{CutoffOptimizer, CutoffSweep, Objective};
+use hybridcast_core::metrics::SimReport;
+use hybridcast_core::pull::PullPolicyKind;
+use hybridcast_core::sim_driver::{
+    simulate, simulate_adaptive, AdaptiveConfig, AdaptiveReport, SimParams,
+};
+use hybridcast_workload::scenario::ScenarioConfig;
+
+/// The complete, serializable description of one experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Workload: catalog, classes, arrival process, seed.
+    pub scenario: ScenarioConfig,
+    /// Scheduler: cutoff, push/pull policies, bandwidth.
+    pub hybrid: HybridConfig,
+    /// Run length and replication index.
+    pub params: SimParams,
+    /// Optional periodic cutoff re-optimization (used by `adaptive`).
+    #[serde(default)]
+    pub adaptive: Option<AdaptiveConfig>,
+    /// Cutoff grid for `optimize` (defaults to 10..=90 step 10).
+    #[serde(default)]
+    pub optimize_ks: Option<Vec<usize>>,
+    /// Objective for `optimize` (defaults to total prioritized cost).
+    #[serde(default)]
+    pub objective: Option<Objective>,
+    /// Churn-model parameters for the `churn` subcommand (defaults apply
+    /// when absent).
+    #[serde(default)]
+    pub churn: Option<ChurnConfig>,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            scenario: ScenarioConfig::default(),
+            hybrid: HybridConfig::default(),
+            params: SimParams::default(),
+            adaptive: Some(AdaptiveConfig::default()),
+            optimize_ks: None,
+            objective: None,
+            churn: None,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Parses a config from JSON text.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| format!("invalid config: {e}"))
+    }
+
+    /// Renders the config as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("config serializes")
+    }
+
+    fn ks(&self) -> Vec<usize> {
+        self.optimize_ks
+            .clone()
+            .unwrap_or_else(|| (10..=90).step_by(10).collect())
+    }
+}
+
+/// `simulate`: one static run.
+pub fn run_simulate(cfg: &ExperimentConfig) -> SimReport {
+    let scenario = cfg.scenario.build();
+    simulate(&scenario, &cfg.hybrid, &cfg.params)
+}
+
+/// `adaptive`: one run with periodic cutoff re-optimization.
+pub fn run_adaptive(cfg: &ExperimentConfig) -> AdaptiveReport {
+    let scenario = cfg.scenario.build();
+    let adaptive = cfg.adaptive.clone().unwrap_or_default();
+    simulate_adaptive(&scenario, &cfg.hybrid, &cfg.params, &adaptive)
+}
+
+/// `churn`: one run with the finite-population churn model attached.
+pub fn run_churn(cfg: &ExperimentConfig) -> ChurnReport {
+    let scenario = cfg.scenario.build();
+    let churn = cfg.churn.clone().unwrap_or_default();
+    simulate_with_churn(&scenario, &cfg.hybrid, &cfg.params, &churn)
+}
+
+/// `optimize`: simulation-backed cutoff grid search.
+pub fn run_optimize(cfg: &ExperimentConfig) -> CutoffSweep {
+    let scenario = cfg.scenario.build();
+    let objective = cfg.objective.unwrap_or(Objective::TotalPrioritizedCost);
+    CutoffOptimizer::new(objective, cfg.params).sweep(&scenario, &cfg.hybrid, cfg.ks())
+}
+
+/// `model`: analytic per-class delays at every grid cutoff (no simulation).
+pub fn run_model(cfg: &ExperimentConfig) -> Vec<ModelDelays> {
+    let scenario = cfg.scenario.build();
+    let alpha = match cfg.hybrid.pull {
+        PullPolicyKind::Importance { alpha, .. }
+        | PullPolicyKind::ImportanceExpected { alpha, .. } => alpha,
+        PullPolicyKind::Priority => 0.0,
+        _ => 1.0,
+    };
+    cfg.ks()
+        .into_iter()
+        .map(|k| {
+            HybridDelayModel::new(
+                &scenario.catalog,
+                &scenario.classes,
+                scenario.arrival_rate,
+                k,
+            )
+            .with_alpha(alpha)
+            .delays()
+        })
+        .collect()
+}
+
+/// A compact human-readable summary of a report, for terminal use.
+pub fn summarize(report: &SimReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:>10} {:>9} {:>12} {:>12} {:>10}",
+        "class", "served", "blocked", "delay [bu]", "pull [bu]", "cost"
+    );
+    for c in &report.per_class {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>10} {:>9} {:>12.2} {:>12.2} {:>10.2}",
+            c.name, c.served, c.blocked, c.delay.mean, c.pull_delay.mean, c.prioritized_cost
+        );
+    }
+    let _ = writeln!(
+        out,
+        "overall {:.2} bu | total cost {:.2} | E[L_pull] {:.2} | {} push / {} pull tx",
+        report.overall_delay.mean,
+        report.total_prioritized_cost,
+        report.mean_queue_items,
+        report.push_transmissions,
+        report.pull_transmissions
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> ExperimentConfig {
+        ExperimentConfig {
+            params: SimParams::quick(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn default_config_round_trips() {
+        let cfg = ExperimentConfig::default();
+        let text = cfg.to_json();
+        let back = ExperimentConfig::from_json(&text).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn missing_optional_fields_default() {
+        let minimal = serde_json::json!({
+            "scenario": ScenarioConfig::default(),
+            "hybrid": HybridConfig::default(),
+            "params": SimParams::quick(),
+        });
+        let cfg = ExperimentConfig::from_json(&minimal.to_string()).unwrap();
+        assert_eq!(cfg.adaptive, None);
+        assert_eq!(cfg.ks(), (10..=90).step_by(10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn invalid_json_is_reported() {
+        let err = ExperimentConfig::from_json("{ not json").unwrap_err();
+        assert!(err.contains("invalid config"));
+    }
+
+    #[test]
+    fn simulate_runs_from_config() {
+        let report = run_simulate(&quick_cfg());
+        assert!(report.total_served() > 1_000);
+        let text = summarize(&report);
+        assert!(text.contains("Class-A"));
+        assert!(text.contains("total cost"));
+    }
+
+    #[test]
+    fn adaptive_runs_from_config() {
+        let mut cfg = quick_cfg();
+        cfg.adaptive = Some(AdaptiveConfig {
+            period: 800.0,
+            candidate_ks: vec![20, 40, 60],
+            smoothing: 0.5,
+            rerank: false,
+        });
+        let out = run_adaptive(&cfg);
+        assert!(!out.retunes.is_empty());
+        assert!([20, 40, 60].contains(&out.final_k));
+    }
+
+    #[test]
+    fn churn_runs_from_config() {
+        let mut cfg = quick_cfg();
+        cfg.params = SimParams {
+            horizon: 2_000.0,
+            warmup: 0.0,
+            replication: 0,
+        };
+        let out = run_churn(&cfg);
+        assert_eq!(out.churn_per_class.len(), 3);
+        assert!((0.0..=1.0).contains(&out.weighted_retention));
+    }
+
+    #[test]
+    fn optimize_respects_custom_grid() {
+        let mut cfg = quick_cfg();
+        cfg.optimize_ks = Some(vec![30, 60]);
+        cfg.params = SimParams {
+            horizon: 1_500.0,
+            warmup: 200.0,
+            replication: 0,
+        };
+        let sweep = run_optimize(&cfg);
+        assert_eq!(
+            sweep.points.iter().map(|p| p.k).collect::<Vec<_>>(),
+            vec![30, 60]
+        );
+    }
+
+    #[test]
+    fn model_covers_grid_without_simulation() {
+        let mut cfg = quick_cfg();
+        cfg.optimize_ks = Some(vec![20, 50, 80]);
+        let delays = run_model(&cfg);
+        assert_eq!(delays.len(), 3);
+        for d in &delays {
+            assert_eq!(d.per_class.len(), 3);
+            assert!(d.per_class[0] <= d.per_class[2] + 1e-9);
+        }
+    }
+}

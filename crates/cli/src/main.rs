@@ -1,0 +1,113 @@
+//! `hybridcast` — the command-line front end. See the library docs for the
+//! subcommand overview.
+
+use std::io::Read as _;
+use std::process::ExitCode;
+
+use hybridcast_cli::{
+    run_adaptive, run_churn, run_model, run_optimize, run_simulate, summarize, ExperimentConfig,
+};
+
+const USAGE: &str = "\
+hybridcast — hybrid push/pull broadcast scheduling (ICPP 2005 reproduction)
+
+USAGE:
+    hybridcast init-config                write a starter config (paper defaults) to stdout
+    hybridcast simulate  <config.json>    one static run → JSON report on stdout
+    hybridcast adaptive  <config.json>    run with periodic cutoff re-optimization
+    hybridcast optimize  <config.json>    simulation-backed cutoff grid search
+    hybridcast model     <config.json>    analytic per-class delays (no simulation)
+    hybridcast churn     <config.json>    run with the finite-population churn model
+    hybridcast summary   <config.json>    static run, human-readable table
+
+Use `-` as the config path to read from stdin.
+";
+
+fn load_config(path: &str) -> Result<ExperimentConfig, String> {
+    let text = if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+    };
+    ExperimentConfig::from_json(&text)
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, path) = match args.as_slice() {
+        [cmd] if cmd == "init-config" => {
+            println!("{}", ExperimentConfig::default().to_json());
+            return Ok(());
+        }
+        [cmd, path] => (cmd.as_str(), path.as_str()),
+        _ => return Err(USAGE.to_string()),
+    };
+    let cfg = load_config(path)?;
+    match cmd {
+        "simulate" => {
+            let report = run_simulate(&cfg);
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&report).expect("report serializes")
+            );
+        }
+        "adaptive" => {
+            let out = run_adaptive(&cfg);
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&out).expect("report serializes")
+            );
+        }
+        "optimize" => {
+            let sweep = run_optimize(&cfg);
+            eprintln!(
+                "optimal K = {} (objective {:.3})",
+                sweep.best_k(),
+                sweep.best().objective
+            );
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&sweep).expect("sweep serializes")
+            );
+        }
+        "churn" => {
+            let out = run_churn(&cfg);
+            eprintln!(
+                "weighted retention {:.1}% ({} departures)",
+                100.0 * out.weighted_retention,
+                out.departures
+            );
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&out).expect("report serializes")
+            );
+        }
+        "model" => {
+            let delays = run_model(&cfg);
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&delays).expect("delays serialize")
+            );
+        }
+        "summary" => {
+            let report = run_simulate(&cfg);
+            print!("{}", summarize(&report));
+        }
+        other => return Err(format!("unknown subcommand `{other}`\n\n{USAGE}")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

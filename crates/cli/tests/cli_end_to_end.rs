@@ -1,0 +1,112 @@
+//! End-to-end tests of the compiled `hybridcast` binary: real argv, real
+//! stdin/stdout, JSON round-trips through the process boundary.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hybridcast"))
+}
+
+fn quick_config() -> String {
+    // start from the generated default and shrink the run
+    let out = bin()
+        .arg("init-config")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let mut cfg: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("init-config emits JSON");
+    cfg["params"]["horizon"] = 1_500.0.into();
+    cfg["params"]["warmup"] = 200.0.into();
+    cfg["optimize_ks"] = serde_json::json!([30, 60]);
+    cfg.to_string()
+}
+
+fn run_with_stdin(args: &[&str], stdin: &str) -> (bool, String, String) {
+    let mut child = bin()
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(stdin.as_bytes())
+        .expect("stdin writes");
+    let out = child.wait_with_output().expect("binary exits");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn init_config_round_trips_through_simulate() {
+    let cfg = quick_config();
+    let (ok, stdout, stderr) = run_with_stdin(&["simulate", "-"], &cfg);
+    assert!(ok, "stderr: {stderr}");
+    let report: serde_json::Value = serde_json::from_str(&stdout).expect("JSON report");
+    assert_eq!(report["per_class"].as_array().expect("classes").len(), 3);
+    assert!(report["overall_delay"]["mean"].as_f64().expect("mean") > 0.0);
+}
+
+#[test]
+fn summary_is_human_readable() {
+    let cfg = quick_config();
+    let (ok, stdout, _) = run_with_stdin(&["summary", "-"], &cfg);
+    assert!(ok);
+    assert!(stdout.contains("Class-A"));
+    assert!(stdout.contains("total cost"));
+}
+
+#[test]
+fn optimize_reports_the_best_cutoff() {
+    let cfg = quick_config();
+    let (ok, stdout, stderr) = run_with_stdin(&["optimize", "-"], &cfg);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stderr.contains("optimal K ="), "stderr: {stderr}");
+    let sweep: serde_json::Value = serde_json::from_str(&stdout).expect("sweep JSON");
+    assert_eq!(sweep["points"].as_array().expect("points").len(), 2);
+}
+
+#[test]
+fn model_needs_no_simulation() {
+    let cfg = quick_config();
+    let (ok, stdout, _) = run_with_stdin(&["model", "-"], &cfg);
+    assert!(ok);
+    let delays: serde_json::Value = serde_json::from_str(&stdout).expect("delays JSON");
+    assert_eq!(delays.as_array().expect("grid").len(), 2);
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    // a valid config, so the failure is attributable to the subcommand
+    let cfg = quick_config();
+    let (ok, _, stderr) = run_with_stdin(&["frobnicate", "-"], &cfg);
+    assert!(!ok);
+    assert!(stderr.contains("unknown subcommand"), "stderr: {stderr}");
+    assert!(stderr.contains("USAGE"), "stderr: {stderr}");
+}
+
+#[test]
+fn malformed_config_is_rejected_cleanly() {
+    let (ok, _, stderr) = run_with_stdin(&["simulate", "-"], "{ not json");
+    assert!(!ok);
+    assert!(stderr.contains("invalid config"));
+}
+
+#[test]
+fn missing_file_is_reported() {
+    let out = bin()
+        .args(["simulate", "/nonexistent/path.json"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read"));
+}

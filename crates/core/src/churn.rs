@@ -1,0 +1,424 @@
+//! Client churn — the paper's motivating metric, made measurable.
+//!
+//! Section 1: "As the dissatisfaction crosses the tolerance limit, the
+//! clients might switch the service provider. … The more important the
+//! client is, the more adverse is the corresponding effect of churning."
+//! The paper never simulates churn; this module closes that loop.
+//!
+//! Model: a finite [`ClientPool`] generates the demand. Every satisfied
+//! request updates the requesting client's exponential moving average of
+//! access delay; a blocked request counts as a penalized sample. Once a
+//! client has seen at least `grace_samples` requests and its EMA exceeds
+//! its class's `tolerance`, it **departs** — and generates no further
+//! demand (the Poisson stream is thinned by attribution: requests drawn
+//! for a fully-churned class are lost demand).
+//!
+//! The headline output is the **priority-weighted retention**
+//! `Σ_c q_c·alive_c / Σ_c q_c·total_c` — a revenue proxy that makes the
+//! paper's "reducing their churn-rate \[increases\] profit of the service
+//! providers" claim quantitative.
+
+use serde::{Deserialize, Serialize};
+
+use hybridcast_sim::engine::Engine;
+use hybridcast_sim::rng::RngFactory;
+use hybridcast_sim::time::SimTime;
+use hybridcast_workload::classes::ClassId;
+use hybridcast_workload::clients::{ClientId, ClientPool};
+use hybridcast_workload::requests::RequestGenerator;
+use hybridcast_workload::scenario::Scenario;
+
+use crate::config::HybridConfig;
+use crate::hybrid::{Disposition, HybridScheduler, Transmission};
+use crate::metrics::{MetricsCollector, SimReport, TxKind};
+use crate::sim_driver::SimParams;
+
+/// RNG stream id for client attribution (disjoint from
+/// `hybridcast_sim::rng::streams`).
+const CLIENT_STREAM: u64 = 6;
+
+/// Parameters of the churn model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnConfig {
+    /// Total subscribers across all classes (split by population share).
+    pub total_clients: usize,
+    /// Per-class EMA-delay tolerance, highest-priority class first.
+    /// Premium clients are typically the least tolerant.
+    pub tolerance: Vec<f64>,
+    /// EMA smoothing weight of the newest delay sample.
+    pub ema_alpha: f64,
+    /// Minimum satisfied requests before a client may churn.
+    pub grace_samples: u64,
+    /// A blocked request counts as a delay sample of
+    /// `blocked_penalty × tolerance` (dissatisfaction shock).
+    pub blocked_penalty: f64,
+    /// Whether broadcast (push) delays also feed the dissatisfaction EMA.
+    /// Default `false`: the cyclic schedule is predictable, so perceived
+    /// service quality is driven by on-demand (pull) waits and blocking.
+    #[serde(default)]
+    pub observe_push: bool,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            total_clients: 110,
+            tolerance: vec![130.0, 150.0, 180.0],
+            ema_alpha: 0.05,
+            grace_samples: 20,
+            blocked_penalty: 2.0,
+            observe_push: false,
+        }
+    }
+}
+
+/// Result of a churn run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnReport {
+    /// The usual QoS report (over satisfied requests).
+    pub report: SimReport,
+    /// Fraction of each class that churned by the horizon.
+    pub churn_per_class: Vec<f64>,
+    /// Alive subscribers per class at the horizon.
+    pub alive_per_class: Vec<usize>,
+    /// `Σ_c q_c·alive_c / Σ_c q_c·total_c` — the revenue proxy.
+    pub weighted_retention: f64,
+    /// Total departures.
+    pub departures: u64,
+    /// Requests lost because their class had fully churned.
+    pub lost_demand: u64,
+}
+
+#[derive(Debug)]
+enum Event {
+    Arrival,
+    Complete(Transmission),
+}
+
+struct ChurnDriver {
+    scheduler: HybridScheduler,
+    metrics: MetricsCollector,
+    gen: RequestGenerator,
+    pool: ClientPool,
+    cfg: ChurnConfig,
+    client_rng: hybridcast_sim::rng::Xoshiro256,
+    /// Push waiting room: `(arrival, class, client)` per push item.
+    push_waiters: Vec<Vec<(SimTime, ClassId, ClientId)>>,
+    /// Client ids of queued pull requests, per item, in insertion order
+    /// (parallel to the queue's `requesters` vector).
+    pull_clients: Vec<Vec<ClientId>>,
+    /// Clients of the pull batch currently on the air (single server ⇒ at
+    /// most one batch in flight). Snapshotted at dispatch, consumed at
+    /// completion — requests arriving mid-transmission start a fresh list.
+    in_flight_clients: Vec<ClientId>,
+    server_busy: bool,
+    departures: u64,
+    lost_demand: u64,
+}
+
+impl ChurnDriver {
+    fn observe_delay(&mut self, client: ClientId, class: ClassId, delay: f64) {
+        let ema = self.pool.record_delay(client, delay, self.cfg.ema_alpha);
+        let c = self.pool.client(client);
+        if !c.departed
+            && c.samples >= self.cfg.grace_samples
+            && ema > self.cfg.tolerance[class.index()]
+        {
+            self.pool.depart(client);
+            self.departures += 1;
+        }
+    }
+
+    fn dispatch(&mut self, eng: &mut Engine<Event>, now: SimTime) {
+        let (tx, dropped) = self.scheduler.next_transmission(now);
+        for entry in dropped {
+            self.metrics.record_blocked_item();
+            let clients = std::mem::take(&mut self.pull_clients[entry.item.index()]);
+            debug_assert_eq!(clients.len(), entry.requesters.len());
+            for (&(arrival, class), client) in entry.requesters.iter().zip(clients) {
+                self.metrics.record_blocked(class, arrival);
+                let penalty = self.cfg.blocked_penalty * self.cfg.tolerance[class.index()];
+                self.observe_delay(client, class, penalty);
+            }
+        }
+        self.metrics.queue_changed(
+            now,
+            self.scheduler.queue().len(),
+            self.scheduler.queue().total_requests(),
+        );
+        match tx {
+            Some(tx) => {
+                if tx.kind == TxKind::Pull {
+                    // Snapshot the batch's clients now: the queue entry was
+                    // removed at selection, so the per-item list is exactly
+                    // this batch (later arrivals start a fresh list).
+                    self.in_flight_clients =
+                        std::mem::take(&mut self.pull_clients[tx.item.index()]);
+                    debug_assert_eq!(
+                        self.in_flight_clients.len(),
+                        tx.served.as_ref().map(|b| b.count()).unwrap_or(0)
+                    );
+                }
+                self.metrics.on_transmission(tx.kind);
+                eng.schedule_at(tx.completes_at(), Event::Complete(tx));
+                self.server_busy = true;
+            }
+            None => self.server_busy = false,
+        }
+    }
+
+    fn handle(&mut self, eng: &mut Engine<Event>, ev: Event) {
+        let now = eng.now();
+        match ev {
+            Event::Arrival => {
+                let req = self.gen.next_request();
+                // Attribute the request to a living subscriber of the
+                // drawn class; fully-churned classes generate nothing.
+                match self.pool.sample_alive(req.class, &mut self.client_rng) {
+                    Some(client) => {
+                        self.metrics.on_request(req.class, req.arrival);
+                        match self.scheduler.on_request(&req) {
+                            Disposition::PushIgnored => {
+                                self.push_waiters[req.item.index()].push((
+                                    req.arrival,
+                                    req.class,
+                                    client,
+                                ));
+                            }
+                            Disposition::Queued => {
+                                self.pull_clients[req.item.index()].push(client);
+                                self.metrics.queue_changed(
+                                    now,
+                                    self.scheduler.queue().len(),
+                                    self.scheduler.queue().total_requests(),
+                                );
+                            }
+                        }
+                        if !self.server_busy {
+                            self.dispatch(eng, now);
+                        }
+                    }
+                    None => {
+                        self.lost_demand += 1;
+                    }
+                }
+                eng.schedule_at(self.gen.peek_time(), Event::Arrival);
+            }
+            Event::Complete(tx) => {
+                let start = tx.start;
+                match tx.kind {
+                    TxKind::Push => {
+                        let item = tx.item;
+                        let waiters = std::mem::take(&mut self.push_waiters[item.index()]);
+                        let mut kept = Vec::new();
+                        for (arrival, class, client) in waiters {
+                            if arrival <= start {
+                                let delay = (now - arrival).as_f64();
+                                self.metrics
+                                    .record_served(class, TxKind::Push, arrival, now);
+                                if self.cfg.observe_push {
+                                    self.observe_delay(client, class, delay);
+                                }
+                            } else {
+                                kept.push((arrival, class, client));
+                            }
+                        }
+                        self.push_waiters[item.index()] = kept;
+                    }
+                    TxKind::Pull => {
+                        if let Some(batch) = self.scheduler.complete_transmission(tx) {
+                            let clients = std::mem::take(&mut self.in_flight_clients);
+                            debug_assert_eq!(clients.len(), batch.requesters.len());
+                            for (&(arrival, class), client) in batch.requesters.iter().zip(clients)
+                            {
+                                let delay = (now - arrival).as_f64();
+                                self.metrics
+                                    .record_served(class, TxKind::Pull, arrival, now);
+                                self.observe_delay(client, class, delay);
+                            }
+                        }
+                        self.dispatch(eng, now);
+                        return;
+                    }
+                }
+                self.dispatch(eng, now);
+            }
+        }
+    }
+}
+
+/// Runs one simulation with the churn model attached.
+///
+/// # Panics
+/// Panics if `churn.tolerance` does not have one entry per class or other
+/// parameters are invalid.
+pub fn simulate_with_churn(
+    scenario: &Scenario,
+    hybrid: &HybridConfig,
+    params: &SimParams,
+    churn: &ChurnConfig,
+) -> ChurnReport {
+    assert_eq!(
+        churn.tolerance.len(),
+        scenario.classes.len(),
+        "need one tolerance per class"
+    );
+    assert_eq!(
+        hybrid.channels,
+        crate::config::ChannelLayout::Interleaved,
+        "the churn driver models the paper's single interleaved channel"
+    );
+    assert!(
+        churn.ema_alpha > 0.0 && churn.ema_alpha <= 1.0,
+        "ema_alpha must lie in (0, 1]"
+    );
+    assert!(churn.blocked_penalty >= 1.0, "penalty must be ≥ 1");
+    let factory: RngFactory = scenario.factory.replication(params.replication);
+    let scheduler = HybridScheduler::new(
+        scenario.catalog.clone(),
+        scenario.classes.clone(),
+        hybrid,
+        &factory,
+    );
+    let gen = scenario.request_stream_replication(params.replication);
+    let num_items = scenario.catalog.len();
+    let mut driver = ChurnDriver {
+        scheduler,
+        metrics: MetricsCollector::new(scenario.classes.len(), SimTime::new(params.warmup)),
+        gen,
+        pool: ClientPool::new(&scenario.classes, churn.total_clients),
+        cfg: churn.clone(),
+        client_rng: factory.stream(CLIENT_STREAM),
+        push_waiters: vec![Vec::new(); num_items],
+        pull_clients: vec![Vec::new(); num_items],
+        in_flight_clients: Vec::new(),
+        server_busy: false,
+        departures: 0,
+        lost_demand: 0,
+    };
+
+    let mut engine: Engine<Event> = Engine::new();
+    engine.schedule_at(driver.gen.peek_time(), Event::Arrival);
+    driver.dispatch(&mut engine, SimTime::ZERO);
+    let horizon = SimTime::new(params.horizon);
+    engine.run_until(horizon, |eng, ev| driver.handle(eng, ev));
+
+    let report = driver.metrics.report(&scenario.classes, horizon);
+    let n_classes = scenario.classes.len();
+    let churn_per_class: Vec<f64> = (0..n_classes)
+        .map(|c| driver.pool.churn_rate(ClassId(c as u8)))
+        .collect();
+    let alive_per_class: Vec<usize> = (0..n_classes)
+        .map(|c| driver.pool.alive_in_class(ClassId(c as u8)))
+        .collect();
+    let (mut num, mut den) = (0.0, 0.0);
+    for (id, class) in scenario.classes.iter() {
+        num += class.priority * alive_per_class[id.index()] as f64;
+        den += class.priority * driver.pool.total_in_class(id) as f64;
+    }
+    ChurnReport {
+        report,
+        churn_per_class,
+        alive_per_class,
+        weighted_retention: num / den,
+        departures: driver.departures,
+        lost_demand: driver.lost_demand,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybridcast_workload::scenario::ScenarioConfig;
+
+    fn run(alpha: f64, tolerance: Vec<f64>) -> ChurnReport {
+        run_at(alpha, tolerance, 6_000.0)
+    }
+
+    fn run_at(alpha: f64, tolerance: Vec<f64>, horizon: f64) -> ChurnReport {
+        let scenario = ScenarioConfig::icpp2005(0.6).build();
+        let cfg = HybridConfig::paper(40, alpha);
+        let churn = ChurnConfig {
+            tolerance,
+            ..ChurnConfig::default()
+        };
+        simulate_with_churn(
+            &scenario,
+            &cfg,
+            &SimParams {
+                horizon,
+                warmup: 0.0,
+                replication: 0,
+            },
+            &churn,
+        )
+    }
+
+    #[test]
+    fn generous_tolerances_mean_no_churn() {
+        let r = run(0.25, vec![1e6, 1e6, 1e6]);
+        assert_eq!(r.departures, 0);
+        assert_eq!(r.weighted_retention, 1.0);
+        assert!(r.churn_per_class.iter().all(|&x| x == 0.0));
+        assert_eq!(r.lost_demand, 0);
+    }
+
+    #[test]
+    fn impossible_tolerances_churn_everyone() {
+        let r = run(0.25, vec![0.1, 0.1, 0.1]);
+        // grace still applies, but every sample exceeds the tolerance
+        assert!(
+            r.weighted_retention < 0.05,
+            "retention {}",
+            r.weighted_retention
+        );
+        assert!(r.lost_demand > 0, "dead classes must stop generating");
+    }
+
+    #[test]
+    fn priority_scheduling_protects_premium_subscribers() {
+        // Tolerances sit between the per-class delays achieved at α = 0,
+        // so the scheduler's differentiation decides who stays.
+        let tol = vec![130.0, 150.0, 180.0];
+        let with_priority = run_at(0.0, tol.clone(), 10_000.0);
+        let without = run_at(1.0, tol, 10_000.0);
+        assert!(
+            with_priority.churn_per_class[0] < without.churn_per_class[0],
+            "A churn: α=0 {:.2} vs α=1 {:.2}",
+            with_priority.churn_per_class[0],
+            without.churn_per_class[0]
+        );
+        assert!(
+            with_priority.weighted_retention > without.weighted_retention,
+            "retention: α=0 {:.3} vs α=1 {:.3}",
+            with_priority.weighted_retention,
+            without.weighted_retention
+        );
+    }
+
+    #[test]
+    fn report_is_consistent() {
+        let r = run(0.5, vec![90.0, 105.0, 130.0]);
+        assert_eq!(r.churn_per_class.len(), 3);
+        let total_alive: usize = r.alive_per_class.iter().sum();
+        assert_eq!(
+            total_alive as u64 + r.departures,
+            110,
+            "alive + departed must equal the population"
+        );
+        assert!((0.0..=1.0).contains(&r.weighted_retention));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run(0.5, vec![90.0, 105.0, 130.0]);
+        let b = run(0.5, vec![90.0, 105.0, 130.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "one tolerance per class")]
+    fn tolerance_arity_checked() {
+        let _ = run(0.5, vec![90.0]);
+    }
+}

@@ -1,0 +1,129 @@
+//! Serializable configuration of the hybrid scheduler.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bandwidth::BandwidthConfig;
+use crate::pull::PullPolicyKind;
+use crate::push::PushKind;
+use crate::uplink::UplinkConfig;
+
+/// How the downlink is organized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum ChannelLayout {
+    /// The paper's single channel: push and pull transmissions interleave
+    /// (one pull slot after each push slot).
+    #[default]
+    Interleaved,
+    /// A dedicated broadcast channel plus `pull_channels` parallel
+    /// on-demand channels — the classic alternative architecture. Raw
+    /// capacity is `1 + pull_channels` times the interleaved layout's.
+    Split {
+        /// Number of dedicated pull channels (≥ 1).
+        pull_channels: u32,
+    },
+}
+
+/// Everything that parameterizes the hybrid server (the workload side lives
+/// in [`hybridcast_workload::scenario::ScenarioConfig`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HybridConfig {
+    /// The cutoff point `K`: items `0..K` are pushed, `K..D` pulled.
+    pub cutoff: usize,
+    /// Push-side schedule (paper: flat round-robin).
+    pub push: PushKind,
+    /// Pull-side selection policy (paper: importance factor).
+    pub pull: PullPolicyKind,
+    /// Bandwidth/admission model.
+    pub bandwidth: BandwidthConfig,
+    /// Pull transmissions granted after each push slot (paper Fig. 1
+    /// serves exactly one). `0` disables the pull side entirely.
+    #[serde(default = "default_pull_per_push")]
+    pub pull_per_push: u32,
+    /// Optional back-channel contention model. `None` (the paper's
+    /// implicit assumption) delivers requests instantly and losslessly.
+    #[serde(default)]
+    pub uplink: Option<UplinkConfig>,
+    /// Downlink organization (paper: one interleaved channel).
+    #[serde(default)]
+    pub channels: ChannelLayout,
+}
+
+fn default_pull_per_push() -> u32 {
+    1
+}
+
+impl Default for HybridConfig {
+    /// The paper's configuration at a mid-range operating point:
+    /// `K = 40`, flat push, importance factor with α = 0.5, no admission
+    /// control (delay experiments).
+    fn default() -> Self {
+        HybridConfig {
+            cutoff: 40,
+            push: PushKind::Flat,
+            pull: PullPolicyKind::importance(0.5),
+            bandwidth: BandwidthConfig::default(),
+            pull_per_push: 1,
+            uplink: None,
+            channels: ChannelLayout::Interleaved,
+        }
+    }
+}
+
+impl HybridConfig {
+    /// The paper's setup at cutoff `k` and importance blend `alpha`.
+    pub fn paper(k: usize, alpha: f64) -> Self {
+        HybridConfig {
+            cutoff: k,
+            pull: PullPolicyKind::importance(alpha),
+            ..Default::default()
+        }
+    }
+
+    /// Returns a copy with a different cutoff.
+    pub fn with_cutoff(&self, k: usize) -> Self {
+        HybridConfig {
+            cutoff: k,
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy with a different pull policy.
+    pub fn with_pull(&self, pull: PullPolicyKind) -> Self {
+        HybridConfig {
+            pull,
+            ..self.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_papers_midpoint() {
+        let c = HybridConfig::default();
+        assert_eq!(c.cutoff, 40);
+        assert_eq!(c.push, PushKind::Flat);
+        assert_eq!(c.pull, PullPolicyKind::importance(0.5));
+    }
+
+    #[test]
+    fn builders_override_single_fields() {
+        let c = HybridConfig::paper(30, 0.25)
+            .with_cutoff(60)
+            .with_pull(PullPolicyKind::Rxw);
+        assert_eq!(c.cutoff, 60);
+        assert_eq!(c.pull, PullPolicyKind::Rxw);
+        assert_eq!(c.push, PushKind::Flat);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = HybridConfig::paper(25, 0.75);
+        let js = serde_json::to_string_pretty(&c).unwrap();
+        let back: HybridConfig = serde_json::from_str(&js).unwrap();
+        assert_eq!(back, c);
+    }
+}

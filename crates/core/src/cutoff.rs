@@ -1,0 +1,207 @@
+//! Cutoff-point optimization.
+//!
+//! "Periodically the algorithm is executed for different cutoff-points and
+//! obtains the optimal cutoff-point which minimizes the overall access time"
+//! (§3). [`CutoffOptimizer`] sweeps `K` over a grid, simulates each value,
+//! and picks the argmin of a configurable objective — the paper's headline
+//! objective is the **total prioritized cost** `Σ_c q_c·E[delay_c]` (§5.3).
+
+use serde::{Deserialize, Serialize};
+
+use hybridcast_workload::scenario::Scenario;
+
+use crate::config::HybridConfig;
+use crate::metrics::SimReport;
+use crate::sim_driver::{simulate, SimParams};
+
+/// What the sweep minimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Objective {
+    /// `Σ_c q_c × E[delay_c]` — the paper's cost (§5.3).
+    TotalPrioritizedCost,
+    /// Plain mean access time over all requests.
+    MeanDelay,
+    /// Mean delay of the highest-priority class only.
+    PremiumDelay,
+}
+
+impl Objective {
+    /// Evaluates the objective on a finished report.
+    pub fn evaluate(&self, report: &SimReport) -> f64 {
+        match self {
+            Objective::TotalPrioritizedCost => report.total_prioritized_cost,
+            Objective::MeanDelay => report.overall_delay.mean,
+            Objective::PremiumDelay => report.per_class[0].delay.mean,
+        }
+    }
+}
+
+/// One evaluated cutoff.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CutoffPoint {
+    /// The cutoff `K`.
+    pub k: usize,
+    /// Objective value at `K`.
+    pub objective: f64,
+    /// Full report at `K`.
+    pub report: SimReport,
+}
+
+/// Result of a sweep: the winner plus the whole curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CutoffSweep {
+    /// Objective that was minimized.
+    pub objective: Objective,
+    /// Every evaluated point, in ascending `K`.
+    pub points: Vec<CutoffPoint>,
+    /// Index into `points` of the minimizer.
+    pub best_index: usize,
+}
+
+impl CutoffSweep {
+    /// The optimal point.
+    pub fn best(&self) -> &CutoffPoint {
+        &self.points[self.best_index]
+    }
+
+    /// The optimal cutoff `K*`.
+    pub fn best_k(&self) -> usize {
+        self.best().k
+    }
+}
+
+/// Grid-search cutoff optimizer.
+#[derive(Debug, Clone)]
+pub struct CutoffOptimizer {
+    objective: Objective,
+    params: SimParams,
+}
+
+impl CutoffOptimizer {
+    /// An optimizer minimizing `objective` with per-point run length
+    /// `params`.
+    pub fn new(objective: Objective, params: SimParams) -> Self {
+        CutoffOptimizer { objective, params }
+    }
+
+    /// Evaluates every cutoff in `ks` (ascending) and returns the sweep.
+    ///
+    /// # Panics
+    /// Panics if `ks` is empty or contains a value beyond the catalog size.
+    pub fn sweep(
+        &self,
+        scenario: &Scenario,
+        base: &HybridConfig,
+        ks: impl IntoIterator<Item = usize>,
+    ) -> CutoffSweep {
+        let mut points = Vec::new();
+        for k in ks {
+            let cfg = base.with_cutoff(k);
+            let report = simulate(scenario, &cfg, &self.params);
+            let objective = self.objective.evaluate(&report);
+            points.push(CutoffPoint {
+                k,
+                objective,
+                report,
+            });
+        }
+        assert!(!points.is_empty(), "cutoff sweep needs at least one K");
+        let best_index = points
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.objective
+                    .partial_cmp(&b.objective)
+                    .expect("objectives are finite")
+            })
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        CutoffSweep {
+            objective: self.objective,
+            points,
+            best_index,
+        }
+    }
+
+    /// Convenience: sweep `K` from `lo` to `hi` in steps of `step`.
+    pub fn sweep_range(
+        &self,
+        scenario: &Scenario,
+        base: &HybridConfig,
+        lo: usize,
+        hi: usize,
+        step: usize,
+    ) -> CutoffSweep {
+        assert!(step > 0, "step must be positive");
+        assert!(lo <= hi, "need lo ≤ hi");
+        self.sweep(scenario, base, (lo..=hi).step_by(step))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybridcast_workload::scenario::ScenarioConfig;
+
+    fn quick_optimizer(obj: Objective) -> CutoffOptimizer {
+        CutoffOptimizer::new(
+            obj,
+            SimParams {
+                horizon: 3_000.0,
+                warmup: 400.0,
+                replication: 0,
+            },
+        )
+    }
+
+    #[test]
+    fn sweep_covers_requested_grid() {
+        let scenario = ScenarioConfig::icpp2005(0.6).build();
+        let base = HybridConfig::paper(0, 0.5);
+        let sweep = quick_optimizer(Objective::TotalPrioritizedCost)
+            .sweep_range(&scenario, &base, 20, 80, 20);
+        let ks: Vec<usize> = sweep.points.iter().map(|p| p.k).collect();
+        assert_eq!(ks, vec![20, 40, 60, 80]);
+        assert!(ks.contains(&sweep.best_k()));
+    }
+
+    #[test]
+    fn best_is_the_minimum() {
+        let scenario = ScenarioConfig::icpp2005(0.6).build();
+        let base = HybridConfig::paper(0, 0.5);
+        let sweep =
+            quick_optimizer(Objective::MeanDelay).sweep(&scenario, &base, [20usize, 50, 80]);
+        let best = sweep.best().objective;
+        for p in &sweep.points {
+            assert!(best <= p.objective + 1e-12);
+        }
+    }
+
+    #[test]
+    fn objectives_extract_expected_fields() {
+        let scenario = ScenarioConfig::icpp2005(0.6).build();
+        let cfg = HybridConfig::paper(40, 0.5);
+        let report = simulate(&scenario, &cfg, &SimParams::quick());
+        assert_eq!(
+            Objective::TotalPrioritizedCost.evaluate(&report),
+            report.total_prioritized_cost
+        );
+        assert_eq!(
+            Objective::MeanDelay.evaluate(&report),
+            report.overall_delay.mean
+        );
+        assert_eq!(
+            Objective::PremiumDelay.evaluate(&report),
+            report.per_class[0].delay.mean
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_sweep_panics() {
+        let scenario = ScenarioConfig::icpp2005(0.6).build();
+        let base = HybridConfig::default();
+        let _ = quick_optimizer(Objective::MeanDelay).sweep(&scenario, &base, []);
+    }
+}

@@ -1,0 +1,73 @@
+//! # hybridcast-core — hybrid push/pull broadcast scheduling with service
+//! classification
+//!
+//! The primary contribution of *"A New Service Classification Strategy in
+//! Hybrid Scheduling to Support Differentiated QoS in Wireless Data
+//! Networks"* (Saxena, Basu, Das, Pinotti — ICPP 2005), as a library:
+//!
+//! * [`push`] — broadcast schedulers for the popular prefix: the paper's
+//!   flat round-robin, plus broadcast-disks and square-root-rule baselines;
+//! * [`pull`] — on-demand selection policies, headlined by the paper's
+//!   **importance factor** `γ_i = α·S_i + (1−α)·Q_i` blending stretch and
+//!   client priority;
+//! * [`queue`] — the aggregated pull queue (`R_i`, `Q_i`, per-requester
+//!   bookkeeping);
+//! * [`bandwidth`] — per-class bandwidth partitions with Poisson demands
+//!   and blocking;
+//! * [`hybrid`] — the Fig. 1 dispatch loop tying it all together;
+//! * [`sim_driver`] — the event-driven end-to-end simulation;
+//! * [`metrics`] — per-class delay/blocking/prioritized-cost reports;
+//! * [`cutoff`] — the optimal-cutoff (`K*`) grid search;
+//! * [`churn`] — the finite-population churn model behind the paper's
+//!   motivation (dissatisfied clients leave; premium departures cost most).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hybridcast_core::prelude::*;
+//! use hybridcast_workload::scenario::ScenarioConfig;
+//!
+//! // The paper's workload (D = 100, λ' = 5, Zipf θ = 0.6, classes A/B/C)…
+//! let scenario = ScenarioConfig::icpp2005(0.6).build();
+//! // …under the paper's scheduler (cutoff K = 40, importance α = 0.5):
+//! let config = HybridConfig::paper(40, 0.5);
+//! let report = simulate(&scenario, &config, &SimParams::quick());
+//!
+//! // Differentiated QoS: the premium class sees the smallest pull delay.
+//! let a = report.per_class[0].pull_delay.mean;
+//! let c = report.per_class[2].pull_delay.mean;
+//! assert!(a < c);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bandwidth;
+pub mod churn;
+pub mod config;
+pub mod cutoff;
+pub mod hybrid;
+pub mod metrics;
+pub mod pull;
+pub mod push;
+pub mod queue;
+pub mod sim_driver;
+pub mod uplink;
+
+/// One-stop imports for scheduler users.
+pub mod prelude {
+    pub use crate::bandwidth::{BandwidthConfig, BandwidthManager, BandwidthPolicy, Grant};
+    pub use crate::churn::{simulate_with_churn, ChurnConfig, ChurnReport};
+    pub use crate::config::{ChannelLayout, HybridConfig};
+    pub use crate::cutoff::{CutoffOptimizer, CutoffSweep, Objective};
+    pub use crate::hybrid::{Disposition, HybridScheduler, Transmission};
+    pub use crate::metrics::{ClassReport, MetricsCollector, SimReport, TxKind};
+    pub use crate::pull::{PullContext, PullPolicy, PullPolicyKind};
+    pub use crate::push::{PushKind, PushScheduler};
+    pub use crate::queue::{PendingItem, PullQueue};
+    pub use crate::sim_driver::{
+        simulate, simulate_adaptive, simulate_replicated, simulate_with_source, AdaptiveConfig,
+        AdaptiveReport, RetuneRecord, SimParams,
+    };
+    pub use crate::uplink::{UplinkChannel, UplinkConfig, UplinkOutcome};
+}

@@ -1,0 +1,66 @@
+//! First-come-first-served: serve the item whose oldest pending request has
+//! waited longest. The simplest fair baseline — blind to popularity, item
+//! length and client priority.
+
+use crate::pull::{PullContext, PullPolicy};
+use crate::queue::PendingItem;
+
+/// FCFS on the oldest pending request per item.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fcfs;
+
+impl PullPolicy for Fcfs {
+    fn name(&self) -> &'static str {
+        "fcfs"
+    }
+
+    fn score(&self, entry: &PendingItem, ctx: &PullContext<'_>) -> f64 {
+        // Larger waiting time of the head request ⇒ larger score.
+        (ctx.now - entry.first_arrival).as_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pull::testutil::{catalog, ctx, queue_with};
+    use hybridcast_workload::catalog::ItemId;
+    use hybridcast_workload::classes::ClassSet;
+
+    #[test]
+    fn oldest_head_request_wins() {
+        let cat = catalog();
+        let classes = ClassSet::paper_default();
+        // item 5's head arrived at t=1, item 2's at t=3
+        let q = queue_with(&classes, &[(1.0, 5, 2), (3.0, 2, 0), (4.0, 2, 0)]);
+        let c = ctx(&cat, &classes, 10.0, 0.0);
+        let policy = Fcfs;
+        let sel = q.select_max(|e| policy.score(e, &c)).unwrap();
+        assert_eq!(sel, ItemId(5));
+    }
+
+    #[test]
+    fn score_is_the_head_wait() {
+        let cat = catalog();
+        let classes = ClassSet::paper_default();
+        let q = queue_with(&classes, &[(2.0, 3, 1)]);
+        let c = ctx(&cat, &classes, 9.0, 0.0);
+        let s = Fcfs.score(q.get(ItemId(3)).unwrap(), &c);
+        assert!((s - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ignores_request_count_and_priority() {
+        let cat = catalog();
+        let classes = ClassSet::paper_default();
+        // item 7: many high-priority requests but younger head
+        let q = queue_with(
+            &classes,
+            &[(1.0, 4, 2), (2.0, 7, 0), (2.1, 7, 0), (2.2, 7, 0)],
+        );
+        let c = ctx(&cat, &classes, 5.0, 0.0);
+        let policy = Fcfs;
+        let sel = q.select_max(|e| policy.score(e, &c)).unwrap();
+        assert_eq!(sel, ItemId(4));
+    }
+}

@@ -1,0 +1,54 @@
+//! Most-requests-first: serve the item with the most pending requests.
+//! Maximizes immediate throughput of satisfied requests but can starve
+//! unpopular items and ignores both item length and client priority.
+
+use crate::pull::{PullContext, PullPolicy};
+use crate::queue::PendingItem;
+
+/// MRF — score is the pending request count `R_i`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mrf;
+
+impl PullPolicy for Mrf {
+    fn name(&self) -> &'static str {
+        "mrf"
+    }
+
+    fn score(&self, entry: &PendingItem, _ctx: &PullContext<'_>) -> f64 {
+        entry.count() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pull::testutil::{catalog, ctx, queue_with};
+    use hybridcast_workload::catalog::ItemId;
+    use hybridcast_workload::classes::ClassSet;
+
+    #[test]
+    fn most_requested_item_wins() {
+        let cat = catalog();
+        let classes = ClassSet::paper_default();
+        let q = queue_with(
+            &classes,
+            &[(1.0, 5, 2), (3.0, 2, 0), (4.0, 2, 1), (5.0, 2, 2)],
+        );
+        let c = ctx(&cat, &classes, 10.0, 0.0);
+        let policy = Mrf;
+        let sel = q.select_max(|e| policy.score(e, &c)).unwrap();
+        assert_eq!(sel, ItemId(2));
+    }
+
+    #[test]
+    fn blind_to_wait_and_priority() {
+        let cat = catalog();
+        let classes = ClassSet::paper_default();
+        // item 4 has one ancient premium request; item 9 has two fresh ones
+        let q = queue_with(&classes, &[(0.0, 4, 0), (99.0, 9, 2), (99.5, 9, 2)]);
+        let c = ctx(&cat, &classes, 100.0, 0.0);
+        let policy = Mrf;
+        let sel = q.select_max(|e| policy.score(e, &c)).unwrap();
+        assert_eq!(sel, ItemId(9));
+    }
+}

@@ -1,0 +1,75 @@
+//! Pure priority scheduling — the α = 0 limit of the importance factor.
+//!
+//! Scores each item by the accumulated priority `Q_i = Σ q_j` of its
+//! pending requesters. Premium clients are served fastest, but the policy
+//! is *unfair*: an item requested by many low-priority clients can wait
+//! indefinitely behind a stream of premium requests — the starvation risk
+//! §3 of the paper calls out as the reason to blend in the stretch term.
+
+use crate::pull::{PullContext, PullPolicy};
+use crate::queue::PendingItem;
+
+/// Priority-only: score is `Q_i`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PriorityOnly;
+
+impl PullPolicy for PriorityOnly {
+    fn name(&self) -> &'static str {
+        "priority"
+    }
+
+    fn score(&self, entry: &PendingItem, _ctx: &PullContext<'_>) -> f64 {
+        entry.total_priority
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pull::testutil::{catalog, ctx, queue_with};
+    use hybridcast_workload::catalog::ItemId;
+    use hybridcast_workload::classes::ClassSet;
+
+    #[test]
+    fn premium_request_beats_single_basic() {
+        let cat = catalog();
+        let classes = ClassSet::paper_default();
+        // class 0 has weight 3; class 2 weight 1
+        let q = queue_with(&classes, &[(1.0, 5, 2), (9.0, 2, 0)]);
+        let c = ctx(&cat, &classes, 10.0, 0.0);
+        let p = PriorityOnly;
+        let sel = q.select_max(|e| p.score(e, &c)).unwrap();
+        assert_eq!(sel, ItemId(2));
+    }
+
+    #[test]
+    fn accumulated_basic_requests_can_outweigh_premium() {
+        let cat = catalog();
+        let classes = ClassSet::paper_default();
+        // four class-C requests (4×1) beat one class-A (3)
+        let q = queue_with(
+            &classes,
+            &[
+                (1.0, 5, 2),
+                (1.1, 5, 2),
+                (1.2, 5, 2),
+                (1.3, 5, 2),
+                (2.0, 2, 0),
+            ],
+        );
+        let c = ctx(&cat, &classes, 10.0, 0.0);
+        let p = PriorityOnly;
+        let sel = q.select_max(|e| p.score(e, &c)).unwrap();
+        assert_eq!(sel, ItemId(5));
+    }
+
+    #[test]
+    fn score_is_exactly_total_priority() {
+        let cat = catalog();
+        let classes = ClassSet::paper_default();
+        let q = queue_with(&classes, &[(1.0, 7, 0), (1.5, 7, 1), (2.0, 7, 2)]);
+        let c = ctx(&cat, &classes, 10.0, 0.0);
+        let s = PriorityOnly.score(q.get(ItemId(7)).unwrap(), &c);
+        assert!((s - 6.0).abs() < 1e-12); // 3 + 2 + 1
+    }
+}

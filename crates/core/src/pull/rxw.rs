@@ -1,0 +1,75 @@
+//! RxW — requests × wait (Aksoy & Franklin, ToN 1999).
+//!
+//! Balances MRF's throughput bias against FCFS's fairness by scoring each
+//! item with the *product* of its pending request count and the waiting time
+//! of its oldest request. Still blind to item length and client priority —
+//! exactly the gap the paper's importance factor fills.
+
+use crate::pull::{PullContext, PullPolicy};
+use crate::queue::PendingItem;
+
+/// RxW — score is `R_i × W_i` with `W_i` the head-request wait.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Rxw;
+
+impl PullPolicy for Rxw {
+    fn name(&self) -> &'static str {
+        "rxw"
+    }
+
+    fn score(&self, entry: &PendingItem, ctx: &PullContext<'_>) -> f64 {
+        let wait = (ctx.now - entry.first_arrival).as_f64();
+        entry.count() as f64 * wait
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pull::testutil::{catalog, ctx, queue_with};
+    use hybridcast_workload::catalog::ItemId;
+    use hybridcast_workload::classes::ClassSet;
+
+    #[test]
+    fn product_beats_either_factor_alone() {
+        let cat = catalog();
+        let classes = ClassSet::paper_default();
+        // item 1: R=1, W=8 → 8; item 2: R=3, W=4 → 12; item 3: R=2, W=5 → 10
+        let q = queue_with(
+            &classes,
+            &[
+                (2.0, 1, 0),
+                (6.0, 2, 0),
+                (6.5, 2, 1),
+                (7.0, 2, 2),
+                (5.0, 3, 1),
+                (8.0, 3, 1),
+            ],
+        );
+        let c = ctx(&cat, &classes, 10.0, 0.0);
+        let policy = Rxw;
+        let sel = q.select_max(|e| policy.score(e, &c)).unwrap();
+        assert_eq!(sel, ItemId(2));
+    }
+
+    #[test]
+    fn fresh_single_request_scores_near_zero() {
+        let cat = catalog();
+        let classes = ClassSet::paper_default();
+        let q = queue_with(&classes, &[(10.0, 5, 0)]);
+        let c = ctx(&cat, &classes, 10.0, 0.0);
+        let s = Rxw.score(q.get(ItemId(5)).unwrap(), &c);
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn aging_raises_score_linearly() {
+        let cat = catalog();
+        let classes = ClassSet::paper_default();
+        let q = queue_with(&classes, &[(0.0, 5, 0), (0.0, 5, 1)]);
+        let e = q.get(ItemId(5)).unwrap();
+        let s1 = Rxw.score(e, &ctx(&cat, &classes, 1.0, 0.0));
+        let s4 = Rxw.score(e, &ctx(&cat, &classes, 4.0, 0.0));
+        assert!((s4 - 4.0 * s1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,388 @@
+//! The server-side pull queue.
+//!
+//! Requests for pull items are *aggregated per item* (Fig. 1 of the paper):
+//! the queue stores, for each item with pending requests, the request count
+//! `R_i`, the accumulated requester priority `Q_i = Σ q_j`, and the
+//! individual `(arrival, class)` pairs so the simulator can attribute the
+//! exact delay of every requester when the item is finally transmitted.
+//! Serving an item clears *all* its pending requests at once (batch
+//! service), which is what keeps the pull side bounded: the queue never
+//! holds more than `D − K` distinct items.
+
+use hybridcast_sim::time::SimTime;
+use hybridcast_workload::catalog::ItemId;
+use hybridcast_workload::classes::ClassId;
+use hybridcast_workload::requests::Request;
+
+/// One queued item with all its pending requests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingItem {
+    /// The item awaiting a pull transmission.
+    pub item: ItemId,
+    /// Accumulated requester priority `Q_i = Σ_{j ∈ requesters} q_j`.
+    pub total_priority: f64,
+    /// Arrival time of the oldest pending request.
+    pub first_arrival: SimTime,
+    /// Arrival time of the newest pending request.
+    pub last_arrival: SimTime,
+    /// Every pending request: `(arrival, class)`.
+    pub requesters: Vec<(SimTime, ClassId)>,
+}
+
+impl PendingItem {
+    /// Number of pending requests `R_i`.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.requesters.len()
+    }
+
+    /// The highest-priority class among pending requesters (smallest
+    /// `ClassId`); used by the bandwidth manager to decide whose partition
+    /// a transmission draws from.
+    pub fn dominant_class(&self) -> ClassId {
+        self.requesters
+            .iter()
+            .map(|&(_, c)| c)
+            .min()
+            .expect("pending item always has at least one requester")
+    }
+
+    /// Pending request count per class, as a dense vector of length
+    /// `num_classes`.
+    pub fn class_counts(&self, num_classes: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; num_classes];
+        for &(_, c) in &self.requesters {
+            counts[c.index()] += 1;
+        }
+        counts
+    }
+}
+
+/// The pull queue: per-item request aggregation with linear-scan selection.
+///
+/// Selection is a scan over the (≤ `D − K`) active items, which is both
+/// cache-friendly at the paper's scale (`D = 100`) and lets policies see the
+/// full [`PendingItem`] instead of a pre-digested score.
+#[derive(Debug, Clone)]
+pub struct PullQueue {
+    /// Slot per catalog item; `None` when the item has no pending requests.
+    slots: Vec<Option<PendingItem>>,
+    /// Number of `Some` slots.
+    active: usize,
+    /// Total pending requests across all items.
+    total_requests: usize,
+    /// Lifetime counters.
+    inserted: u64,
+    served_items: u64,
+    served_requests: u64,
+}
+
+impl PullQueue {
+    /// A queue over a catalog of `num_items` items.
+    pub fn new(num_items: usize) -> Self {
+        PullQueue {
+            slots: vec![None; num_items],
+            active: 0,
+            total_requests: 0,
+            inserted: 0,
+            served_items: 0,
+            served_requests: 0,
+        }
+    }
+
+    /// Appends `req` (with its requester's priority weight `q_j`) to the
+    /// queue, creating the item entry on first request.
+    pub fn insert(&mut self, req: &Request, priority: f64) {
+        debug_assert!(priority > 0.0, "priority weights are positive");
+        let slot = &mut self.slots[req.item.index()];
+        match slot {
+            Some(entry) => {
+                entry.total_priority += priority;
+                // Uplink latency can deliver requests out of arrival
+                // order; keep first/last as true extremes.
+                entry.first_arrival = entry.first_arrival.min(req.arrival);
+                entry.last_arrival = entry.last_arrival.max(req.arrival);
+                entry.requesters.push((req.arrival, req.class));
+            }
+            None => {
+                *slot = Some(PendingItem {
+                    item: req.item,
+                    total_priority: priority,
+                    first_arrival: req.arrival,
+                    last_arrival: req.arrival,
+                    requesters: vec![(req.arrival, req.class)],
+                });
+                self.active += 1;
+            }
+        }
+        self.total_requests += 1;
+        self.inserted += 1;
+    }
+
+    /// The entry for `item`, if it has pending requests.
+    pub fn get(&self, item: ItemId) -> Option<&PendingItem> {
+        self.slots[item.index()].as_ref()
+    }
+
+    /// Iterates over all items with pending requests, in ascending item
+    /// order (deterministic).
+    pub fn iter(&self) -> impl Iterator<Item = &PendingItem> {
+        self.slots.iter().filter_map(|s| s.as_ref())
+    }
+
+    /// Picks the active item maximizing `score`, ties broken toward the
+    /// more popular (lower-ranked) item — deterministic across runs.
+    /// Returns `None` when the queue is empty.
+    pub fn select_max<F>(&self, mut score: F) -> Option<ItemId>
+    where
+        F: FnMut(&PendingItem) -> f64,
+    {
+        let mut best: Option<(f64, ItemId)> = None;
+        for entry in self.iter() {
+            let s = score(entry);
+            debug_assert!(!s.is_nan(), "policy produced NaN score for {}", entry.item);
+            match best {
+                Some((bs, _)) if s <= bs => {}
+                _ => best = Some((s, entry.item)),
+            }
+        }
+        best.map(|(_, id)| id)
+    }
+
+    /// Removes `item` from the queue, returning its aggregated entry. Used
+    /// both when the item is served and when it is dropped (blocked).
+    ///
+    /// # Panics
+    /// Panics if `item` has no pending requests.
+    pub fn remove(&mut self, item: ItemId) -> PendingItem {
+        let entry = self.slots[item.index()]
+            .take()
+            .unwrap_or_else(|| panic!("{item} is not in the pull queue"));
+        self.active -= 1;
+        self.total_requests -= entry.count();
+        self.served_items += 1;
+        self.served_requests += entry.count() as u64;
+        entry
+    }
+
+    /// Number of distinct items with pending requests.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.active
+    }
+
+    /// `true` when no item has pending requests.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.active == 0
+    }
+
+    /// Total pending requests across all items.
+    #[inline]
+    pub fn total_requests(&self) -> usize {
+        self.total_requests
+    }
+
+    /// Removes and returns every queued entry whose item rank is below
+    /// `k` — used when the cutoff moves up and those items join the push
+    /// set (their requesters will be satisfied by the broadcast instead).
+    pub fn drain_below(&mut self, k: usize) -> Vec<PendingItem> {
+        let mut out = Vec::new();
+        for idx in 0..k.min(self.slots.len()) {
+            if let Some(entry) = self.slots[idx].take() {
+                self.active -= 1;
+                self.total_requests -= entry.count();
+                out.push(entry);
+            }
+        }
+        out
+    }
+
+    /// Removes and returns every queued entry whose item satisfies `pred`
+    /// — the membership-based generalization of [`PullQueue::drain_below`]
+    /// used by the re-ranking adaptive controller.
+    pub fn drain_matching<F: FnMut(ItemId) -> bool>(&mut self, mut pred: F) -> Vec<PendingItem> {
+        let mut out = Vec::new();
+        for idx in 0..self.slots.len() {
+            let matches = self.slots[idx]
+                .as_ref()
+                .map(|e| pred(e.item))
+                .unwrap_or(false);
+            if matches {
+                let entry = self.slots[idx].take().expect("checked Some");
+                self.active -= 1;
+                self.total_requests -= entry.count();
+                out.push(entry);
+            }
+        }
+        out
+    }
+
+    /// Lifetime count of requests ever inserted.
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Lifetime count of item extractions (serves + drops).
+    pub fn extracted_items(&self) -> u64 {
+        self.served_items
+    }
+
+    /// Lifetime count of requests cleared by extractions.
+    pub fn extracted_requests(&self) -> u64 {
+        self.served_requests
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(t: f64, item: u32, class: u8) -> Request {
+        Request {
+            arrival: SimTime::new(t),
+            item: ItemId(item),
+            class: ClassId(class),
+        }
+    }
+
+    #[test]
+    fn insert_aggregates_per_item() {
+        let mut q = PullQueue::new(10);
+        q.insert(&req(1.0, 3, 0), 3.0);
+        q.insert(&req(2.0, 3, 2), 1.0);
+        q.insert(&req(3.0, 5, 1), 2.0);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.total_requests(), 3);
+        let e = q.get(ItemId(3)).unwrap();
+        assert_eq!(e.count(), 2);
+        assert!((e.total_priority - 4.0).abs() < 1e-12);
+        assert_eq!(e.first_arrival, SimTime::new(1.0));
+        assert_eq!(e.last_arrival, SimTime::new(2.0));
+    }
+
+    #[test]
+    fn dominant_class_is_highest_priority() {
+        let mut q = PullQueue::new(10);
+        q.insert(&req(1.0, 3, 2), 1.0);
+        q.insert(&req(2.0, 3, 0), 3.0);
+        q.insert(&req(3.0, 3, 1), 2.0);
+        let e = q.get(ItemId(3)).unwrap();
+        assert_eq!(e.dominant_class(), ClassId(0));
+        assert_eq!(e.class_counts(3), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn select_max_picks_highest_score() {
+        let mut q = PullQueue::new(10);
+        q.insert(&req(1.0, 2, 0), 1.0);
+        q.insert(&req(1.5, 7, 0), 1.0);
+        q.insert(&req(2.0, 7, 0), 1.0);
+        // score = count → item 7 wins
+        let sel = q.select_max(|e| e.count() as f64).unwrap();
+        assert_eq!(sel, ItemId(7));
+    }
+
+    #[test]
+    fn select_max_ties_break_to_lower_rank() {
+        let mut q = PullQueue::new(10);
+        q.insert(&req(1.0, 8, 0), 1.0);
+        q.insert(&req(1.0, 4, 0), 1.0);
+        let sel = q.select_max(|_| 1.0).unwrap();
+        assert_eq!(sel, ItemId(4));
+    }
+
+    #[test]
+    fn select_on_empty_is_none() {
+        let q = PullQueue::new(5);
+        assert_eq!(q.select_max(|e| e.count() as f64), None);
+    }
+
+    #[test]
+    fn remove_clears_all_pending_requests() {
+        let mut q = PullQueue::new(10);
+        q.insert(&req(1.0, 3, 0), 3.0);
+        q.insert(&req(2.0, 3, 1), 2.0);
+        let e = q.remove(ItemId(3));
+        assert_eq!(e.count(), 2);
+        assert!(q.is_empty());
+        assert_eq!(q.total_requests(), 0);
+        assert_eq!(q.extracted_items(), 1);
+        assert_eq!(q.extracted_requests(), 2);
+    }
+
+    #[test]
+    fn reinsert_after_remove_starts_fresh() {
+        let mut q = PullQueue::new(10);
+        q.insert(&req(1.0, 3, 0), 3.0);
+        q.remove(ItemId(3));
+        q.insert(&req(5.0, 3, 1), 2.0);
+        let e = q.get(ItemId(3)).unwrap();
+        assert_eq!(e.count(), 1);
+        assert_eq!(e.first_arrival, SimTime::new(5.0));
+        assert!((e.total_priority - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the pull queue")]
+    fn remove_missing_panics() {
+        let mut q = PullQueue::new(5);
+        let _ = q.remove(ItemId(1));
+    }
+
+    #[test]
+    fn iter_is_ascending_item_order() {
+        let mut q = PullQueue::new(10);
+        for &i in &[9u32, 1, 5] {
+            q.insert(&req(1.0, i, 0), 1.0);
+        }
+        let order: Vec<u32> = q.iter().map(|e| e.item.0).collect();
+        assert_eq!(order, vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn drain_below_and_matching() {
+        let mut q = PullQueue::new(10);
+        for i in [1u32, 4, 7] {
+            q.insert(&req(1.0, i, 0), 1.0);
+        }
+        let below = q.drain_below(5);
+        assert_eq!(below.len(), 2);
+        assert_eq!(q.len(), 1);
+        q.insert(&req(2.0, 2, 0), 1.0);
+        let odd = q.drain_matching(|it| it.0 % 2 == 1);
+        assert_eq!(odd.len(), 1);
+        assert_eq!(odd[0].item, ItemId(7));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.get(ItemId(2)).unwrap().count(), 1);
+    }
+
+    #[test]
+    fn bookkeeping_under_many_operations() {
+        let mut q = PullQueue::new(50);
+        let mut t = 0.0;
+        for round in 0..100u32 {
+            for i in 0..50u32 {
+                if (round + i) % 3 == 0 {
+                    t += 0.01;
+                    q.insert(&req(t, i, (i % 3) as u8), 1.0 + (i % 3) as f64);
+                }
+            }
+            if let Some(sel) = q.select_max(|e| e.total_priority) {
+                q.remove(sel);
+            }
+        }
+        // conservation: inserted == extracted + still pending
+        assert_eq!(
+            q.inserted(),
+            q.extracted_requests() + q.total_requests() as u64
+        );
+        // active count equals number of Some slots seen by iter
+        assert_eq!(q.len(), q.iter().count());
+        // total_requests equals the sum of per-item counts
+        assert_eq!(
+            q.total_requests(),
+            q.iter().map(|e| e.count()).sum::<usize>()
+        );
+    }
+}

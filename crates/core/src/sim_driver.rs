@@ -1,0 +1,1160 @@
+//! The end-to-end event-driven simulation (§5 of the paper).
+//!
+//! Wires a [`Scenario`] (catalog + classes + Poisson request stream) to a
+//! [`HybridScheduler`] on top of the `hybridcast-sim` engine and measures
+//! per-class QoS:
+//!
+//! * **arrival events** feed the scheduler; requests for push items park in
+//!   a per-item waiting room, requests for pull items join the pull queue;
+//! * the server is always transmitting (push slots alternate with pull
+//!   slots per Fig. 1); each transmission occupies the downlink for the
+//!   item's length in broadcast units;
+//! * when a **push** transmission completes, every waiter that arrived
+//!   before the transmission *started* is satisfied (a client that tunes in
+//!   mid-transmission must wait for the next cycle);
+//! * when a **pull** transmission completes, the batch of requests captured
+//!   at selection time is satisfied;
+//! * items dropped by bandwidth admission count as blocked for every
+//!   pending requester.
+//!
+//! Delay = request arrival → completion of the satisfying transmission,
+//! i.e. the paper's *access time*.
+
+use serde::{Deserialize, Serialize};
+
+use hybridcast_sim::engine::Engine;
+use hybridcast_sim::time::SimTime;
+use hybridcast_workload::classes::ClassId;
+use hybridcast_workload::requests::RequestSource;
+use hybridcast_workload::scenario::Scenario;
+
+use crate::config::{ChannelLayout, HybridConfig};
+use crate::hybrid::{HybridScheduler, Transmission};
+use crate::metrics::{MetricsCollector, SimReport, TxKind};
+use crate::pull::PullPolicyKind;
+use crate::uplink::{UplinkChannel, UplinkOutcome};
+use hybridcast_analysis::hybrid_model::HybridDelayModel;
+use hybridcast_workload::catalog::ItemId;
+use hybridcast_workload::requests::Request;
+
+/// Run-length parameters of one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimParams {
+    /// Simulated horizon in broadcast units.
+    pub horizon: f64,
+    /// Samples from requests arriving before this instant are discarded.
+    pub warmup: f64,
+    /// Replication index (selects an independent random-stream family).
+    pub replication: u64,
+}
+
+impl Default for SimParams {
+    fn default() -> Self {
+        SimParams {
+            horizon: 20_000.0,
+            warmup: 2_000.0,
+            replication: 0,
+        }
+    }
+}
+
+impl SimParams {
+    /// Short runs for tests and smoke benches.
+    pub fn quick() -> Self {
+        SimParams {
+            horizon: 4_000.0,
+            warmup: 500.0,
+            replication: 0,
+        }
+    }
+
+    /// Returns a copy with the given replication index.
+    pub fn with_replication(&self, r: u64) -> Self {
+        SimParams {
+            replication: r,
+            ..*self
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Event {
+    /// The next request (already staged in the generator) arrives.
+    Arrival,
+    /// A pull request finishes crossing the contended uplink and reaches
+    /// the server (the `Request` keeps its original arrival time).
+    Deliver(Request),
+    /// A downlink transmission finishes.
+    Complete(Transmission),
+    /// Periodic cutoff re-optimization (adaptive mode only).
+    Retune,
+}
+
+/// Configuration of the paper's periodic cutoff re-optimization ("the
+/// algorithm is executed for different cutoff-points and obtains the
+/// optimal cutoff-point", §3), run *inside* a single simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveConfig {
+    /// Re-optimization period in broadcast units.
+    pub period: f64,
+    /// Candidate cutoffs evaluated at each retune.
+    pub candidate_ks: Vec<usize>,
+    /// Laplace smoothing added to each item's request count before the
+    /// popularity estimate is formed.
+    pub smoothing: f64,
+    /// When `true`, the controller also *re-ranks*: the push set becomes
+    /// the top-K items by estimated popularity instead of the static rank
+    /// prefix — the abstract's "dynamically computes the data access
+    /// probabilities". Essential under popularity drift.
+    #[serde(default)]
+    pub rerank: bool,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            period: 2_000.0,
+            candidate_ks: (10..=90).step_by(10).collect(),
+            smoothing: 0.5,
+            rerank: false,
+        }
+    }
+}
+
+/// One executed cutoff move.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetuneRecord {
+    /// When the retune fired.
+    pub time: f64,
+    /// Cutoff before.
+    pub from_k: usize,
+    /// Cutoff after (may equal `from_k` when the incumbent stays optimal).
+    pub to_k: usize,
+    /// The arrival rate estimated over the last window.
+    pub estimated_lambda: f64,
+}
+
+/// Result of an adaptive run: the usual report plus the cutoff trajectory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveReport {
+    /// Standard per-class/system report over the whole run.
+    pub report: SimReport,
+    /// Every retune decision, in time order.
+    pub retunes: Vec<RetuneRecord>,
+    /// The cutoff in force at the horizon.
+    pub final_k: usize,
+}
+
+struct AdaptiveState {
+    config: AdaptiveConfig,
+    /// Importance blend of the configured pull policy (feeds the model).
+    alpha: f64,
+    window_counts: Vec<u64>,
+    retunes: Vec<RetuneRecord>,
+}
+
+/// RNG stream id for uplink contention draws.
+const UPLINK_STREAM: u64 = 7;
+
+/// Boots the downlink at t = 0: the interleaved channel (or, in the split
+/// layout, the dedicated broadcast channel) starts transmitting
+/// immediately; pull channels wait for demand.
+fn start_channels(driver: &mut Driver, engine: &mut Engine<Event>) {
+    match driver.layout {
+        ChannelLayout::Interleaved => driver.dispatch(engine, SimTime::ZERO),
+        ChannelLayout::Split { .. } => driver.dispatch_push_channel(engine, SimTime::ZERO),
+    }
+}
+
+fn policy_alpha(kind: &PullPolicyKind) -> f64 {
+    match kind {
+        PullPolicyKind::Importance { alpha, .. }
+        | PullPolicyKind::ImportanceExpected { alpha, .. } => *alpha,
+        PullPolicyKind::Priority => 0.0,
+        // priority-blind baselines behave like the α = 1 limit
+        _ => 1.0,
+    }
+}
+
+struct Driver {
+    scheduler: HybridScheduler,
+    metrics: MetricsCollector,
+    gen: Box<dyn RequestSource>,
+    /// Per push-item waiting room: `(arrival, class)` of listening clients.
+    push_waiters: Vec<Vec<(SimTime, ClassId)>>,
+    /// `false` only in pure-pull mode with an empty queue.
+    server_busy: bool,
+    /// Present when running with periodic cutoff re-optimization.
+    adaptive: Option<AdaptiveState>,
+    /// Present when the back-channel contention model is enabled.
+    uplink: Option<UplinkChannel>,
+    /// Pull requests lost on the uplink, per class.
+    uplink_lost: Vec<u64>,
+    /// Downlink organization.
+    layout: ChannelLayout,
+    /// Split layout only: pull channels currently idle.
+    idle_pull_channels: u32,
+}
+
+impl Driver {
+    fn record_queue(&mut self, now: SimTime) {
+        self.metrics.queue_changed(
+            now,
+            self.scheduler.queue().len(),
+            self.scheduler.queue().total_requests(),
+        );
+    }
+
+    fn record_dropped(&mut self, dropped: Vec<crate::queue::PendingItem>) {
+        for entry in dropped {
+            self.metrics.record_blocked_item();
+            for &(arrival, class) in &entry.requesters {
+                self.metrics.record_blocked(class, arrival);
+            }
+        }
+    }
+
+    /// Interleaved layout: one shared channel, push/pull alternation.
+    fn dispatch(&mut self, eng: &mut Engine<Event>, now: SimTime) {
+        debug_assert_eq!(self.layout, ChannelLayout::Interleaved);
+        let (tx, dropped) = self.scheduler.next_transmission(now);
+        self.record_dropped(dropped);
+        self.record_queue(now);
+        match tx {
+            Some(tx) => {
+                self.metrics.on_transmission(tx.kind);
+                eng.schedule_at(tx.completes_at(), Event::Complete(tx));
+                self.server_busy = true;
+            }
+            None => {
+                self.server_busy = false;
+            }
+        }
+    }
+
+    /// Split layout: keep the dedicated broadcast channel spinning.
+    fn dispatch_push_channel(&mut self, eng: &mut Engine<Event>, now: SimTime) {
+        if let Some(tx) = self.scheduler.next_push_transmission(now) {
+            self.metrics.on_transmission(tx.kind);
+            eng.schedule_at(tx.completes_at(), Event::Complete(tx));
+        }
+    }
+
+    /// Split layout: try to occupy one idle pull channel.
+    fn dispatch_pull_channel(&mut self, eng: &mut Engine<Event>, now: SimTime) {
+        debug_assert!(self.idle_pull_channels > 0);
+        let (tx, dropped) = self.scheduler.next_pull_transmission(now);
+        self.record_dropped(dropped);
+        self.record_queue(now);
+        if let Some(tx) = tx {
+            self.metrics.on_transmission(tx.kind);
+            eng.schedule_at(tx.completes_at(), Event::Complete(tx));
+            self.idle_pull_channels -= 1;
+        }
+    }
+
+    /// Work became available: start whatever channels the layout allows.
+    fn kick(&mut self, eng: &mut Engine<Event>, now: SimTime) {
+        match self.layout {
+            ChannelLayout::Interleaved => {
+                if !self.server_busy {
+                    self.dispatch(eng, now);
+                }
+            }
+            ChannelLayout::Split { .. } => {
+                while self.idle_pull_channels > 0 && !self.scheduler.queue().is_empty() {
+                    let before = self.idle_pull_channels;
+                    self.dispatch_pull_channel(eng, now);
+                    if self.idle_pull_channels == before {
+                        break; // everything admissible was blocked/dropped
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle(&mut self, eng: &mut Engine<Event>, ev: Event) {
+        let now = eng.now();
+        match ev {
+            Event::Arrival => {
+                let req = self.gen.next_request();
+                debug_assert_eq!(req.arrival, now);
+                if let Some(state) = &mut self.adaptive {
+                    state.window_counts[req.item.index()] += 1;
+                }
+                self.metrics.on_request(req.class, req.arrival);
+                if self.scheduler.is_push_item(req.item) {
+                    // Push requests never need the uplink: the client just
+                    // keeps listening and catches the cyclic broadcast.
+                    self.push_waiters[req.item.index()].push((req.arrival, req.class));
+                    self.kick(eng, now);
+                } else {
+                    match &mut self.uplink {
+                        Some(channel) => match channel.transmit() {
+                            UplinkOutcome::Delivered(latency) => {
+                                eng.schedule_in(latency, Event::Deliver(req));
+                            }
+                            UplinkOutcome::Lost => {
+                                self.uplink_lost[req.class.index()] += 1;
+                            }
+                        },
+                        None => self.deliver(eng, now, &req),
+                    }
+                }
+                if let Some(t) = self.gen.peek() {
+                    eng.schedule_at(t, Event::Arrival);
+                }
+            }
+            Event::Deliver(req) => {
+                // The cutoff may have moved while the request was in
+                // flight; a now-push item just parks as a listener.
+                if self.scheduler.is_push_item(req.item) {
+                    self.push_waiters[req.item.index()].push((req.arrival, req.class));
+                } else {
+                    self.deliver(eng, now, &req);
+                }
+            }
+            Event::Complete(tx) => {
+                let kind = tx.kind;
+                let start = tx.start;
+                let item = tx.item;
+                match kind {
+                    TxKind::Push => {
+                        // satisfy waiters who arrived before the slot began
+                        let waiters = &mut self.push_waiters[item.index()];
+                        let mut kept = Vec::new();
+                        for (arrival, class) in waiters.drain(..) {
+                            if arrival <= start {
+                                self.metrics
+                                    .record_served(class, TxKind::Push, arrival, now);
+                            } else {
+                                kept.push((arrival, class));
+                            }
+                        }
+                        *waiters = kept;
+                    }
+                    TxKind::Pull => {
+                        if let Some(batch) = self.scheduler.complete_transmission(tx) {
+                            for &(arrival, class) in &batch.requesters {
+                                self.metrics
+                                    .record_served(class, TxKind::Pull, arrival, now);
+                            }
+                        }
+                        match self.layout {
+                            ChannelLayout::Interleaved => self.dispatch(eng, now),
+                            ChannelLayout::Split { .. } => {
+                                self.idle_pull_channels += 1;
+                                self.kick(eng, now);
+                            }
+                        }
+                        return;
+                    }
+                }
+                match self.layout {
+                    ChannelLayout::Interleaved => self.dispatch(eng, now),
+                    ChannelLayout::Split { .. } => self.dispatch_push_channel(eng, now),
+                }
+            }
+            Event::Retune => {
+                self.retune(now);
+                let period = self
+                    .adaptive
+                    .as_ref()
+                    .expect("Retune events only fire in adaptive mode")
+                    .config
+                    .period;
+                eng.schedule_in(
+                    hybridcast_sim::time::SimDuration::new(period),
+                    Event::Retune,
+                );
+            }
+        }
+    }
+
+    /// Hands a (delivered) pull request to the scheduler. The request may
+    /// carry an arrival time in the past (uplink latency), so the queue
+    /// statistics are stamped at `now`.
+    fn deliver(&mut self, eng: &mut Engine<Event>, now: SimTime, req: &Request) {
+        debug_assert!(!self.scheduler.is_push_item(req.item));
+        self.scheduler.requeue_waiter(req, now);
+        self.record_queue(now);
+        self.kick(eng, now);
+    }
+
+    /// Executes one periodic re-optimization: estimate popularity and load
+    /// over the last window, pick the model-optimal cutoff among the
+    /// candidates, and migrate server state across the new boundary.
+    fn retune(&mut self, now: SimTime) {
+        let Some(state) = &mut self.adaptive else {
+            return;
+        };
+        let total: u64 = state.window_counts.iter().sum();
+        if total == 0 {
+            return; // nothing observed; keep the incumbent cutoff
+        }
+        let d = state.window_counts.len() as f64;
+        let smoothed_total = total as f64 + state.config.smoothing * d;
+        let probs: Vec<f64> = state
+            .window_counts
+            .iter()
+            .map(|&c| (c as f64 + state.config.smoothing) / smoothed_total)
+            .collect();
+        let lambda_est = total as f64 / state.config.period;
+        let lengths: Vec<u32> = self
+            .scheduler
+            .catalog()
+            .items()
+            .iter()
+            .map(|it| it.length)
+            .collect();
+        let classes = self.scheduler.classes().clone();
+        let alpha = state.alpha;
+        // Candidate ordering: the static rank order, or (re-ranking mode)
+        // the items sorted by estimated popularity.
+        let rerank = state.config.rerank;
+        let order: Vec<usize> = if rerank {
+            let mut idx: Vec<usize> = (0..probs.len()).collect();
+            idx.sort_by(|&a, &b| {
+                probs[b]
+                    .partial_cmp(&probs[a])
+                    .expect("finite")
+                    .then(a.cmp(&b))
+            });
+            idx
+        } else {
+            (0..probs.len()).collect()
+        };
+        let ordered_probs: Vec<f64> = order.iter().map(|&i| probs[i]).collect();
+        let ordered_lengths: Vec<u32> = order.iter().map(|&i| lengths[i]).collect();
+        let best_k = state
+            .config
+            .candidate_ks
+            .iter()
+            .map(|&k| {
+                let cost = HybridDelayModel::from_parts(
+                    ordered_probs.clone(),
+                    ordered_lengths.clone(),
+                    &classes,
+                    lambda_est,
+                    k,
+                )
+                .with_alpha(alpha)
+                .delays()
+                .total_prioritized_cost;
+                (k, cost)
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("costs are finite"))
+            .map(|(k, _)| k)
+            .expect("candidate grid is non-empty");
+        let from_k = self.scheduler.cutoff();
+        state.retunes.push(RetuneRecord {
+            time: now.as_f64(),
+            from_k,
+            to_k: best_k,
+            estimated_lambda: lambda_est,
+        });
+        for c in &mut state.window_counts {
+            *c = 0;
+        }
+        let target: Vec<ItemId> = order[..best_k].iter().map(|&i| ItemId(i as u32)).collect();
+        let was_member: Vec<bool> = self.scheduler.push_membership().to_vec();
+        let unchanged = best_k == from_k && target.iter().all(|it| was_member[it.index()]);
+        if unchanged {
+            return;
+        }
+        // Apply the move and migrate state across the boundary.
+        let moved_to_push = self.scheduler.set_push_set(&target, now);
+        for entry in moved_to_push {
+            // These items are broadcast now; their requesters wait for the
+            // next cycle like any other push listener.
+            self.push_waiters[entry.item.index()].extend(entry.requesters);
+        }
+        // Items that left the push set: convert parked listeners into pull
+        // requests, preserving their original arrival times.
+        let now_member: Vec<bool> = self.scheduler.push_membership().to_vec();
+        for idx in 0..now_member.len() {
+            if was_member[idx] && !now_member[idx] {
+                let waiters = std::mem::take(&mut self.push_waiters[idx]);
+                for (arrival, class) in waiters {
+                    let req = Request {
+                        arrival,
+                        item: ItemId(idx as u32),
+                        class,
+                    };
+                    self.scheduler.requeue_waiter(&req, now);
+                }
+            }
+        }
+        self.record_queue(now);
+    }
+}
+
+/// Runs one full simulation of `hybrid` over `scenario` and returns the
+/// measured report.
+pub fn simulate(scenario: &Scenario, hybrid: &HybridConfig, params: &SimParams) -> SimReport {
+    assert!(
+        params.horizon > params.warmup,
+        "horizon {} must exceed warmup {}",
+        params.horizon,
+        params.warmup
+    );
+    let factory = scenario.factory.replication(params.replication);
+    let scheduler = HybridScheduler::new(
+        scenario.catalog.clone(),
+        scenario.classes.clone(),
+        hybrid,
+        &factory,
+    );
+    let gen = scenario.request_stream_replication(params.replication);
+    let num_items = scenario.catalog.len();
+    let mut driver = Driver {
+        scheduler,
+        metrics: MetricsCollector::new(scenario.classes.len(), SimTime::new(params.warmup)),
+        gen: Box::new(gen),
+        push_waiters: vec![Vec::new(); num_items],
+        server_busy: false,
+        adaptive: None,
+        uplink: hybrid
+            .uplink
+            .map(|cfg| UplinkChannel::new(cfg, factory.stream(UPLINK_STREAM))),
+        uplink_lost: vec![0; scenario.classes.len()],
+        layout: hybrid.channels,
+        idle_pull_channels: match hybrid.channels {
+            ChannelLayout::Interleaved => 0,
+            ChannelLayout::Split { pull_channels } => {
+                assert!(pull_channels >= 1, "split layout needs ≥ 1 pull channel");
+                pull_channels
+            }
+        },
+    };
+
+    let mut engine: Engine<Event> = Engine::new();
+    if let Some(t) = driver.gen.peek() {
+        engine.schedule_at(t, Event::Arrival);
+    }
+    // The broadcast starts immediately (unless in pure-pull mode, where the
+    // server waits for the first request).
+    start_channels(&mut driver, &mut engine);
+
+    let horizon = SimTime::new(params.horizon);
+    engine.run_until(horizon, |eng, ev| driver.handle(eng, ev));
+
+    let mut report = driver.metrics.report(&scenario.classes, horizon);
+    report.uplink_lost = driver.uplink_lost;
+    report
+}
+
+/// Runs one simulation driven by an arbitrary [`RequestSource`] — e.g. a
+/// recorded [`hybridcast_workload::requests::ReplaySource`] trace instead
+/// of the live Poisson generator. Everything else (scheduler, bandwidth,
+/// uplink, metrics) behaves exactly as in [`simulate`].
+pub fn simulate_with_source(
+    scenario: &Scenario,
+    hybrid: &HybridConfig,
+    params: &SimParams,
+    source: Box<dyn RequestSource>,
+) -> SimReport {
+    assert!(
+        params.horizon > params.warmup,
+        "horizon {} must exceed warmup {}",
+        params.horizon,
+        params.warmup
+    );
+    let factory = scenario.factory.replication(params.replication);
+    let scheduler = HybridScheduler::new(
+        scenario.catalog.clone(),
+        scenario.classes.clone(),
+        hybrid,
+        &factory,
+    );
+    let num_items = scenario.catalog.len();
+    let mut driver = Driver {
+        scheduler,
+        metrics: MetricsCollector::new(scenario.classes.len(), SimTime::new(params.warmup)),
+        gen: source,
+        push_waiters: vec![Vec::new(); num_items],
+        server_busy: false,
+        adaptive: None,
+        uplink: hybrid
+            .uplink
+            .map(|cfg| UplinkChannel::new(cfg, factory.stream(UPLINK_STREAM))),
+        uplink_lost: vec![0; scenario.classes.len()],
+        layout: hybrid.channels,
+        idle_pull_channels: match hybrid.channels {
+            ChannelLayout::Interleaved => 0,
+            ChannelLayout::Split { pull_channels } => {
+                assert!(pull_channels >= 1, "split layout needs ≥ 1 pull channel");
+                pull_channels
+            }
+        },
+    };
+    let mut engine: Engine<Event> = Engine::new();
+    if let Some(t) = driver.gen.peek() {
+        engine.schedule_at(t, Event::Arrival);
+    }
+    start_channels(&mut driver, &mut engine);
+    let horizon = SimTime::new(params.horizon);
+    engine.run_until(horizon, |eng, ev| driver.handle(eng, ev));
+    let mut report = driver.metrics.report(&scenario.classes, horizon);
+    report.uplink_lost = driver.uplink_lost;
+    report
+}
+
+/// Runs one simulation with the paper's periodic cutoff re-optimization
+/// enabled: every `adaptive.period` broadcast units the server re-estimates
+/// item popularity and the aggregate rate from the last window, asks the
+/// analytic model for the cost-optimal cutoff among the candidates, and
+/// moves `K` — migrating queued requests and broadcast waiters across the
+/// boundary.
+pub fn simulate_adaptive(
+    scenario: &Scenario,
+    hybrid: &HybridConfig,
+    params: &SimParams,
+    adaptive: &AdaptiveConfig,
+) -> AdaptiveReport {
+    assert!(
+        params.horizon > params.warmup,
+        "horizon {} must exceed warmup {}",
+        params.horizon,
+        params.warmup
+    );
+    assert!(adaptive.period > 0.0, "retune period must be positive");
+    assert!(
+        !adaptive.candidate_ks.is_empty(),
+        "need at least one candidate cutoff"
+    );
+    let factory = scenario.factory.replication(params.replication);
+    let scheduler = HybridScheduler::new(
+        scenario.catalog.clone(),
+        scenario.classes.clone(),
+        hybrid,
+        &factory,
+    );
+    let gen = scenario.request_stream_replication(params.replication);
+    let num_items = scenario.catalog.len();
+    let mut driver = Driver {
+        scheduler,
+        metrics: MetricsCollector::new(scenario.classes.len(), SimTime::new(params.warmup)),
+        gen: Box::new(gen),
+        push_waiters: vec![Vec::new(); num_items],
+        server_busy: false,
+        adaptive: Some(AdaptiveState {
+            config: adaptive.clone(),
+            alpha: policy_alpha(&hybrid.pull),
+            window_counts: vec![0; num_items],
+            retunes: Vec::new(),
+        }),
+        uplink: hybrid
+            .uplink
+            .map(|cfg| UplinkChannel::new(cfg, factory.stream(UPLINK_STREAM))),
+        uplink_lost: vec![0; scenario.classes.len()],
+        layout: hybrid.channels,
+        idle_pull_channels: match hybrid.channels {
+            ChannelLayout::Interleaved => 0,
+            ChannelLayout::Split { pull_channels } => {
+                assert!(pull_channels >= 1, "split layout needs ≥ 1 pull channel");
+                pull_channels
+            }
+        },
+    };
+
+    let mut engine: Engine<Event> = Engine::new();
+    if let Some(t) = driver.gen.peek() {
+        engine.schedule_at(t, Event::Arrival);
+    }
+    engine.schedule_at(SimTime::new(adaptive.period), Event::Retune);
+    start_channels(&mut driver, &mut engine);
+
+    let horizon = SimTime::new(params.horizon);
+    engine.run_until(horizon, |eng, ev| driver.handle(eng, ev));
+
+    let mut report = driver.metrics.report(&scenario.classes, horizon);
+    report.uplink_lost = driver.uplink_lost.clone();
+    let final_k = driver.scheduler.cutoff();
+    let state = driver.adaptive.expect("adaptive state present");
+    AdaptiveReport {
+        report,
+        retunes: state.retunes,
+        final_k,
+    }
+}
+
+/// Runs `replications` independent simulations and returns all reports.
+pub fn simulate_replicated(
+    scenario: &Scenario,
+    hybrid: &HybridConfig,
+    params: &SimParams,
+    replications: u64,
+) -> Vec<SimReport> {
+    (0..replications)
+        .map(|r| simulate(scenario, hybrid, &params.with_replication(r)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybridcast_workload::scenario::ScenarioConfig;
+
+    fn run(k: usize, alpha: f64) -> SimReport {
+        let scenario = ScenarioConfig::icpp2005(0.6).build();
+        let cfg = HybridConfig::paper(k, alpha);
+        simulate(&scenario, &cfg, &SimParams::quick())
+    }
+
+    #[test]
+    fn produces_samples_for_all_classes() {
+        let r = run(40, 0.5);
+        for c in &r.per_class {
+            assert!(c.served > 500, "{}: served {}", c.name, c.served);
+            assert!(c.delay.mean > 0.0);
+        }
+        assert!(r.push_transmissions > 0);
+        assert!(r.pull_transmissions > 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_replication() {
+        let scenario = ScenarioConfig::icpp2005(0.6).build();
+        let cfg = HybridConfig::paper(40, 0.5);
+        let a = simulate(&scenario, &cfg, &SimParams::quick());
+        let b = simulate(&scenario, &cfg, &SimParams::quick());
+        assert_eq!(a, b);
+        let c = simulate(&scenario, &cfg, &SimParams::quick().with_replication(1));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn priority_blend_orders_pull_delays() {
+        // α = 0 (pure priority): Class-A pull delay must be the smallest.
+        let r = run(40, 0.0);
+        let a = r.per_class[0].pull_delay.mean;
+        let b = r.per_class[1].pull_delay.mean;
+        let c = r.per_class[2].pull_delay.mean;
+        assert!(a < b, "A {a} vs B {b}");
+        assert!(b < c, "B {b} vs C {c}");
+    }
+
+    #[test]
+    fn alpha_one_is_priority_blind() {
+        // α = 1 (pure stretch): per-class pull delays should be within
+        // noise of each other.
+        let r = run(40, 1.0);
+        let a = r.per_class[0].pull_delay.mean;
+        let c = r.per_class[2].pull_delay.mean;
+        let rel = (a - c).abs() / c;
+        assert!(rel < 0.25, "A {a} vs C {c} differ by {:.0}%", rel * 100.0);
+    }
+
+    #[test]
+    fn pure_push_serves_everything_by_broadcast() {
+        let r = run(100, 0.5);
+        assert_eq!(r.pull_transmissions, 0);
+        assert!(r.push_transmissions > 0);
+        for c in &r.per_class {
+            assert_eq!(c.pull_delay.count, 0);
+            assert!(c.served > 0);
+        }
+    }
+
+    #[test]
+    fn pure_pull_serves_everything_on_demand() {
+        let r = run(0, 0.5);
+        assert_eq!(r.push_transmissions, 0);
+        assert!(r.pull_transmissions > 0);
+        for c in &r.per_class {
+            assert_eq!(c.push_delay.count, 0);
+        }
+    }
+
+    #[test]
+    fn push_delay_scales_with_cycle_length() {
+        // For a flat schedule the push-side wait grows with K.
+        let small = run(20, 0.5);
+        let large = run(80, 0.5);
+        let pd = |r: &SimReport| {
+            r.per_class
+                .iter()
+                .map(|c| c.push_delay.mean * c.push_delay.count as f64)
+                .sum::<f64>()
+                / r.per_class
+                    .iter()
+                    .map(|c| c.push_delay.count as f64)
+                    .sum::<f64>()
+        };
+        assert!(pd(&large) > pd(&small) * 1.5);
+    }
+
+    #[test]
+    fn conservation_served_plus_blocked_bounded_by_generated() {
+        let r = run(40, 0.5);
+        for c in &r.per_class {
+            // some requests are still in flight at the horizon
+            assert!(c.served + c.blocked <= c.generated + 1000);
+        }
+        assert_eq!(r.total_blocked(), 0, "no admission control configured");
+    }
+
+    #[test]
+    fn blocking_occurs_with_tight_bandwidth() {
+        use crate::bandwidth::BandwidthConfig;
+        let scenario = ScenarioConfig::icpp2005(0.6).build();
+        let mut cfg = HybridConfig::paper(40, 0.5);
+        // Tiny pool with large demands: most pull items are dropped.
+        cfg.bandwidth = BandwidthConfig::per_class(3.0, 3.0);
+        let r = simulate(&scenario, &cfg, &SimParams::quick());
+        assert!(r.total_blocked() > 0);
+        assert!(r.blocked_items > 0);
+    }
+
+    #[test]
+    fn adaptive_run_retunes_toward_the_static_optimum() {
+        let scenario = ScenarioConfig::icpp2005(0.6).build();
+        // Start from a deliberately bad cutoff; the controller should walk
+        // toward the model-optimal region and stay there.
+        let cfg = HybridConfig::paper(5, 0.25);
+        let adaptive = AdaptiveConfig {
+            period: 500.0,
+            candidate_ks: (10..=90).step_by(10).collect(),
+            smoothing: 0.5,
+            rerank: false,
+        };
+        let out = simulate_adaptive(&scenario, &cfg, &SimParams::quick(), &adaptive);
+        assert!(!out.retunes.is_empty(), "controller must fire");
+        assert_ne!(out.final_k, 5, "bad initial cutoff must be abandoned");
+        // the trajectory settles: the last two decisions agree
+        let n = out.retunes.len();
+        if n >= 2 {
+            assert_eq!(out.retunes[n - 1].to_k, out.retunes[n - 2].to_k);
+        }
+        // conservation still holds
+        for c in &out.report.per_class {
+            assert!(c.served <= c.generated + 1_000);
+        }
+    }
+
+    #[test]
+    fn adaptive_migrates_waiters_without_losing_requests() {
+        let scenario = ScenarioConfig::icpp2005(0.6).build();
+        let cfg = HybridConfig::paper(90, 0.25); // will shrink K → waiters requeued
+        let adaptive = AdaptiveConfig {
+            period: 300.0,
+            candidate_ks: vec![20, 40, 60],
+            smoothing: 0.5,
+            rerank: false,
+        };
+        let out = simulate_adaptive(&scenario, &cfg, &SimParams::quick(), &adaptive);
+        assert!(out.final_k <= 60);
+        let served = out.report.total_served();
+        assert!(served > 1_000, "served only {served}");
+        // the adaptive run must not be catastrophically worse than the
+        // static optimum among its candidates
+        let static_best = [20usize, 40, 60]
+            .iter()
+            .map(|&k| {
+                simulate(&scenario, &cfg.with_cutoff(k), &SimParams::quick()).total_prioritized_cost
+            })
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            out.report.total_prioritized_cost < static_best * 1.6,
+            "adaptive {:.1} vs static best {static_best:.1}",
+            out.report.total_prioritized_cost
+        );
+    }
+
+    #[test]
+    fn rerank_controller_tracks_popularity_drift() {
+        use hybridcast_workload::requests::DriftConfig;
+        // The hot set rotates by 10 ranks every 1000 bu: a static push
+        // prefix goes stale, and the K-only controller cannot fix the
+        // *membership* of the push set — only the re-ranking one can.
+        let scenario = ScenarioConfig {
+            drift: Some(DriftConfig {
+                period: 1_000.0,
+                shift: 10,
+            }),
+            ..ScenarioConfig::icpp2005(1.0)
+        }
+        .build();
+        let cfg = HybridConfig::paper(40, 0.25);
+        let params = SimParams {
+            horizon: 12_000.0,
+            warmup: 1_500.0,
+            replication: 0,
+        };
+        let static_run = simulate(&scenario, &cfg, &params);
+        let base = AdaptiveConfig {
+            period: 400.0,
+            candidate_ks: (10..=90).step_by(10).collect(),
+            smoothing: 0.5,
+            rerank: false,
+        };
+        let k_only = simulate_adaptive(&scenario, &cfg, &params, &base);
+        let rerank_run = simulate_adaptive(
+            &scenario,
+            &cfg,
+            &params,
+            &AdaptiveConfig {
+                rerank: true,
+                ..base
+            },
+        );
+        let rr = rerank_run.report.total_prioritized_cost;
+        assert!(
+            rr < static_run.total_prioritized_cost,
+            "rerank {rr:.1} should beat stale static {:.1}",
+            static_run.total_prioritized_cost
+        );
+        assert!(
+            rr < k_only.report.total_prioritized_cost,
+            "rerank {rr:.1} should beat K-only {:.1} under drift",
+            k_only.report.total_prioritized_cost
+        );
+        assert!(!rerank_run.retunes.is_empty());
+    }
+
+    #[test]
+    fn rerank_without_drift_is_not_worse_than_prefix() {
+        let scenario = ScenarioConfig::icpp2005(0.6).build();
+        let cfg = HybridConfig::paper(40, 0.25);
+        let params = SimParams::quick();
+        let adaptive_prefix = AdaptiveConfig {
+            period: 500.0,
+            candidate_ks: (10..=90).step_by(10).collect(),
+            smoothing: 0.5,
+            rerank: false,
+        };
+        let adaptive_rerank = AdaptiveConfig {
+            rerank: true,
+            ..adaptive_prefix.clone()
+        };
+        let a = simulate_adaptive(&scenario, &cfg, &params, &adaptive_prefix);
+        let b = simulate_adaptive(&scenario, &cfg, &params, &adaptive_rerank);
+        // Without drift the estimated ranking ≈ the true ranking, so the
+        // two controllers land in the same cost neighbourhood.
+        let ratio = b.report.total_prioritized_cost / a.report.total_prioritized_cost;
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "rerank {:.1} vs prefix {:.1}",
+            b.report.total_prioritized_cost,
+            a.report.total_prioritized_cost
+        );
+    }
+
+    #[test]
+    fn pull_burst_discipline_speeds_up_the_pull_side() {
+        let scenario = ScenarioConfig::icpp2005(0.6).build();
+        let one = HybridConfig::paper(40, 0.5);
+        let burst = HybridConfig {
+            pull_per_push: 3,
+            ..one.clone()
+        };
+        let r1 = simulate(&scenario, &one, &SimParams::quick());
+        let r3 = simulate(&scenario, &burst, &SimParams::quick());
+        let pull_mean = |r: &SimReport| {
+            r.per_class
+                .iter()
+                .map(|c| c.pull_delay.mean * c.pull_delay.count as f64)
+                .sum::<f64>()
+                / r.per_class
+                    .iter()
+                    .map(|c| c.pull_delay.count as f64)
+                    .sum::<f64>()
+        };
+        assert!(
+            pull_mean(&r3) < pull_mean(&r1),
+            "burst {:.1} should beat alternation {:.1}",
+            pull_mean(&r3),
+            pull_mean(&r1)
+        );
+        // ...at the cost of slower push cycles
+        let push_mean = |r: &SimReport| {
+            r.per_class
+                .iter()
+                .map(|c| c.push_delay.mean * c.push_delay.count as f64)
+                .sum::<f64>()
+                / r.per_class
+                    .iter()
+                    .map(|c| c.push_delay.count as f64)
+                    .sum::<f64>()
+        };
+        assert!(push_mean(&r3) > push_mean(&r1));
+    }
+
+    #[test]
+    fn uplink_contention_loses_and_delays_pull_requests() {
+        use crate::uplink::UplinkConfig;
+        let scenario = ScenarioConfig::icpp2005(0.6).build();
+        let clean = HybridConfig::paper(40, 0.5);
+        let lossy = HybridConfig {
+            uplink: Some(UplinkConfig {
+                slot_time: 1.0,
+                success_prob: 0.5,
+                max_attempts: 2,
+                backoff_slots: 3.0,
+            }),
+            ..clean.clone()
+        };
+        let r_clean = simulate(&scenario, &clean, &SimParams::quick());
+        let r_lossy = simulate(&scenario, &lossy, &SimParams::quick());
+        // 25% of pull requests never reach the server
+        let lost: u64 = r_lossy.uplink_lost.iter().sum();
+        assert!(lost > 500, "uplink losses {lost}");
+        assert!(r_clean.uplink_lost.iter().sum::<u64>() == 0);
+        // fewer pull requests served under loss
+        let pulls = |r: &SimReport| -> u64 { r.per_class.iter().map(|c| c.pull_delay.count).sum() };
+        assert!(pulls(&r_lossy) < pulls(&r_clean));
+        // push side is untouched by the uplink
+        assert!(r_lossy.push_transmissions > 0);
+    }
+
+    #[test]
+    fn perfect_uplink_changes_nothing_but_latency() {
+        use crate::uplink::UplinkConfig;
+        let scenario = ScenarioConfig::icpp2005(0.6).build();
+        let clean = HybridConfig::paper(40, 0.5);
+        let perfect = HybridConfig {
+            uplink: Some(UplinkConfig {
+                slot_time: 0.01,
+                success_prob: 1.0,
+                max_attempts: 1,
+                backoff_slots: 0.0,
+            }),
+            ..clean.clone()
+        };
+        let r_perf = simulate(&scenario, &perfect, &SimParams::quick());
+        assert_eq!(r_perf.uplink_lost.iter().sum::<u64>(), 0);
+        let r_clean = simulate(&scenario, &clean, &SimParams::quick());
+        // near-identical service counts (tiny latency only shifts edges)
+        let served_ratio = r_perf.total_served() as f64 / r_clean.total_served() as f64;
+        assert!((served_ratio - 1.0).abs() < 0.02, "ratio {served_ratio}");
+    }
+
+    #[test]
+    fn split_layout_parallelizes_the_pull_side() {
+        use crate::config::ChannelLayout;
+        let scenario = ScenarioConfig::icpp2005(0.6).build();
+        let interleaved = HybridConfig::paper(40, 0.25);
+        let split = |n: u32| HybridConfig {
+            channels: ChannelLayout::Split { pull_channels: n },
+            ..interleaved.clone()
+        };
+        let params = SimParams::quick();
+        let base = simulate(&scenario, &interleaved, &params);
+        let s1 = simulate(&scenario, &split(1), &params);
+        let s4 = simulate(&scenario, &split(4), &params);
+        let pull_mean = |r: &SimReport| {
+            r.per_class
+                .iter()
+                .map(|c| c.pull_delay.mean * c.pull_delay.count as f64)
+                .sum::<f64>()
+                / r.per_class
+                    .iter()
+                    .map(|c| c.pull_delay.count as f64)
+                    .sum::<f64>()
+        };
+        // A dedicated pull channel beats sharing one channel with the
+        // broadcast, and more pull channels beat one.
+        assert!(
+            pull_mean(&s1) < pull_mean(&base),
+            "split(1) {:.1} vs interleaved {:.1}",
+            pull_mean(&s1),
+            pull_mean(&base)
+        );
+        assert!(
+            pull_mean(&s4) < pull_mean(&s1),
+            "split(4) {:.1} vs split(1) {:.1}",
+            pull_mean(&s4),
+            pull_mean(&s1)
+        );
+        // the dedicated broadcast channel also shortens push waits (no
+        // interleaved pull slots stretching the cycle)
+        let push_mean = |r: &SimReport| {
+            r.per_class
+                .iter()
+                .map(|c| c.push_delay.mean * c.push_delay.count as f64)
+                .sum::<f64>()
+                / r.per_class
+                    .iter()
+                    .map(|c| c.push_delay.count as f64)
+                    .sum::<f64>()
+        };
+        assert!(push_mean(&s1) < push_mean(&base));
+    }
+
+    #[test]
+    fn split_layout_conserves_requests() {
+        use crate::config::ChannelLayout;
+        let scenario = ScenarioConfig::icpp2005(0.6).build();
+        let cfg = HybridConfig {
+            channels: ChannelLayout::Split { pull_channels: 3 },
+            ..HybridConfig::paper(40, 0.5)
+        };
+        let r = simulate(&scenario, &cfg, &SimParams::quick());
+        for c in &r.per_class {
+            assert!(c.served <= c.generated);
+        }
+        assert!(r.pull_transmissions > 0);
+        assert!(r.push_transmissions > 0);
+        // deterministic
+        let r2 = simulate(&scenario, &cfg, &SimParams::quick());
+        assert_eq!(r, r2);
+    }
+
+    #[test]
+    fn trace_replay_reproduces_the_live_run_exactly() {
+        use hybridcast_workload::requests::ReplaySource;
+        let scenario = ScenarioConfig::icpp2005(0.6).build();
+        let cfg = HybridConfig::paper(40, 0.5);
+        let params = SimParams::quick();
+        let live = simulate(&scenario, &cfg, &params);
+        // record the same stream the live run consumed
+        let mut gen = hybridcast_workload::requests::RequestGenerator::new(
+            &scenario.catalog,
+            &scenario.classes,
+            scenario.arrival_rate,
+            &scenario.factory.replication(params.replication),
+        );
+        let trace = gen.take_until(SimTime::new(params.horizon));
+        let replay = ReplaySource::new(trace);
+        let replayed = simulate_with_source(&scenario, &cfg, &params, Box::new(replay));
+        assert_eq!(replayed, live);
+    }
+
+    #[test]
+    fn finite_trace_drains_and_server_idles_gracefully() {
+        use hybridcast_workload::requests::ReplaySource;
+        let scenario = ScenarioConfig::icpp2005(0.6).build();
+        // pure pull so the server can actually go idle after the trace ends
+        let cfg = HybridConfig::paper(0, 0.5);
+        let mut gen = scenario.request_stream();
+        let trace = gen.take_until(SimTime::new(500.0));
+        let n = trace.len() as u64;
+        let replay = ReplaySource::new(trace);
+        let params = SimParams {
+            horizon: 5_000.0,
+            warmup: 0.0,
+            replication: 0,
+        };
+        let r = simulate_with_source(&scenario, &cfg, &params, Box::new(replay));
+        // every traced request is eventually served (no new demand arrives)
+        assert_eq!(r.total_served(), n);
+    }
+
+    #[test]
+    fn replicated_runs_differ_but_agree_statistically() {
+        let scenario = ScenarioConfig::icpp2005(0.6).build();
+        let cfg = HybridConfig::paper(40, 0.5);
+        let reports = simulate_replicated(&scenario, &cfg, &SimParams::quick(), 3);
+        assert_eq!(reports.len(), 3);
+        let means: Vec<f64> = reports.iter().map(|r| r.overall_delay.mean).collect();
+        assert_ne!(means[0], means[1]);
+        let avg = means.iter().sum::<f64>() / 3.0;
+        for m in &means {
+            assert!(
+                (m - avg).abs() / avg < 0.3,
+                "replication spread too wide: {means:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! The uplink (back-channel) — slotted-ALOHA style request delivery.
+//!
+//! The hybrid architecture assumes "the clients are provided with a limited
+//! back-channel capacity to make requests" (§2, citing Acharya & Franklin
+//! '97). The rest of the stack treats that channel as instantaneous and
+//! lossless; [`UplinkChannel`] models it as a contention channel: each
+//! request transmission succeeds with probability `success_prob` per
+//! attempt, retries up to `max_attempts` times with a fixed backoff, and
+//! is **lost** if every attempt collides. Delivered requests reach the
+//! server `attempts·slot + backoff·(attempts−1)` later; their access-time
+//! clock still starts at the original request instant, so uplink latency
+//! shows up in the measured QoS.
+
+use serde::{Deserialize, Serialize};
+
+use hybridcast_sim::rng::Xoshiro256;
+use hybridcast_sim::stats::Welford;
+use hybridcast_sim::time::SimDuration;
+
+/// Back-channel parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UplinkConfig {
+    /// Time to transmit one request attempt, broadcast units.
+    pub slot_time: f64,
+    /// Per-attempt success probability (collision model collapsed to a
+    /// Bernoulli; slotted ALOHA at offered load G has `p = e^{−G}`).
+    pub success_prob: f64,
+    /// Attempts before the request is abandoned.
+    pub max_attempts: u32,
+    /// Mean backoff between attempts, in slots.
+    pub backoff_slots: f64,
+}
+
+impl Default for UplinkConfig {
+    fn default() -> Self {
+        UplinkConfig {
+            slot_time: 0.1,
+            success_prob: 0.8,
+            max_attempts: 5,
+            backoff_slots: 2.0,
+        }
+    }
+}
+
+/// Outcome of pushing one request through the back-channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UplinkOutcome {
+    /// Delivered to the server after this much uplink latency.
+    Delivered(SimDuration),
+    /// Lost after exhausting every attempt.
+    Lost,
+}
+
+/// A stateful back-channel with loss/latency statistics.
+#[derive(Debug, Clone)]
+pub struct UplinkChannel {
+    cfg: UplinkConfig,
+    rng: Xoshiro256,
+    delivered: u64,
+    lost: u64,
+    latency: Welford,
+}
+
+impl UplinkChannel {
+    /// Builds the channel.
+    ///
+    /// # Panics
+    /// Panics on non-positive slot time, a success probability outside
+    /// `(0, 1]`, or zero attempts.
+    pub fn new(cfg: UplinkConfig, rng: Xoshiro256) -> Self {
+        assert!(
+            cfg.slot_time > 0.0 && cfg.slot_time.is_finite(),
+            "slot time must be positive"
+        );
+        assert!(
+            cfg.success_prob > 0.0 && cfg.success_prob <= 1.0,
+            "success probability must lie in (0, 1]"
+        );
+        assert!(cfg.max_attempts >= 1, "need at least one attempt");
+        assert!(
+            cfg.backoff_slots >= 0.0 && cfg.backoff_slots.is_finite(),
+            "backoff must be non-negative"
+        );
+        UplinkChannel {
+            cfg,
+            rng,
+            delivered: 0,
+            lost: 0,
+            latency: Welford::new(),
+        }
+    }
+
+    /// Attempts to deliver one request.
+    pub fn transmit(&mut self) -> UplinkOutcome {
+        for attempt in 1..=self.cfg.max_attempts {
+            if self.rng.next_f64() < self.cfg.success_prob {
+                let latency = self.cfg.slot_time
+                    * (attempt as f64 + self.cfg.backoff_slots * (attempt - 1) as f64);
+                self.delivered += 1;
+                self.latency.push(latency);
+                return UplinkOutcome::Delivered(SimDuration::new(latency));
+            }
+        }
+        self.lost += 1;
+        UplinkOutcome::Lost
+    }
+
+    /// Requests delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Requests lost on the uplink so far.
+    pub fn lost(&self) -> u64 {
+        self.lost
+    }
+
+    /// Empirical loss probability (`None` before any attempt).
+    pub fn loss_probability(&self) -> Option<f64> {
+        let total = self.delivered + self.lost;
+        (total > 0).then(|| self.lost as f64 / total as f64)
+    }
+
+    /// Mean uplink latency of delivered requests.
+    pub fn mean_latency(&self) -> f64 {
+        self.latency.mean()
+    }
+
+    /// Theoretical loss probability `(1 − p)^max_attempts`.
+    pub fn theoretical_loss(&self) -> f64 {
+        (1.0 - self.cfg.success_prob).powi(self.cfg.max_attempts as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybridcast_sim::rng::RngFactory;
+
+    fn channel(p: f64, attempts: u32) -> UplinkChannel {
+        let cfg = UplinkConfig {
+            slot_time: 0.1,
+            success_prob: p,
+            max_attempts: attempts,
+            backoff_slots: 2.0,
+        };
+        UplinkChannel::new(cfg, RngFactory::new(31).stream(77))
+    }
+
+    #[test]
+    fn perfect_channel_is_one_slot() {
+        let mut ch = channel(1.0, 3);
+        for _ in 0..100 {
+            match ch.transmit() {
+                UplinkOutcome::Delivered(d) => assert!((d.as_f64() - 0.1).abs() < 1e-12),
+                UplinkOutcome::Lost => panic!("perfect channel lost a request"),
+            }
+        }
+        assert_eq!(ch.lost(), 0);
+        assert_eq!(ch.loss_probability(), Some(0.0));
+    }
+
+    #[test]
+    fn loss_rate_matches_theory() {
+        let mut ch = channel(0.5, 3);
+        let n = 100_000;
+        for _ in 0..n {
+            let _ = ch.transmit();
+        }
+        let got = ch.loss_probability().unwrap();
+        let want = ch.theoretical_loss(); // 0.125
+        assert!((want - 0.125).abs() < 1e-12);
+        assert!((got - want).abs() < 0.01, "loss {got} vs theory {want}");
+    }
+
+    #[test]
+    fn latency_grows_with_retries() {
+        // attempt k latency = slot·(k + backoff·(k−1)); mean over the
+        // truncated geometric distribution.
+        let mut ch = channel(0.5, 5);
+        for _ in 0..100_000 {
+            let _ = ch.transmit();
+        }
+        // E[latency | delivered]: attempts k w.p. 0.5^k / (1−0.5^5)
+        let norm = 1.0 - 0.5f64.powi(5);
+        let want: f64 = (1..=5)
+            .map(|k| {
+                let pk = 0.5f64.powi(k) / norm;
+                pk * 0.1 * (k as f64 + 2.0 * (k - 1) as f64)
+            })
+            .sum();
+        let got = ch.mean_latency();
+        assert!((got - want).abs() / want < 0.03, "latency {got} vs {want}");
+    }
+
+    #[test]
+    fn single_attempt_channel() {
+        let mut ch = channel(0.3, 1);
+        for _ in 0..50_000 {
+            let _ = ch.transmit();
+        }
+        let got = ch.loss_probability().unwrap();
+        assert!((got - 0.7).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "success probability")]
+    fn zero_success_rejected() {
+        let _ = channel(0.0, 3);
+    }
+}

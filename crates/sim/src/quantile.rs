@@ -1,0 +1,259 @@
+//! Streaming quantile estimation with the P² algorithm (Jain & Chlamtac,
+//! CACM 1985).
+//!
+//! Tracks a single quantile in O(1) memory by maintaining five markers
+//! whose heights approximate the quantile's position via piecewise-
+//! parabolic interpolation. Accurate to a few percent for unimodal delay
+//! distributions — exactly what per-class p95/p99 reporting needs without
+//! storing millions of samples.
+
+use serde::{Deserialize, Serialize};
+
+/// P² estimator for one quantile `q ∈ (0, 1)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights (estimated values at marker positions).
+    heights: [f64; 5],
+    /// Actual marker positions (1-indexed sample ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired-position increments per observation.
+    increments: [f64; 5],
+    /// Observations seen so far.
+    count: u64,
+}
+
+impl P2Quantile {
+    /// An estimator for quantile `q`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < q < 1`.
+    pub fn new(q: f64) -> Self {
+        assert!(
+            q > 0.0 && q < 1.0,
+            "quantile must lie strictly inside (0, 1), got {q}"
+        );
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// The tracked quantile parameter.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// Observations folded in so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Folds one observation in.
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "observation must be finite");
+        if self.count < 5 {
+            self.heights[self.count as usize] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.heights
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            }
+            return;
+        }
+        self.count += 1;
+
+        // Locate the cell containing x and clamp extremes.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut cell = 0;
+            for i in 0..4 {
+                if x >= self.heights[i] && x < self.heights[i + 1] {
+                    cell = i;
+                    break;
+                }
+            }
+            cell
+        };
+
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.increments[i];
+        }
+
+        // Adjust interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right_gap = self.positions[i + 1] - self.positions[i];
+            let left_gap = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
+                let s = d.signum();
+                let candidate = self.parabolic(i, s);
+                let new_height =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, s)
+                    };
+                self.heights[i] = new_height;
+                self.positions[i] += s;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, s: f64) -> f64 {
+        let p = &self.positions;
+        let h = &self.heights;
+        h[i] + s / (p[i + 1] - p[i - 1])
+            * ((p[i] - p[i - 1] + s) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+                + (p[i + 1] - p[i] - s) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+    }
+
+    fn linear(&self, i: usize, s: f64) -> f64 {
+        let j = (i as f64 + s) as usize;
+        self.heights[i]
+            + s * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current estimate; `None` before any observation. With fewer than 5
+    /// samples, falls back to the exact order statistic.
+    pub fn estimate(&self) -> Option<f64> {
+        match self.count {
+            0 => None,
+            n if n < 5 => {
+                let mut v: Vec<f64> = self.heights[..n as usize].to_vec();
+                v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                let rank = ((self.q * n as f64).ceil() as usize).clamp(1, n as usize);
+                Some(v[rank - 1])
+            }
+            _ => Some(self.heights[2]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256;
+
+    fn exact_quantile(mut v: Vec<f64>, q: f64) -> f64 {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let rank = ((q * v.len() as f64).ceil() as usize).clamp(1, v.len());
+        v[rank - 1]
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let mut p = P2Quantile::new(0.5);
+        assert_eq!(p.estimate(), None);
+        p.push(3.0);
+        assert_eq!(p.estimate(), Some(3.0));
+        p.push(1.0);
+        p.push(2.0);
+        // exact median of {1,2,3} with ceil-rank convention: rank 2 → 2.0
+        assert_eq!(p.estimate(), Some(2.0));
+    }
+
+    #[test]
+    fn median_of_uniform_stream() {
+        let mut p = P2Quantile::new(0.5);
+        let mut rng = Xoshiro256::new(1);
+        for _ in 0..100_000 {
+            p.push(rng.next_f64());
+        }
+        let m = p.estimate().unwrap();
+        assert!((m - 0.5).abs() < 0.01, "median {m}");
+    }
+
+    #[test]
+    fn p95_of_exponential_stream() {
+        // p95 of Exp(1) is ln(20) ≈ 2.9957
+        let mut p = P2Quantile::new(0.95);
+        let mut rng = Xoshiro256::new(2);
+        for _ in 0..200_000 {
+            let u: f64 = rng.next_f64();
+            p.push(-(1.0 - u).ln());
+        }
+        let got = p.estimate().unwrap();
+        let want = 20.0f64.ln();
+        assert!(
+            (got - want).abs() / want < 0.05,
+            "p95 {got} vs exact {want}"
+        );
+    }
+
+    #[test]
+    fn agrees_with_exact_on_moderate_samples() {
+        let mut rng = Xoshiro256::new(3);
+        let xs: Vec<f64> = (0..5_000).map(|_| rng.next_f64().powi(2) * 100.0).collect();
+        for &q in &[0.25, 0.5, 0.9, 0.99] {
+            let mut p = P2Quantile::new(q);
+            for &x in &xs {
+                p.push(x);
+            }
+            let got = p.estimate().unwrap();
+            let want = exact_quantile(xs.clone(), q);
+            let tol = (want.abs() * 0.08).max(0.5);
+            assert!(
+                (got - want).abs() < tol,
+                "q={q}: P² {got:.3} vs exact {want:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn monotone_in_q() {
+        let mut rng = Xoshiro256::new(4);
+        let xs: Vec<f64> = (0..20_000).map(|_| rng.next_f64() * 10.0).collect();
+        let est = |q: f64| {
+            let mut p = P2Quantile::new(q);
+            for &x in &xs {
+                p.push(x);
+            }
+            p.estimate().unwrap()
+        };
+        assert!(est(0.1) < est(0.5));
+        assert!(est(0.5) < est(0.9));
+    }
+
+    #[test]
+    fn extremes_are_tracked() {
+        let mut p = P2Quantile::new(0.5);
+        for i in 0..100 {
+            p.push(i as f64);
+        }
+        // interior estimate stays inside the observed range
+        let m = p.estimate().unwrap();
+        assert!(m > 0.0 && m < 99.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly inside")]
+    fn invalid_q_rejected() {
+        let _ = P2Quantile::new(1.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut p = P2Quantile::new(0.9);
+        for i in 0..100 {
+            p.push(i as f64);
+        }
+        let js = serde_json::to_string(&p).unwrap();
+        let back: P2Quantile = serde_json::from_str(&js).unwrap();
+        assert_eq!(back, p);
+    }
+}

@@ -1,0 +1,271 @@
+//! Deterministic, splittable random-number streams.
+//!
+//! Every stochastic component of a simulation (arrival process, item choice,
+//! class choice, bandwidth demand, ...) draws from its *own* stream derived
+//! from a single master seed. This gives two properties the experiment
+//! harness relies on:
+//!
+//! * **Reproducibility** — the same `(master_seed, stream id)` pair always
+//!   yields the same sequence, on every platform.
+//! * **Common random numbers** — changing one component's configuration does
+//!   not perturb the draws seen by the others, which sharpens comparisons
+//!   between scheduler variants (a classic variance-reduction technique).
+//!
+//! The generator is our own `xoshiro256**` (public-domain algorithm by
+//! Blackman & Vigna) seeded through SplitMix64, wrapped to implement
+//! [`rand::RngCore`] + [`rand::SeedableRng`] so the whole `rand`/`rand_distr`
+//! ecosystem works on top.
+
+use rand::{Error, RngCore, SeedableRng};
+
+/// SplitMix64 step: the recommended seeder for xoshiro state.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// `xoshiro256**` — a small, fast, high-quality non-cryptographic PRNG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Builds a generator from a 64-bit seed via SplitMix64 expansion.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // An all-zero state is the one degenerate fixed point; SplitMix64
+        // cannot produce four zero outputs from any seed, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Xoshiro256 { s }
+    }
+
+    #[inline]
+    fn next(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform draw in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl RngCore for Xoshiro256 {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.next()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl SeedableRng for Xoshiro256 {
+    type Seed = [u8; 8];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        Xoshiro256::new(u64::from_le_bytes(seed))
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        Xoshiro256::new(state)
+    }
+}
+
+/// Derives independent [`Xoshiro256`] streams from one master seed.
+///
+/// Stream derivation hashes `(master, id)` through SplitMix64 twice, so
+/// nearby ids map to far-apart seeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RngFactory {
+    master: u64,
+}
+
+/// Well-known stream ids used across the workspace. Purely a convention —
+/// any `u64` works — but naming them keeps components from colliding.
+pub mod streams {
+    /// Poisson arrival process.
+    pub const ARRIVALS: u64 = 1;
+    /// Which item each request asks for.
+    pub const ITEM_CHOICE: u64 = 2;
+    /// Which service class each request belongs to.
+    pub const CLASS_CHOICE: u64 = 3;
+    /// Per-transmission bandwidth demand.
+    pub const BANDWIDTH: u64 = 4;
+    /// Item lengths at catalog construction.
+    pub const LENGTHS: u64 = 5;
+    /// Anything ad-hoc in tests/examples.
+    pub const SCRATCH: u64 = 1000;
+}
+
+impl RngFactory {
+    /// A factory rooted at `master_seed`.
+    pub fn new(master_seed: u64) -> Self {
+        RngFactory {
+            master: master_seed,
+        }
+    }
+
+    /// The master seed this factory derives from.
+    pub fn master_seed(&self) -> u64 {
+        self.master
+    }
+
+    /// The generator for stream `id`.
+    pub fn stream(&self, id: u64) -> Xoshiro256 {
+        let mut state = self.master ^ 0xA076_1D64_78BD_642F;
+        let a = splitmix64(&mut state);
+        let mut state2 = a ^ id.wrapping_mul(0xE703_7ED1_A0B4_28DB);
+        let seed = splitmix64(&mut state2);
+        Xoshiro256::new(seed)
+    }
+
+    /// A factory for replication `r`, so each independent replication gets
+    /// its own family of streams.
+    pub fn replication(&self, r: u64) -> RngFactory {
+        let mut state = self.master ^ r.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        RngFactory {
+            master: splitmix64(&mut state),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // Determinism check (values locked in by this implementation).
+        let mut a = Xoshiro256::new(42);
+        let mut b = Xoshiro256::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Xoshiro256::new(1);
+        let mut b = Xoshiro256::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = Xoshiro256::new(7);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_f64_mean_is_near_half() {
+        let mut r = Xoshiro256::new(11);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn fill_bytes_handles_remainders() {
+        let mut r = Xoshiro256::new(3);
+        for len in [0usize, 1, 7, 8, 9, 16, 23] {
+            let mut buf = vec![0u8; len];
+            r.fill_bytes(&mut buf);
+            if len >= 8 {
+                assert!(buf.iter().any(|&b| b != 0), "len={len} produced zeros");
+            }
+        }
+    }
+
+    #[test]
+    fn factory_streams_are_independent_and_stable() {
+        let f = RngFactory::new(123);
+        let mut s1a = f.stream(streams::ARRIVALS);
+        let mut s1b = f.stream(streams::ARRIVALS);
+        let mut s2 = f.stream(streams::ITEM_CHOICE);
+        assert_eq!(s1a.next_u64(), s1b.next_u64());
+        // Streams 1 and 2 should not be identical.
+        let mut s1 = f.stream(streams::ARRIVALS);
+        let overlaps = (0..64).filter(|_| s1.next_u64() == s2.next_u64()).count();
+        assert_eq!(overlaps, 0);
+    }
+
+    #[test]
+    fn replications_produce_fresh_streams() {
+        let f = RngFactory::new(9);
+        let mut r0 = f.replication(0).stream(streams::ARRIVALS);
+        let mut r1 = f.replication(1).stream(streams::ARRIVALS);
+        let overlaps = (0..64).filter(|_| r0.next_u64() == r1.next_u64()).count();
+        assert_eq!(overlaps, 0);
+    }
+
+    #[test]
+    fn works_with_rand_traits() {
+        let mut r = Xoshiro256::seed_from_u64(5);
+        let x: f64 = r.gen_range(0.0..10.0);
+        assert!((0.0..10.0).contains(&x));
+        let y: u32 = r.gen_range(0..100);
+        assert!(y < 100);
+    }
+
+    #[test]
+    fn seedable_from_seed_bytes() {
+        let a = Xoshiro256::from_seed(42u64.to_le_bytes());
+        let b = Xoshiro256::new(42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn splitmix_is_not_identity() {
+        let mut s = 0u64;
+        let v1 = splitmix64(&mut s);
+        let v2 = splitmix64(&mut s);
+        assert_ne!(v1, v2);
+        assert_ne!(v1, 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! A bounded in-memory event trace for debugging simulations.
+//!
+//! Keeps the most recent `capacity` entries in a ring buffer. Tracing is a
+//! diagnostic aid — production experiment runs construct a [`Trace`] with
+//! capacity 0, which makes every record call a no-op.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// One trace entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEntry {
+    /// When the traced event happened.
+    pub time: SimTime,
+    /// Free-form description.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.time, self.message)
+    }
+}
+
+/// Ring buffer of the most recent simulation events.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    entries: VecDeque<TraceEntry>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// A trace holding at most `capacity` entries (0 disables tracing).
+    pub fn new(capacity: usize) -> Self {
+        Trace {
+            entries: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// A disabled trace: records nothing, costs nothing.
+    pub fn disabled() -> Self {
+        Trace::new(0)
+    }
+
+    /// `true` when tracing is active.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Records `message` at `time` (no-op when disabled).
+    pub fn record(&mut self, time: SimTime, message: impl Into<String>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(TraceEntry {
+            time,
+            message: message.into(),
+        });
+    }
+
+    /// Records lazily: `f` is only evaluated when tracing is enabled.
+    pub fn record_with<F: FnOnce() -> String>(&mut self, time: SimTime, f: F) {
+        if self.capacity > 0 {
+            self.record(time, f());
+        }
+    }
+
+    /// Retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// How many entries were evicted to respect the capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders the retained tail as text, one entry per line.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&format!("{e}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        assert!(!t.is_enabled());
+        t.record(SimTime::ZERO, "hello");
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn keeps_most_recent_entries() {
+        let mut t = Trace::new(3);
+        for i in 0..5 {
+            t.record(SimTime::new(i as f64), format!("e{i}"));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let msgs: Vec<_> = t.entries().map(|e| e.message.as_str()).collect();
+        assert_eq!(msgs, vec!["e2", "e3", "e4"]);
+    }
+
+    #[test]
+    fn record_with_skips_closure_when_disabled() {
+        let mut t = Trace::disabled();
+        let mut called = false;
+        t.record_with(SimTime::ZERO, || {
+            called = true;
+            "x".into()
+        });
+        assert!(!called);
+
+        let mut t2 = Trace::new(1);
+        t2.record_with(SimTime::ZERO, || "y".into());
+        assert_eq!(t2.len(), 1);
+    }
+
+    #[test]
+    fn dump_is_line_oriented() {
+        let mut t = Trace::new(10);
+        t.record(SimTime::new(1.0), "a");
+        t.record(SimTime::new(2.0), "b");
+        let d = t.dump();
+        assert_eq!(d.lines().count(), 2);
+        assert!(d.contains("[t=1.0000] a"));
+    }
+}

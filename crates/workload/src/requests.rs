@@ -1,0 +1,536 @@
+//! The client request stream.
+//!
+//! Requests arrive as a Poisson process with aggregate rate λ′ (§4.1/§5.1);
+//! each request independently picks an item by access probability and a
+//! service class by population share. [`RequestGenerator`] is an infinite
+//! iterator over [`Request`]s, deterministic for a given [`RngFactory`] —
+//! the arrival, item-choice and class-choice streams are separate so that
+//! changing one law leaves the others' draws untouched (common random
+//! numbers).
+
+use hybridcast_sim::dist::{Discrete, Exponential, PoissonCount};
+use hybridcast_sim::rng::{streams, RngFactory, Xoshiro256};
+use hybridcast_sim::time::{SimDuration, SimTime};
+
+use serde::{Deserialize, Serialize};
+
+use crate::catalog::{Catalog, ItemId};
+use crate::classes::{ClassId, ClassSet};
+
+/// Popularity drift: every `period` broadcast units the rank→item mapping
+/// rotates by `shift` positions, so the *identity* of the hot items moves
+/// while the popularity *law* stays Zipf. A static push prefix decays in
+/// usefulness under drift — the scenario that motivates the re-ranking
+/// adaptive controller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftConfig {
+    /// Rotation period in broadcast units.
+    pub period: f64,
+    /// Ranks shifted per period.
+    pub shift: usize,
+}
+
+/// One client request for one item.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// When the request reaches the server.
+    pub arrival: SimTime,
+    /// The requested item.
+    pub item: ItemId,
+    /// The requesting client's service class.
+    pub class: ClassId,
+}
+
+/// Anything that can feed requests to a simulation driver: the live
+/// Poisson [`RequestGenerator`], or a recorded [`ReplaySource`] for
+/// trace-driven simulation.
+pub trait RequestSource {
+    /// Arrival time of the next request, or `None` when the source is
+    /// exhausted (a live generator never is).
+    fn peek(&self) -> Option<SimTime>;
+
+    /// Produces the next request.
+    ///
+    /// # Panics
+    /// May panic if called after `peek` returned `None`.
+    fn next_request(&mut self) -> Request;
+}
+
+/// Replays a recorded request trace in order.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ReplaySource {
+    trace: Vec<Request>,
+    #[serde(default)]
+    pos: usize,
+}
+
+impl ReplaySource {
+    /// Builds a replay source from a trace sorted by arrival time.
+    ///
+    /// # Panics
+    /// Panics if the trace is not sorted by arrival.
+    pub fn new(trace: Vec<Request>) -> Self {
+        for w in trace.windows(2) {
+            assert!(
+                w[0].arrival <= w[1].arrival,
+                "trace must be sorted by arrival time"
+            );
+        }
+        ReplaySource { trace, pos: 0 }
+    }
+
+    /// Requests remaining to replay.
+    pub fn remaining(&self) -> usize {
+        self.trace.len() - self.pos
+    }
+
+    /// Total trace length.
+    pub fn len(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// `true` for an empty trace.
+    pub fn is_empty(&self) -> bool {
+        self.trace.is_empty()
+    }
+}
+
+impl RequestSource for ReplaySource {
+    fn peek(&self) -> Option<SimTime> {
+        self.trace.get(self.pos).map(|r| r.arrival)
+    }
+
+    fn next_request(&mut self) -> Request {
+        let r = self.trace[self.pos];
+        self.pos += 1;
+        r
+    }
+}
+
+impl RequestSource for RequestGenerator {
+    fn peek(&self) -> Option<SimTime> {
+        Some(self.peek_time())
+    }
+
+    fn next_request(&mut self) -> Request {
+        RequestGenerator::next_request(self)
+    }
+}
+
+/// Infinite Poisson request stream over a catalog and class set.
+#[derive(Debug, Clone)]
+pub struct RequestGenerator {
+    gap: Exponential,
+    item_dist: Discrete,
+    class_dist: Discrete,
+    arrival_rng: Xoshiro256,
+    item_rng: Xoshiro256,
+    class_rng: Xoshiro256,
+    next_arrival: SimTime,
+    generated: u64,
+    drift: Option<DriftConfig>,
+    num_items: usize,
+    /// Batch-Poisson burstiness: when set, arrivals come in bursts whose
+    /// size is `1 + Poisson(mean − 1)`; epochs are thinned so the
+    /// aggregate request rate stays λ′.
+    batch: Option<PoissonCount>,
+    /// Requests left to emit at the current instant.
+    pending_in_batch: u32,
+}
+
+impl RequestGenerator {
+    /// A stream with aggregate arrival rate `lambda` requests per broadcast
+    /// unit, over `catalog`'s popularity law and `classes`' population split.
+    ///
+    /// # Panics
+    /// Panics if `lambda` is not positive and finite.
+    pub fn new(catalog: &Catalog, classes: &ClassSet, lambda: f64, factory: &RngFactory) -> Self {
+        let gap = Exponential::new(lambda);
+        let mut arrival_rng = factory.stream(streams::ARRIVALS);
+        let first = SimTime::ZERO + SimDuration::new(gap.sample(&mut arrival_rng));
+        RequestGenerator {
+            gap,
+            item_dist: catalog.sampler(),
+            class_dist: classes.sampler(),
+            arrival_rng,
+            item_rng: factory.stream(streams::ITEM_CHOICE),
+            class_rng: factory.stream(streams::CLASS_CHOICE),
+            next_arrival: first,
+            generated: 0,
+            drift: None,
+            num_items: catalog.len(),
+            batch: None,
+            pending_in_batch: 0,
+        }
+    }
+
+    /// Enables batch-Poisson burstiness with the given mean burst size
+    /// (> 1). Burst epochs arrive at rate `λ′ / mean_batch`, so the
+    /// aggregate request rate is unchanged.
+    ///
+    /// # Panics
+    /// Panics unless `mean_batch > 1`.
+    pub fn with_batching(mut self, mean_batch: f64) -> Self {
+        assert!(
+            mean_batch > 1.0 && mean_batch.is_finite(),
+            "mean batch size must exceed 1 (got {mean_batch})"
+        );
+        // epoch rate = λ / B; gap sampler is re-scaled accordingly
+        self.gap = Exponential::new(self.gap.rate() / mean_batch);
+        // re-draw the first epoch under the new rate for determinism
+        self.batch = Some(PoissonCount::new(mean_batch - 1.0));
+        self
+    }
+
+    /// Enables popularity drift on this stream.
+    pub fn with_drift(mut self, drift: Option<DriftConfig>) -> Self {
+        if let Some(d) = &drift {
+            assert!(
+                d.period > 0.0 && d.period.is_finite(),
+                "drift period must be positive"
+            );
+        }
+        self.drift = drift;
+        self
+    }
+
+    /// Maps a sampled popularity rank to the item holding that rank at
+    /// time `t` (identity without drift).
+    fn item_at(&self, rank: usize, t: SimTime) -> ItemId {
+        match &self.drift {
+            None => ItemId(rank as u32),
+            Some(d) => {
+                let epochs = (t.as_f64() / d.period).floor() as usize;
+                let rotated = (rank + epochs * d.shift) % self.num_items;
+                ItemId(rotated as u32)
+            }
+        }
+    }
+
+    /// Aggregate arrival rate λ′.
+    pub fn rate(&self) -> f64 {
+        self.gap.rate()
+    }
+
+    /// Requests generated so far.
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+
+    /// Arrival time of the *next* request without consuming it.
+    pub fn peek_time(&self) -> SimTime {
+        self.next_arrival
+    }
+
+    /// Produces the next request.
+    pub fn next_request(&mut self) -> Request {
+        let arrival = self.next_arrival;
+        let rank = self.item_dist.sample(&mut self.item_rng);
+        let item = self.item_at(rank, arrival);
+        let class = ClassId(self.class_dist.sample(&mut self.class_rng) as u8);
+        self.generated += 1;
+
+        // Advance time only when the current burst is exhausted.
+        match &self.batch {
+            None => {
+                self.next_arrival =
+                    arrival + SimDuration::new(self.gap.sample(&mut self.arrival_rng));
+            }
+            Some(extra) => {
+                if self.pending_in_batch > 0 {
+                    self.pending_in_batch -= 1;
+                } else {
+                    // start the next burst at the next epoch
+                    self.next_arrival =
+                        arrival + SimDuration::new(self.gap.sample(&mut self.arrival_rng));
+                    self.pending_in_batch = extra.sample(&mut self.arrival_rng) as u32;
+                }
+            }
+        }
+        Request {
+            arrival,
+            item,
+            class,
+        }
+    }
+
+    /// All requests with `arrival ≤ horizon`, consuming them.
+    pub fn take_until(&mut self, horizon: SimTime) -> Vec<Request> {
+        let mut out = Vec::new();
+        while self.peek_time() <= horizon {
+            out.push(self.next_request());
+        }
+        out
+    }
+}
+
+impl Iterator for RequestGenerator {
+    type Item = Request;
+
+    fn next(&mut self) -> Option<Request> {
+        Some(self.next_request())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lengths::LengthModel;
+    use crate::popularity::PopularityModel;
+
+    fn setup(lambda: f64, seed: u64) -> RequestGenerator {
+        let factory = RngFactory::new(seed);
+        let mut rng = factory.stream(streams::LENGTHS);
+        let catalog = Catalog::build(
+            100,
+            &PopularityModel::zipf(1.0),
+            &LengthModel::paper_default(),
+            &mut rng,
+        );
+        let classes = ClassSet::paper_default();
+        RequestGenerator::new(&catalog, &classes, lambda, &factory)
+    }
+
+    #[test]
+    fn arrivals_are_strictly_increasing() {
+        let mut g = setup(5.0, 1);
+        let mut last = SimTime::ZERO;
+        for _ in 0..1000 {
+            let r = g.next_request();
+            assert!(r.arrival > last);
+            last = r.arrival;
+        }
+    }
+
+    #[test]
+    fn arrival_rate_matches_lambda() {
+        let mut g = setup(5.0, 2);
+        let horizon = SimTime::new(20_000.0);
+        let reqs = g.take_until(horizon);
+        let rate = reqs.len() as f64 / horizon.as_f64();
+        assert!((rate - 5.0).abs() < 0.1, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn item_choice_follows_popularity() {
+        let mut g = setup(5.0, 3);
+        let n = 100_000;
+        let mut head = 0u64;
+        for _ in 0..n {
+            let r = g.next_request();
+            if r.item.index() < 10 {
+                head += 1;
+            }
+        }
+        // Zipf(100, θ=1): top-10 mass = H(10)/H(100) ≈ 2.9290/5.1874 ≈ 0.565
+        let f = head as f64 / n as f64;
+        assert!((f - 0.565).abs() < 0.01, "top-10 share {f}");
+    }
+
+    #[test]
+    fn class_choice_follows_population() {
+        let mut g = setup(5.0, 4);
+        let n = 100_000;
+        let mut counts = [0u64; 3];
+        for _ in 0..n {
+            counts[g.next_request().class.index()] += 1;
+        }
+        // paper default shares: A=2/11, B=3/11, C=6/11
+        let a = counts[0] as f64 / n as f64;
+        let c = counts[2] as f64 / n as f64;
+        assert!((a - 2.0 / 11.0).abs() < 0.01, "A share {a}");
+        assert!((c - 6.0 / 11.0).abs() < 0.01, "C share {c}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut g1 = setup(5.0, 7);
+        let mut g2 = setup(5.0, 7);
+        for _ in 0..100 {
+            assert_eq!(g1.next_request(), g2.next_request());
+        }
+        let mut g3 = setup(5.0, 8);
+        let same = (0..100)
+            .filter(|_| g1.next_request() == g3.next_request())
+            .count();
+        assert!(same < 5, "different seeds should diverge");
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut g = setup(5.0, 9);
+        let t = g.peek_time();
+        let r = g.next_request();
+        assert_eq!(r.arrival, t);
+        assert!(g.peek_time() > t);
+        assert_eq!(g.generated(), 1);
+    }
+
+    #[test]
+    fn take_until_respects_horizon() {
+        let mut g = setup(5.0, 10);
+        let reqs = g.take_until(SimTime::new(100.0));
+        assert!(!reqs.is_empty());
+        assert!(reqs.iter().all(|r| r.arrival <= SimTime::new(100.0)));
+        assert!(g.peek_time() > SimTime::new(100.0));
+    }
+
+    #[test]
+    fn batching_preserves_the_aggregate_rate() {
+        let factory = RngFactory::new(17);
+        let mut rng = factory.stream(streams::LENGTHS);
+        let catalog = Catalog::build(
+            50,
+            &PopularityModel::zipf(0.6),
+            &LengthModel::paper_default(),
+            &mut rng,
+        );
+        let classes = ClassSet::paper_default();
+        let mut g = RequestGenerator::new(&catalog, &classes, 5.0, &factory).with_batching(4.0);
+        let horizon = SimTime::new(40_000.0);
+        let reqs = g.take_until(horizon);
+        let rate = reqs.len() as f64 / horizon.as_f64();
+        assert!((rate - 5.0).abs() < 0.15, "bursty aggregate rate {rate}");
+        // bursts share timestamps: far fewer distinct instants than requests
+        let mut distinct = 1usize;
+        for w in reqs.windows(2) {
+            if w[0].arrival != w[1].arrival {
+                distinct += 1;
+            }
+        }
+        let mean_burst = reqs.len() as f64 / distinct as f64;
+        assert!(
+            (mean_burst - 4.0).abs() < 0.3,
+            "mean burst size {mean_burst}"
+        );
+    }
+
+    #[test]
+    fn batching_is_deterministic() {
+        let factory = RngFactory::new(3);
+        let mut rng = factory.stream(streams::LENGTHS);
+        let catalog = Catalog::build(
+            20,
+            &PopularityModel::zipf(0.6),
+            &LengthModel::paper_default(),
+            &mut rng,
+        );
+        let classes = ClassSet::paper_default();
+        let mut a = RequestGenerator::new(&catalog, &classes, 5.0, &factory).with_batching(3.0);
+        let mut b = RequestGenerator::new(&catalog, &classes, 5.0, &factory).with_batching(3.0);
+        for _ in 0..500 {
+            assert_eq!(a.next_request(), b.next_request());
+        }
+    }
+
+    #[test]
+    fn drift_rotates_the_hot_set() {
+        let factory = RngFactory::new(55);
+        let mut rng = factory.stream(streams::LENGTHS);
+        let catalog = Catalog::build(
+            100,
+            &PopularityModel::zipf(1.4),
+            &LengthModel::paper_default(),
+            &mut rng,
+        );
+        let classes = ClassSet::paper_default();
+        let mut g = RequestGenerator::new(&catalog, &classes, 5.0, &factory).with_drift(Some(
+            DriftConfig {
+                period: 1_000.0,
+                shift: 50,
+            },
+        ));
+        // epoch 0 (t < 1000): hot items are ranks 0..; epoch 1: shifted by 50
+        let mut early_head = 0u64;
+        let mut early_n = 0u64;
+        let mut late_shifted = 0u64;
+        let mut late_n = 0u64;
+        loop {
+            let r = g.next_request();
+            if r.arrival.as_f64() < 1_000.0 {
+                early_n += 1;
+                if r.item.index() < 10 {
+                    early_head += 1;
+                }
+            } else if r.arrival.as_f64() < 2_000.0 {
+                late_n += 1;
+                if (50..60).contains(&r.item.index()) {
+                    late_shifted += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        let f_early = early_head as f64 / early_n as f64;
+        let f_late = late_shifted as f64 / late_n as f64;
+        // Zipf(100, 1.4) top-10 mass ≈ 0.74; both epochs should put that
+        // mass on their own hot window.
+        assert!(f_early > 0.6, "early head share {f_early}");
+        assert!(f_late > 0.6, "late shifted share {f_late}");
+    }
+
+    #[test]
+    fn drift_preserves_determinism() {
+        let factory = RngFactory::new(9);
+        let mut rng = factory.stream(streams::LENGTHS);
+        let catalog = Catalog::build(
+            20,
+            &PopularityModel::zipf(1.0),
+            &LengthModel::paper_default(),
+            &mut rng,
+        );
+        let classes = ClassSet::paper_default();
+        let drift = Some(DriftConfig {
+            period: 10.0,
+            shift: 3,
+        });
+        let mut a = RequestGenerator::new(&catalog, &classes, 5.0, &factory).with_drift(drift);
+        let mut b = RequestGenerator::new(&catalog, &classes, 5.0, &factory).with_drift(drift);
+        for _ in 0..200 {
+            assert_eq!(a.next_request(), b.next_request());
+        }
+    }
+
+    #[test]
+    fn replay_source_replays_exactly() {
+        let mut g = setup(5.0, 21);
+        let trace = g.take_until(SimTime::new(100.0));
+        let mut replay = ReplaySource::new(trace.clone());
+        assert_eq!(replay.len(), trace.len());
+        for want in &trace {
+            assert_eq!(RequestSource::peek(&replay), Some(want.arrival));
+            let got = RequestSource::next_request(&mut replay);
+            assert_eq!(&got, want);
+        }
+        assert_eq!(RequestSource::peek(&replay), None);
+        assert_eq!(replay.remaining(), 0);
+    }
+
+    #[test]
+    fn replay_source_serde_round_trip() {
+        let mut g = setup(5.0, 22);
+        let trace = g.take_until(SimTime::new(10.0));
+        let src = ReplaySource::new(trace);
+        let js = serde_json::to_string(&src).unwrap();
+        let back: ReplaySource = serde_json::from_str(&js).unwrap();
+        assert_eq!(back, src);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_trace_rejected() {
+        let r = |t: f64| Request {
+            arrival: SimTime::new(t),
+            item: ItemId(0),
+            class: ClassId(0),
+        };
+        let _ = ReplaySource::new(vec![r(2.0), r(1.0)]);
+    }
+
+    #[test]
+    fn iterator_interface_works() {
+        let g = setup(5.0, 11);
+        let reqs: Vec<Request> = g.take(50).collect();
+        assert_eq!(reqs.len(), 50);
+    }
+}

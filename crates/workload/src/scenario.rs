@@ -1,0 +1,225 @@
+//! Scenario = catalog + classes + arrival process, built from one
+//! serializable config.
+//!
+//! [`ScenarioConfig`] captures every §5.1 assumption as a field with the
+//! paper's value as the default, so `ScenarioConfig::default()` *is* the
+//! paper's simulation setup and each experiment overrides exactly the knobs
+//! it sweeps.
+
+use serde::{Deserialize, Serialize};
+
+use hybridcast_sim::rng::{streams, RngFactory};
+
+use crate::catalog::Catalog;
+use crate::classes::ClassSet;
+use crate::lengths::LengthModel;
+use crate::popularity::PopularityModel;
+use crate::requests::{DriftConfig, RequestGenerator};
+
+/// Full description of a workload scenario (serializable).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Total number of distinct items `D` (paper: 100).
+    pub num_items: usize,
+    /// Aggregate request arrival rate λ′ per broadcast unit (paper: 5).
+    pub arrival_rate: f64,
+    /// Item popularity law (paper: Zipf with θ ∈ {0.2, 0.6, 1.0, 1.4}).
+    pub popularity: PopularityModel,
+    /// Item length law (paper: 1..=5 with mean 2).
+    pub lengths: LengthModel,
+    /// Service classes (paper: A/B/C, priorities 3::2::1, Zipf population).
+    pub classes: ClassSet,
+    /// Master seed for all random streams.
+    pub seed: u64,
+    /// Optional popularity drift (the hot set rotates over time).
+    #[serde(default)]
+    pub drift: Option<DriftConfig>,
+    /// Optional batch-Poisson burstiness: mean burst size (> 1). `None`
+    /// is the paper's plain Poisson process.
+    #[serde(default)]
+    pub batch_mean: Option<f64>,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            num_items: 100,
+            arrival_rate: 5.0,
+            popularity: PopularityModel::zipf(0.6),
+            lengths: LengthModel::paper_default(),
+            classes: ClassSet::paper_default(),
+            seed: 0xC0FFEE,
+            drift: None,
+            batch_mean: None,
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// The paper's setup with the given Zipf skew θ.
+    pub fn icpp2005(theta: f64) -> Self {
+        ScenarioConfig {
+            popularity: PopularityModel::zipf(theta),
+            ..Default::default()
+        }
+    }
+
+    /// Returns a copy with a different seed (for replications).
+    pub fn with_seed(&self, seed: u64) -> Self {
+        ScenarioConfig {
+            seed,
+            ..self.clone()
+        }
+    }
+
+    /// Materializes the scenario: builds the catalog (lengths drawn from the
+    /// `LENGTHS` stream) and wires the class set and arrival process.
+    pub fn build(&self) -> Scenario {
+        assert!(self.num_items > 0, "scenario needs at least one item");
+        assert!(
+            self.arrival_rate > 0.0 && self.arrival_rate.is_finite(),
+            "arrival rate must be positive"
+        );
+        let factory = RngFactory::new(self.seed);
+        let mut len_rng = factory.stream(streams::LENGTHS);
+        let catalog = Catalog::build(
+            self.num_items,
+            &self.popularity,
+            &self.lengths,
+            &mut len_rng,
+        );
+        Scenario {
+            catalog,
+            classes: self.classes.clone(),
+            arrival_rate: self.arrival_rate,
+            factory,
+            config: self.clone(),
+        }
+    }
+}
+
+/// A materialized scenario, ready to feed a simulation.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The popularity-sorted item database.
+    pub catalog: Catalog,
+    /// The service classes.
+    pub classes: ClassSet,
+    /// Aggregate arrival rate λ′.
+    pub arrival_rate: f64,
+    /// Root of all random streams for this scenario.
+    pub factory: RngFactory,
+    /// The config this scenario was built from.
+    pub config: ScenarioConfig,
+}
+
+impl Scenario {
+    /// A fresh request stream over this scenario.
+    pub fn request_stream(&self) -> RequestGenerator {
+        let mut g = RequestGenerator::new(
+            &self.catalog,
+            &self.classes,
+            self.arrival_rate,
+            &self.factory,
+        )
+        .with_drift(self.config.drift);
+        if let Some(b) = self.config.batch_mean {
+            g = g.with_batching(b);
+        }
+        g
+    }
+
+    /// A request stream for replication `r` — independent draws, same laws.
+    pub fn request_stream_replication(&self, r: u64) -> RequestGenerator {
+        let mut g = RequestGenerator::new(
+            &self.catalog,
+            &self.classes,
+            self.arrival_rate,
+            &self.factory.replication(r),
+        )
+        .with_drift(self.config.drift);
+        if let Some(b) = self.config.batch_mean {
+            g = g.with_batching(b);
+        }
+        g
+    }
+
+    /// The pull-set arrival rate `λ = λ′ · Σ_{i>K} P_i` for cutoff `k`
+    /// (paper §4.1).
+    pub fn pull_rate(&self, k: usize) -> f64 {
+        self.arrival_rate * self.catalog.mass(k..self.catalog.len())
+    }
+
+    /// The push-set request rate `λ′ · Σ_{i≤K} P_i`.
+    pub fn push_rate(&self, k: usize) -> f64 {
+        self.arrival_rate * self.catalog.mass(0..k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybridcast_sim::time::SimTime;
+
+    #[test]
+    fn default_matches_paper_assumptions() {
+        let cfg = ScenarioConfig::default();
+        assert_eq!(cfg.num_items, 100);
+        assert_eq!(cfg.arrival_rate, 5.0);
+        assert_eq!(cfg.lengths, LengthModel::paper_default());
+        assert_eq!(cfg.classes.len(), 3);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let cfg = ScenarioConfig::icpp2005(1.0);
+        let s1 = cfg.build();
+        let s2 = cfg.build();
+        assert_eq!(s1.catalog, s2.catalog);
+    }
+
+    #[test]
+    fn pull_and_push_rates_partition_lambda() {
+        let s = ScenarioConfig::icpp2005(0.6).build();
+        for k in [0, 10, 50, 100] {
+            let total = s.pull_rate(k) + s.push_rate(k);
+            assert!((total - 5.0).abs() < 1e-9, "k={k}: {total}");
+        }
+        // larger K moves rate from pull to push
+        assert!(s.pull_rate(10) > s.pull_rate(50));
+        assert_eq!(s.pull_rate(100), 0.0);
+        assert_eq!(s.push_rate(0), 0.0);
+    }
+
+    #[test]
+    fn replications_are_independent() {
+        let s = ScenarioConfig::default().build();
+        let mut a = s.request_stream_replication(0);
+        let mut b = s.request_stream_replication(1);
+        let same = (0..100)
+            .filter(|_| a.next_request().arrival == b.next_request().arrival)
+            .count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn request_stream_covers_catalog() {
+        let s = ScenarioConfig::icpp2005(0.2).build(); // mild skew: wide coverage
+        let mut g = s.request_stream();
+        let reqs = g.take_until(SimTime::new(50_000.0));
+        let mut seen = [false; 100];
+        for r in &reqs {
+            seen[r.item.index()] = true;
+        }
+        let covered = seen.iter().filter(|&&x| x).count();
+        assert!(covered > 95, "only {covered} items requested");
+    }
+
+    #[test]
+    fn config_serde_round_trip() {
+        let cfg = ScenarioConfig::icpp2005(1.4).with_seed(99);
+        let js = serde_json::to_string_pretty(&cfg).unwrap();
+        let back: ScenarioConfig = serde_json::from_str(&js).unwrap();
+        assert_eq!(back, cfg);
+    }
+}

@@ -1,0 +1,83 @@
+//! Using the §4 analytical models directly — no simulation involved.
+//!
+//! ```text
+//! cargo run --release --example analytic_model
+//! ```
+
+use hybridcast::prelude::*;
+
+fn main() {
+    // --- §4.1: the alternating push/pull birth–death chain -------------
+    let bd = BirthDeathModel::new(0.2, 1.0, 0.8);
+    let sol = bd.solve(600);
+    println!("== birth–death chain (lambda=0.2, mu1=1.0, mu2=0.8) ==");
+    println!(
+        "closed-form p(0,0) = 1 − ρ − ρ/f = {:.4}   (numeric: {:.4})",
+        bd.idle_probability_closed_form(),
+        sol.empty_probability
+    );
+    println!(
+        "E[L_pull] = {:.3} items, pull occupancy = {:.3} (ρ = {:.3})\n",
+        sol.mean_pull_items,
+        sol.pull_occupancy,
+        bd.rho()
+    );
+
+    // --- §4.2.2: Cobham's multi-class priority waits --------------------
+    println!("== Cobham non-preemptive priority queue ==");
+    let q = CobhamQueue::with_common_service(&[0.2, 0.2, 0.2], 1.0);
+    for (i, w) in q.waits().into_iter().enumerate() {
+        println!(
+            "class {} queueing wait: {:.3} time units",
+            (b'A' + i as u8) as char,
+            w.expect("stable")
+        );
+    }
+    println!(
+        "aggregate wait: {:.3}\n",
+        q.aggregate_wait().expect("stable")
+    );
+
+    // --- §4.2.1: the two-class chain, solved numerically ----------------
+    println!("== two-class chain vs Cobham ==");
+    let tc = TwoClassQueue::new(0.25, 0.25, 1.0);
+    let s = tc.solve(60);
+    let cob = CobhamQueue::with_common_service(&[0.25, 0.25], 1.0);
+    println!(
+        "numeric  W1 = {:.3}, W2 = {:.3} (L1 = {:.3}, L2 = {:.3})",
+        s.w1, s.w2, s.l1, s.l2
+    );
+    println!(
+        "Cobham   W1 = {:.3}, W2 = {:.3}\n",
+        cob.class_sojourn(0).expect("stable"),
+        cob.class_sojourn(1).expect("stable")
+    );
+
+    // --- Eq. 19: the hybrid access-time model over the real catalog -----
+    println!("== hybrid delay model (theta = 0.6, lambda' = 5) ==");
+    let scenario = ScenarioConfig::icpp2005(0.6).build();
+    println!(
+        "{:>4} {:>10} {:>10} {:>10} {:>12}",
+        "K", "A", "B", "C", "total cost"
+    );
+    for k in (10..=90).step_by(20) {
+        let d = HybridDelayModel::new(
+            &scenario.catalog,
+            &scenario.classes,
+            scenario.arrival_rate,
+            k,
+        )
+        .delays();
+        println!(
+            "{:>4} {:>10.2} {:>10.2} {:>10.2} {:>12.2}",
+            k, d.per_class[0], d.per_class[1], d.per_class[2], d.total_prioritized_cost
+        );
+    }
+    let (k_star, cost) = HybridDelayModel::optimal_cutoff(
+        &scenario.catalog,
+        &scenario.classes,
+        scenario.arrival_rate,
+        10..=90,
+    );
+    println!("\nmodel-optimal cutoff K* = {k_star} (cost {cost:.2})");
+}

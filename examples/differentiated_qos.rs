@@ -1,0 +1,78 @@
+//! Differentiated QoS in depth: how the importance-factor blend α trades
+//! premium-class latency against aggregate fairness, and how bandwidth
+//! partitioning controls premium blocking.
+//!
+//! ```text
+//! cargo run --release --example differentiated_qos
+//! ```
+
+use hybridcast::prelude::*;
+
+fn run(alpha: f64, bandwidth: BandwidthConfig) -> SimReport {
+    let scenario = ScenarioConfig::icpp2005(0.6).build();
+    let config = HybridConfig {
+        bandwidth,
+        ..HybridConfig::paper(40, alpha)
+    };
+    simulate(&scenario, &config, &SimParams::default())
+}
+
+fn main() {
+    println!("== Part 1: the alpha dial (no admission control) ==\n");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12}",
+        "alpha", "A pull [bu]", "B pull [bu]", "C pull [bu]", "total cost"
+    );
+    for &alpha in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+        let r = run(alpha, BandwidthConfig::default());
+        println!(
+            "{:>6.2} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
+            alpha,
+            r.per_class[0].pull_delay.mean,
+            r.per_class[1].pull_delay.mean,
+            r.per_class[2].pull_delay.mean,
+            r.total_prioritized_cost
+        );
+    }
+    println!(
+        "\nAt alpha = 0 the scheduler is pure priority: Class-A pull delay is\n\
+         minimal and the spread A ≪ B ≪ C is widest. At alpha = 1 priorities\n\
+         are ignored and the classes converge.\n"
+    );
+
+    println!("== Part 2: premium blocking under tight bandwidth ==\n");
+    println!(
+        "{:>14} {:>12} {:>12} {:>12}",
+        "A bw share", "A blocked", "B blocked", "C blocked"
+    );
+    let scenario_cfg = ScenarioConfig::icpp2005(0.6);
+    for &share_a in &[0.2, 0.5, 0.8] {
+        let rest = 1.0 - share_a;
+        let classes =
+            scenario_cfg
+                .classes
+                .with_bandwidth_shares(&[share_a, rest * 2.0 / 3.0, rest / 3.0]);
+        let scenario = ScenarioConfig {
+            classes,
+            ..scenario_cfg.clone()
+        }
+        .build();
+        let config = HybridConfig {
+            bandwidth: BandwidthConfig::per_class(6.0, 2.0),
+            ..HybridConfig::paper(40, 0.25)
+        };
+        let r = simulate(&scenario, &config, &SimParams::default());
+        println!(
+            "{:>14.2} {:>11.1}% {:>11.1}% {:>11.1}%",
+            share_a,
+            100.0 * r.per_class[0].blocking_probability,
+            100.0 * r.per_class[1].blocking_probability,
+            100.0 * r.per_class[2].blocking_probability,
+        );
+    }
+    println!(
+        "\nGrowing Class-A's partition drives its blocking toward zero — the\n\
+         Section 5 claim that premium requests can be protected by assigning\n\
+         an appropriate fraction of the available bandwidth."
+    );
+}

@@ -1,0 +1,59 @@
+//! # hybridcast — hybrid push/pull broadcast scheduling with differentiated
+//! QoS
+//!
+//! A full Rust implementation of *"A New Service Classification Strategy in
+//! Hybrid Scheduling to Support Differentiated QoS in Wireless Data
+//! Networks"* (Saxena, Basu, Das, Pinotti — ICPP 2005): a broadcast server
+//! that pushes its `K` most popular items on a flat cyclic schedule, serves
+//! the remaining items on demand from a pull queue ordered by the paper's
+//! **importance factor** `γ_i = α·S_i + (1−α)·Q_i` (stretch blended with
+//! client priority), partitions downlink bandwidth among service classes,
+//! and periodically re-optimizes `K` to minimize the total prioritized cost.
+//!
+//! This facade re-exports the four workspace crates:
+//!
+//! * [`sim`] (`hybridcast-sim`) — discrete-event kernel, RNG streams,
+//!   distributions, statistics;
+//! * [`workload`] (`hybridcast-workload`) — catalogs, popularity/length
+//!   laws, service classes, Poisson request streams;
+//! * [`core`] (`hybridcast-core`) — push/pull schedulers, the hybrid
+//!   server, bandwidth admission, the end-to-end simulator, the cutoff
+//!   optimizer;
+//! * [`analysis`] (`hybridcast-analysis`) — the paper's §4 queueing models.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hybridcast::prelude::*;
+//!
+//! // The paper's workload and scheduler at one operating point:
+//! let scenario = ScenarioConfig::icpp2005(0.6).build();
+//! let config = HybridConfig::paper(40, 0.25);
+//! let report = simulate(&scenario, &config, &SimParams::quick());
+//!
+//! // Differentiated QoS: premium clients wait the least for pull items.
+//! assert!(report.per_class[0].pull_delay.mean < report.per_class[2].pull_delay.mean);
+//! println!(
+//!     "Class-A mean delay: {:.1} broadcast units",
+//!     report.per_class[0].delay.mean
+//! );
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and `crates/bench`
+//! for the harness that regenerates every figure of the paper.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use hybridcast_analysis as analysis;
+pub use hybridcast_core as core;
+pub use hybridcast_sim as sim;
+pub use hybridcast_workload as workload;
+
+/// Everything most applications need.
+pub mod prelude {
+    pub use hybridcast_analysis::prelude::*;
+    pub use hybridcast_core::prelude::*;
+    pub use hybridcast_sim::prelude::*;
+    pub use hybridcast_workload::prelude::*;
+}

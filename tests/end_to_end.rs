@@ -1,0 +1,166 @@
+//! Cross-crate integration tests: full scenario → scheduler → report
+//! pipelines, exercising the public facade exactly as a downstream user
+//! would.
+
+use hybridcast::prelude::*;
+
+fn paper_run(theta: f64, k: usize, alpha: f64) -> SimReport {
+    let scenario = ScenarioConfig::icpp2005(theta).build();
+    let config = HybridConfig::paper(k, alpha);
+    simulate(&scenario, &config, &SimParams::quick())
+}
+
+#[test]
+fn differentiated_qos_holds_across_skews() {
+    // The headline claim: under priority-aware scheduling (α < 1), the
+    // pull delay is ordered Class-A < Class-B < Class-C for every skew.
+    for &theta in &[0.2, 0.6, 1.0, 1.4] {
+        let r = paper_run(theta, 40, 0.0);
+        let a = r.per_class[0].pull_delay.mean;
+        let b = r.per_class[1].pull_delay.mean;
+        let c = r.per_class[2].pull_delay.mean;
+        assert!(a < b && b < c, "theta={theta}: A={a:.1} B={b:.1} C={c:.1}");
+    }
+}
+
+#[test]
+fn lower_alpha_widens_the_class_gap() {
+    let strong = paper_run(0.6, 40, 0.0); // pure priority
+    let weak = paper_run(0.6, 40, 0.75); // mostly stretch
+    let gap = |r: &SimReport| r.per_class[2].pull_delay.mean / r.per_class[0].pull_delay.mean;
+    assert!(
+        gap(&strong) > gap(&weak),
+        "alpha=0 gap {:.2} should exceed alpha=0.75 gap {:.2}",
+        gap(&strong),
+        gap(&weak)
+    );
+}
+
+#[test]
+fn delay_is_higher_for_low_cutoffs() {
+    // §5.2: "for all the classes of clients the delay is higher for low
+    // values of cut-off point" — the system "can not achieve a good
+    // balance between push and pull set". A small K floods the pull queue,
+    // so the pull-side wait (the component the classification acts on)
+    // must be clearly worse at K = 10 than at K = 60 for every class.
+    let low_k = paper_run(0.6, 10, 0.5);
+    let mid_k = paper_run(0.6, 60, 0.5);
+    for c in 0..3 {
+        assert!(
+            low_k.per_class[c].pull_delay.mean > mid_k.per_class[c].pull_delay.mean,
+            "class {c}: K=10 {:.1} vs K=60 {:.1}",
+            low_k.per_class[c].pull_delay.mean,
+            mid_k.per_class[c].pull_delay.mean
+        );
+    }
+    // ... and the overall mean delay also degrades at the low extreme.
+    assert!(low_k.overall_delay.mean > mid_k.overall_delay.mean * 0.9);
+}
+
+#[test]
+fn skew_helps_at_fixed_cutoff() {
+    // More skew concentrates demand on the pushed prefix → less pull
+    // contention → lower overall delay.
+    let mild = paper_run(0.2, 50, 0.5);
+    let steep = paper_run(1.4, 50, 0.5);
+    assert!(
+        steep.overall_delay.mean < mild.overall_delay.mean,
+        "theta=1.4 {:.1} should beat theta=0.2 {:.1}",
+        steep.overall_delay.mean,
+        mild.overall_delay.mean
+    );
+}
+
+#[test]
+fn degenerate_cutoffs_are_consistent() {
+    let pure_pull = paper_run(0.6, 0, 0.5);
+    assert_eq!(pure_pull.push_transmissions, 0);
+    assert!(pure_pull.pull_transmissions > 0);
+
+    let pure_push = paper_run(0.6, 100, 0.5);
+    assert_eq!(pure_push.pull_transmissions, 0);
+    assert_eq!(pure_push.mean_queue_requests, 0.0);
+    // flat broadcast: every class sees (statistically) the same delay
+    let a = pure_push.per_class[0].delay.mean;
+    let c = pure_push.per_class[2].delay.mean;
+    assert!(
+        (a - c).abs() / c < 0.1,
+        "flat push must be class-blind: {a} vs {c}"
+    );
+}
+
+#[test]
+fn bandwidth_partitions_protect_the_premium_class() {
+    let base = ScenarioConfig::icpp2005(0.6);
+    // Generous premium partition, starved junior partition.
+    let classes = base.classes.with_bandwidth_shares(&[0.7, 0.2, 0.1]);
+    let scenario = ScenarioConfig { classes, ..base }.build();
+    let config = HybridConfig {
+        bandwidth: BandwidthConfig::per_class(5.0, 2.0),
+        ..HybridConfig::paper(40, 0.25)
+    };
+    let r = simulate(&scenario, &config, &SimParams::quick());
+    assert!(r.total_blocked() > 0, "tight bandwidth must cause blocking");
+    let a = r.per_class[0].blocking_probability;
+    let c = r.per_class[2].blocking_probability;
+    assert!(
+        a < c,
+        "premium blocking {a:.3} should undercut junior blocking {c:.3}"
+    );
+}
+
+#[test]
+fn report_counts_are_conserved() {
+    let r = paper_run(0.6, 40, 0.5);
+    for class in &r.per_class {
+        assert!(class.served <= class.generated);
+        assert_eq!(class.blocked, 0, "no admission control in this config");
+        assert_eq!(class.delay.count, class.served);
+        assert_eq!(
+            class.push_delay.count + class.pull_delay.count,
+            class.delay.count
+        );
+    }
+    // every pull transmission clears at least one request
+    assert!(r.total_served() >= r.pull_transmissions);
+}
+
+#[test]
+fn reports_serialize_for_the_harness() {
+    let r = paper_run(0.6, 40, 0.5);
+    let js = serde_json::to_string(&r).unwrap();
+    let back: SimReport = serde_json::from_str(&js).unwrap();
+    assert_eq!(back, r);
+}
+
+#[test]
+fn cutoff_optimizer_agrees_with_manual_argmin() {
+    let scenario = ScenarioConfig::icpp2005(0.6).build();
+    let base = HybridConfig::paper(0, 0.5);
+    let params = SimParams::quick();
+    let optimizer = CutoffOptimizer::new(Objective::TotalPrioritizedCost, params);
+    let sweep = optimizer.sweep(&scenario, &base, [20usize, 50, 80]);
+    let manual: Vec<f64> = [20usize, 50, 80]
+        .iter()
+        .map(|&k| simulate(&scenario, &base.with_cutoff(k), &params).total_prioritized_cost)
+        .collect();
+    let manual_best = [20usize, 50, 80][manual
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap()
+        .0];
+    assert_eq!(sweep.best_k(), manual_best);
+}
+
+#[test]
+fn importance_beats_pure_stretch_on_premium_latency() {
+    let stretch = paper_run(0.6, 40, 1.0);
+    let blended = paper_run(0.6, 40, 0.25);
+    assert!(
+        blended.per_class[0].pull_delay.mean < stretch.per_class[0].pull_delay.mean,
+        "blend {:.1} vs stretch {:.1}",
+        blended.per_class[0].pull_delay.mean,
+        stretch.per_class[0].pull_delay.mean
+    );
+}

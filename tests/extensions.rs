@@ -1,0 +1,212 @@
+//! Integration tests for the extension systems: churn, uplink, adaptive
+//! re-ranking, drift, trace replay and tail percentiles — exercised
+//! through the public facade.
+
+use hybridcast::core::churn::{simulate_with_churn, ChurnConfig};
+use hybridcast::prelude::*;
+
+#[test]
+fn tail_percentiles_are_reported_and_ordered() {
+    let scenario = ScenarioConfig::icpp2005(0.6).build();
+    let r = simulate(
+        &scenario,
+        &HybridConfig::paper(40, 0.25),
+        &SimParams::quick(),
+    );
+    for c in &r.per_class {
+        assert!(c.delay_p50 > 0.0);
+        assert!(
+            c.delay_p50 <= c.delay_p95,
+            "{}: p50 {} p95 {}",
+            c.name,
+            c.delay_p50,
+            c.delay_p95
+        );
+        assert!(c.delay_p95 <= c.delay_p99);
+        // the median sits near (below, for a right-skewed law) the mean
+        assert!(c.delay_p50 < c.delay.mean * 1.5);
+        // p99 within the observed extremes
+        assert!(c.delay_p99 <= c.delay.max + 1e-9);
+    }
+    // premium tails beat junior tails on the pull-differentiated component
+    assert!(r.per_class[0].delay_p95 <= r.per_class[2].delay_p95 * 1.1);
+}
+
+#[test]
+fn churn_end_to_end_and_revenue_ordering() {
+    let scenario = ScenarioConfig::icpp2005(0.6).build();
+    let churn_cfg = ChurnConfig::default();
+    let params = SimParams {
+        horizon: 8_000.0,
+        warmup: 0.0,
+        replication: 0,
+    };
+    let retention = |alpha: f64| {
+        simulate_with_churn(
+            &scenario,
+            &HybridConfig::paper(40, alpha),
+            &params,
+            &churn_cfg,
+        )
+        .weighted_retention
+    };
+    let r0 = retention(0.0);
+    let r_half = retention(0.5);
+    let r1 = retention(1.0);
+    assert!(
+        r0 > 0.8,
+        "priority scheduling retains most subscribers: {r0}"
+    );
+    assert!(r1 < 0.2, "stretch-only scheduling loses them: {r1}");
+    assert!(r0 >= r_half && r_half >= r1, "{r0} ≥ {r_half} ≥ {r1}");
+}
+
+#[test]
+fn churn_report_serializes() {
+    let scenario = ScenarioConfig::icpp2005(0.6).build();
+    let r = simulate_with_churn(
+        &scenario,
+        &HybridConfig::paper(40, 0.25),
+        &SimParams {
+            horizon: 2_000.0,
+            warmup: 0.0,
+            replication: 0,
+        },
+        &ChurnConfig::default(),
+    );
+    let js = serde_json::to_string(&r).unwrap();
+    let back: hybridcast::core::churn::ChurnReport = serde_json::from_str(&js).unwrap();
+    assert_eq!(back, r);
+}
+
+#[test]
+fn uplink_loss_scales_with_channel_quality() {
+    let scenario = ScenarioConfig::icpp2005(0.6).build();
+    let run = |p: f64| {
+        let cfg = HybridConfig {
+            uplink: Some(UplinkConfig {
+                slot_time: 0.5,
+                success_prob: p,
+                max_attempts: 3,
+                backoff_slots: 1.0,
+            }),
+            ..HybridConfig::paper(40, 0.5)
+        };
+        let r = simulate(&scenario, &cfg, &SimParams::quick());
+        let lost: u64 = r.uplink_lost.iter().sum();
+        let gen: u64 = r.per_class.iter().map(|c| c.generated).sum();
+        lost as f64 / gen as f64
+    };
+    let bad = run(0.3);
+    let good = run(0.9);
+    // theory: pull-mass × (1−p)^3 → bad ≈ 0.45·0.343 ≈ 0.15, good ≈ 0.0005
+    assert!(bad > 0.08, "bad channel loss {bad}");
+    assert!(good < 0.01, "good channel loss {good}");
+    assert!(bad > 10.0 * good);
+}
+
+#[test]
+fn adaptive_controller_via_facade() {
+    let scenario = ScenarioConfig::icpp2005(0.6).build();
+    let adaptive = AdaptiveConfig {
+        period: 600.0,
+        candidate_ks: vec![20, 40, 60, 80],
+        smoothing: 0.5,
+        rerank: false,
+    };
+    let out = simulate_adaptive(
+        &scenario,
+        &HybridConfig::paper(80, 0.25),
+        &SimParams::quick(),
+        &adaptive,
+    );
+    assert!(!out.retunes.is_empty());
+    assert!(out
+        .retunes
+        .iter()
+        .all(|r| [20, 40, 60, 80].contains(&r.to_k)));
+    // the serialized trajectory round-trips
+    let js = serde_json::to_string(&out).unwrap();
+    let back: AdaptiveReport = serde_json::from_str(&js).unwrap();
+    assert_eq!(back, out);
+}
+
+#[test]
+fn drift_degrades_static_but_not_rerank() {
+    // Slow drift (10 ranks per 1000 bu) with a 400-bu retune window: the
+    // estimator sees mostly-stationary epochs, which is the regime where
+    // re-ranking reliably pays (see EXPERIMENTS.md ADAPT-DRIFT).
+    let drifting = ScenarioConfig {
+        drift: Some(DriftConfig {
+            period: 1_000.0,
+            shift: 10,
+        }),
+        ..ScenarioConfig::icpp2005(1.0)
+    }
+    .build();
+    let stable = ScenarioConfig::icpp2005(1.0).build();
+    let cfg = HybridConfig::paper(40, 0.25);
+    let params = SimParams {
+        horizon: 12_000.0,
+        warmup: 1_500.0,
+        replication: 0,
+    };
+    let cost_stable = simulate(&stable, &cfg, &params).total_prioritized_cost;
+    let cost_drift = simulate(&drifting, &cfg, &params).total_prioritized_cost;
+    assert!(
+        cost_drift > cost_stable * 1.05,
+        "drift must hurt a static schedule: {cost_drift} vs {cost_stable}"
+    );
+    let rerank = AdaptiveConfig {
+        period: 400.0,
+        candidate_ks: (10..=90).step_by(10).collect(),
+        smoothing: 0.5,
+        rerank: true,
+    };
+    let tracked = simulate_adaptive(&drifting, &cfg, &params, &rerank)
+        .report
+        .total_prioritized_cost;
+    assert!(
+        tracked < cost_drift,
+        "re-ranking must recover under drift: {tracked} vs {cost_drift}"
+    );
+}
+
+#[test]
+fn replayed_trace_is_bit_identical_via_facade() {
+    let scenario = ScenarioConfig::icpp2005(0.6).build();
+    let cfg = HybridConfig::paper(40, 0.5);
+    let params = SimParams::quick();
+    let live = simulate(&scenario, &cfg, &params);
+    let mut gen = RequestGenerator::new(
+        &scenario.catalog,
+        &scenario.classes,
+        scenario.arrival_rate,
+        &scenario.factory.replication(0),
+    );
+    let trace = gen.take_until(hybridcast::sim::time::SimTime::new(params.horizon));
+    let replayed =
+        simulate_with_source(&scenario, &cfg, &params, Box::new(ReplaySource::new(trace)));
+    assert_eq!(replayed, live);
+}
+
+#[test]
+fn pull_burst_config_round_trips_and_runs() {
+    let cfg = HybridConfig {
+        pull_per_push: 3,
+        ..HybridConfig::paper(40, 0.5)
+    };
+    let js = serde_json::to_string(&cfg).unwrap();
+    let back: HybridConfig = serde_json::from_str(&js).unwrap();
+    assert_eq!(back, cfg);
+    // old configs without the field still parse (serde default)
+    let legacy = serde_json::json!({
+        "cutoff": 40,
+        "push": {"kind": "flat"},
+        "pull": {"kind": "importance", "alpha": 0.5, "exponent": 2.0},
+        "bandwidth": BandwidthConfig::default(),
+    });
+    let parsed: HybridConfig = serde_json::from_value(legacy).unwrap();
+    assert_eq!(parsed.pull_per_push, 1);
+    assert_eq!(parsed.uplink, None);
+}

@@ -1,0 +1,193 @@
+//! Property-based tests (proptest) over the public API: scheduler
+//! bookkeeping, policy algebra, distribution laws, and simulation
+//! invariants under randomized configurations.
+
+use proptest::prelude::*;
+
+use hybridcast::core::hybrid::HybridScheduler;
+use hybridcast::core::pull::importance::ImportanceFactor;
+use hybridcast::core::pull::priority::PriorityOnly;
+use hybridcast::core::pull::stretch::StretchOptimal;
+use hybridcast::core::pull::{PullContext, PullPolicy};
+use hybridcast::prelude::*;
+use hybridcast::sim::rng::{streams, RngFactory};
+use hybridcast::sim::time::SimTime;
+use hybridcast::workload::catalog::{Catalog, ItemId};
+use hybridcast::workload::classes::ClassId;
+
+fn small_catalog(seed: u64) -> Catalog {
+    let f = RngFactory::new(seed);
+    let mut rng = f.stream(streams::LENGTHS);
+    Catalog::build(
+        20,
+        &PopularityModel::zipf(0.8),
+        &LengthModel::Uniform { min: 1, max: 5 },
+        &mut rng,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Requests fed to the hybrid scheduler are conserved: every pull
+    /// request is either still pending, served by a transmission, or
+    /// dropped by admission control.
+    #[test]
+    fn scheduler_conserves_requests(
+        seed in 0u64..1000,
+        ops in proptest::collection::vec((0u32..20, 0u8..3, 1u32..3), 1..200),
+    ) {
+        let catalog = small_catalog(seed);
+        let classes = ClassSet::paper_default();
+        let cfg = HybridConfig::paper(8, 0.5);
+        let mut sched = HybridScheduler::new(catalog, classes.clone(), &cfg, &RngFactory::new(seed));
+        let mut t = 0.0f64;
+        let mut queued = 0u64;
+        let mut cleared = 0u64;
+        for (item, class, gap) in ops {
+            t += gap as f64 * 0.1;
+            let req = Request {
+                arrival: SimTime::new(t),
+                item: ItemId(item),
+                class: ClassId(class),
+            };
+            if sched.on_request(&req) == Disposition::Queued {
+                queued += 1;
+            }
+            let (tx, dropped) = sched.next_transmission(SimTime::new(t));
+            for d in &dropped {
+                cleared += d.count() as u64;
+            }
+            if let Some(tx) = tx {
+                if let Some(batch) = sched.complete_transmission(tx) {
+                    cleared += batch.count() as u64;
+                }
+            }
+        }
+        let pending = sched.queue().total_requests() as u64;
+        prop_assert_eq!(queued, cleared + pending);
+    }
+
+    /// The importance factor is exactly linear in α between its two
+    /// endpoint policies, for arbitrary queue contents.
+    #[test]
+    fn importance_blend_is_linear(
+        alpha in 0.0f64..=1.0,
+        reqs in proptest::collection::vec((0u32..20, 0u8..3), 1..40),
+    ) {
+        let catalog = small_catalog(7);
+        let classes = ClassSet::paper_default();
+        let mut q = hybridcast::core::queue::PullQueue::new(20);
+        for (i, &(item, class)) in reqs.iter().enumerate() {
+            let req = Request {
+                arrival: SimTime::new(i as f64),
+                item: ItemId(item),
+                class: ClassId(class),
+            };
+            q.insert(&req, classes.priority(req.class));
+        }
+        let ctx = PullContext {
+            catalog: &catalog,
+            classes: &classes,
+            now: SimTime::new(1000.0),
+            mean_queue_len: 3.0,
+        };
+        let blend = ImportanceFactor::eq1(alpha, 2.0);
+        let stretch = StretchOptimal::new(2.0);
+        let priority = PriorityOnly;
+        for entry in q.iter() {
+            let expect = alpha * stretch.score(entry, &ctx)
+                + (1.0 - alpha) * priority.score(entry, &ctx);
+            let got = blend.score(entry, &ctx);
+            prop_assert!((got - expect).abs() < 1e-9);
+        }
+    }
+
+    /// Zipf pmfs are valid distributions, sorted, and skew-monotone in the
+    /// head mass.
+    #[test]
+    fn zipf_is_a_sorted_distribution(n in 1usize..300, theta in 0.0f64..3.0) {
+        let z = hybridcast::sim::dist::Zipf::new(n, theta);
+        let sum: f64 = z.probabilities().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6);
+        for i in 1..n {
+            prop_assert!(z.pmf(i - 1) >= z.pmf(i));
+        }
+    }
+
+    /// Mean-targeted length weights hit the requested mean for any valid
+    /// (min, max, mean) triple.
+    #[test]
+    fn mean_targeted_lengths_hit_their_mean(
+        min in 1u32..5,
+        span in 1u32..8,
+        frac in 0.01f64..0.99,
+    ) {
+        let max = min + span;
+        let mean = min as f64 + frac * span as f64;
+        let w = LengthModel::mean_targeted_weights(min, max, mean);
+        let total: f64 = w.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        let got: f64 = w
+            .iter()
+            .enumerate()
+            .map(|(k, &p)| p * (min as f64 + k as f64))
+            .sum();
+        prop_assert!((got - mean).abs() < 1e-6, "wanted {mean}, got {got}");
+    }
+
+    /// Any short randomized simulation produces a self-consistent report.
+    #[test]
+    fn random_configs_yield_consistent_reports(
+        seed in 0u64..50,
+        k in 0usize..=100,
+        alpha_pct in 0u32..=100,
+        theta_tenths in 0u32..=20,
+    ) {
+        let scenario = ScenarioConfig {
+            seed,
+            ..ScenarioConfig::icpp2005(theta_tenths as f64 / 10.0)
+        }
+        .build();
+        let cfg = HybridConfig::paper(k, alpha_pct as f64 / 100.0);
+        let params = SimParams {
+            horizon: 400.0,
+            warmup: 50.0,
+            replication: 0,
+        };
+        let r = simulate(&scenario, &cfg, &params);
+        for class in &r.per_class {
+            prop_assert!(class.served <= class.generated);
+            prop_assert!(class.delay.mean >= 0.0);
+            prop_assert!(class.delay.min >= 0.0);
+            prop_assert!(
+                (class.prioritized_cost - class.priority * class.delay.mean).abs() < 1e-9
+            );
+        }
+        let cost: f64 = r.per_class.iter().map(|c| c.prioritized_cost).sum();
+        prop_assert!((cost - r.total_prioritized_cost).abs() < 1e-9);
+        if k == 100 {
+            prop_assert_eq!(r.pull_transmissions, 0);
+        }
+        if k == 0 {
+            prop_assert_eq!(r.push_transmissions, 0);
+        }
+    }
+
+    /// The flat schedule broadcasts every push item exactly once per K
+    /// consecutive slots, from any starting phase.
+    #[test]
+    fn flat_cycles_cover_exactly(k in 1usize..60, phase in 0usize..100) {
+        use hybridcast::core::push::flat::FlatRoundRobin;
+        use hybridcast::core::push::PushScheduler;
+        let mut s = FlatRoundRobin::new(k);
+        for _ in 0..phase {
+            s.next(SimTime::ZERO);
+        }
+        let mut counts = vec![0u32; k];
+        for _ in 0..k {
+            counts[s.next(SimTime::ZERO).unwrap().index()] += 1;
+        }
+        prop_assert!(counts.iter().all(|&c| c == 1));
+    }
+}

@@ -1,0 +1,217 @@
+//! Queueing-theoretic consistency checks spanning the simulator and the
+//! analysis crate: Little's law in the measured system, model-vs-sim shape
+//! agreement, and the birth–death chain against a purpose-built
+//! exponential simulation.
+
+use hybridcast::prelude::*;
+
+/// Little's law on the pull queue: the time-averaged number of *pending
+/// requests* must equal the pull-request throughput times the mean time a
+/// request spends pending. Requests leave the pending set when their item
+/// is *selected* (not when transmission completes), so the RHS uses the
+/// measured pull delay minus the served item's own transmission time.
+#[test]
+fn littles_law_on_the_pull_queue() {
+    let scenario = ScenarioConfig::icpp2005(0.6).build();
+    let config = HybridConfig::paper(40, 0.5);
+    let params = SimParams {
+        horizon: 30_000.0,
+        warmup: 0.0, // Little's law needs consistent windows
+        replication: 0,
+    };
+    let r = simulate(&scenario, &config, &params);
+
+    let served_pull: u64 = r.per_class.iter().map(|c| c.pull_delay.count).sum();
+    let throughput = served_pull as f64 / r.end_time;
+    let mean_pull_delay: f64 = r
+        .per_class
+        .iter()
+        .map(|c| c.pull_delay.mean * c.pull_delay.count as f64)
+        .sum::<f64>()
+        / served_pull as f64;
+    // Mean transmission time of pull items ≈ conditional mean length.
+    let mean_tx = scenario
+        .catalog
+        .conditional_mean_length(40..100)
+        .expect("pull set non-empty");
+    let little_l = throughput * (mean_pull_delay - mean_tx);
+    let measured_l = r.mean_queue_requests;
+    let rel = (little_l - measured_l).abs() / measured_l;
+    assert!(
+        rel < 0.15,
+        "Little's law violated: L_measured={measured_l:.1}, λW={little_l:.1} ({:.0}% off)",
+        rel * 100.0
+    );
+}
+
+/// The analytic per-class model must order classes the same way the
+/// simulation does, and its aggregate must track the simulated pull wait
+/// within a factor of two across the K grid (shape fidelity, not point
+/// equality — the model is a fixed-point approximation).
+#[test]
+fn model_tracks_simulation_shape_over_k() {
+    let scenario = ScenarioConfig::icpp2005(0.6).build();
+    let params = SimParams::quick();
+    let mut sim_curve = Vec::new();
+    let mut model_curve = Vec::new();
+    for k in [20usize, 40, 60, 80] {
+        let r = simulate(&scenario, &HybridConfig::paper(k, 0.75), &params);
+        sim_curve.push(r.overall_delay.mean);
+        let d = HybridDelayModel::new(
+            &scenario.catalog,
+            &scenario.classes,
+            scenario.arrival_rate,
+            k,
+        )
+        .with_alpha(0.75)
+        .delays();
+        model_curve.push(d.overall);
+        // per-class ordering agrees
+        assert!(d.per_class[0] < d.per_class[2]);
+    }
+    for (i, (&s, &m)) in sim_curve.iter().zip(&model_curve).enumerate() {
+        let ratio = m / s;
+        assert!(
+            (0.4..2.5).contains(&ratio),
+            "point {i}: model {m:.1} vs sim {s:.1} (ratio {ratio:.2})"
+        );
+    }
+    // both curves place their optimum in the same region of the grid
+    let argmin = |v: &[f64]| {
+        v.iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0 as isize
+    };
+    let gap = (argmin(&sim_curve) - argmin(&model_curve)).abs();
+    assert!(
+        gap <= 1,
+        "optima disagree by {gap} grid steps: sim {sim_curve:?} vs model {model_curve:?}"
+    );
+}
+
+/// Simulate the §4.1 birth–death chain *directly* (exponential push/pull
+/// services, Poisson arrivals) and check the analytic solution.
+#[test]
+fn birth_death_model_matches_its_own_simulation() {
+    use hybridcast::sim::prelude::*;
+
+    let (lambda, mu1, mu2) = (0.2, 1.0, 0.8);
+    let model = BirthDeathModel::new(lambda, mu1, mu2);
+    let analytic = model.solve(600);
+
+    // Event-driven simulation of the same chain.
+    #[derive(Debug)]
+    enum Ev {
+        Arrival,
+        ServiceDone,
+    }
+    let factory = RngFactory::new(2024);
+    let mut arr_rng = factory.stream(1);
+    let mut svc_rng = factory.stream(2);
+    let arr = Exponential::new(lambda);
+    let push_svc = Exponential::new(mu1);
+    let pull_svc = Exponential::new(mu2);
+
+    let mut engine: Engine<Ev> = Engine::new();
+    let mut pull_items = 0u64; // i
+    let mut serving_pull = false; // j
+    let mut queue_len = TimeWeighted::new(SimTime::ZERO, 0.0);
+    let mut empty_time = TimeWeighted::new(SimTime::ZERO, 1.0);
+    engine.schedule_in(SimDuration::new(arr.sample(&mut arr_rng)), Ev::Arrival);
+    engine.schedule_in(
+        SimDuration::new(push_svc.sample(&mut svc_rng)),
+        Ev::ServiceDone,
+    );
+    let horizon = SimTime::new(400_000.0);
+    engine.run_until(horizon, |eng, ev| {
+        let now = eng.now();
+        match ev {
+            Ev::Arrival => {
+                pull_items += 1;
+                queue_len.set(now, pull_items as f64);
+                empty_time.set(now, 0.0);
+                eng.schedule_in(SimDuration::new(arr.sample(&mut arr_rng)), Ev::Arrival);
+            }
+            Ev::ServiceDone => {
+                if serving_pull {
+                    pull_items -= 1;
+                    queue_len.set(now, pull_items as f64);
+                    if pull_items == 0 {
+                        empty_time.set(now, 1.0);
+                    }
+                    serving_pull = false;
+                    eng.schedule_in(
+                        SimDuration::new(push_svc.sample(&mut svc_rng)),
+                        Ev::ServiceDone,
+                    );
+                } else {
+                    // push finished; serve pull if anything waits
+                    if pull_items > 0 {
+                        serving_pull = true;
+                        eng.schedule_in(
+                            SimDuration::new(pull_svc.sample(&mut svc_rng)),
+                            Ev::ServiceDone,
+                        );
+                    } else {
+                        empty_time.set(now, 1.0);
+                        eng.schedule_in(
+                            SimDuration::new(push_svc.sample(&mut svc_rng)),
+                            Ev::ServiceDone,
+                        );
+                    }
+                }
+            }
+        }
+    });
+
+    let sim_l = queue_len.time_average(horizon).unwrap();
+    assert!(
+        (sim_l - analytic.mean_pull_items).abs() / analytic.mean_pull_items < 0.1,
+        "E[L_pull]: sim {sim_l:.3} vs analytic {:.3}",
+        analytic.mean_pull_items
+    );
+    // The closed-form idle probability is p(0,0): empty *and* serving push.
+    let sim_empty_push = empty_time.time_average(horizon).unwrap();
+    let closed = model.idle_probability_closed_form();
+    assert!(
+        (sim_empty_push - closed).abs() < 0.05,
+        "p(0,0): sim {sim_empty_push:.3} vs closed form {closed:.3}"
+    );
+}
+
+/// At genuinely light load the request-level Cobham model should predict
+/// the simulated per-class pull waits reasonably well — this is the regime
+/// the paper's §4.2.2 analysis actually describes.
+#[test]
+fn cobham_predicts_light_load_pull_waits() {
+    let scenario = ScenarioConfig {
+        arrival_rate: 0.25,
+        ..ScenarioConfig::icpp2005(0.6)
+    }
+    .build();
+    let params = SimParams {
+        horizon: 80_000.0,
+        warmup: 4_000.0,
+        replication: 0,
+    };
+    let r = simulate(&scenario, &HybridConfig::paper(40, 0.0), &params);
+    let model = HybridDelayModel::new(
+        &scenario.catalog,
+        &scenario.classes,
+        scenario.arrival_rate,
+        40,
+    );
+    let waits = model
+        .request_level_waits()
+        .expect("light load must be stable");
+    for (c, &m) in waits.iter().enumerate() {
+        let sim = r.per_class[c].pull_delay.mean;
+        let ratio = m / sim;
+        assert!(
+            (0.4..2.5).contains(&ratio),
+            "class {c}: model {m:.2} vs sim {sim:.2}"
+        );
+    }
+}
