@@ -6,7 +6,7 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 
 use hybridcast_core::config::HybridConfig;
 use hybridcast_core::hybrid::HybridScheduler;
-use hybridcast_core::pull::{PullContext, PullPolicyKind};
+use hybridcast_core::pull::{IndexContext, PullContext, PullPolicyKind};
 use hybridcast_core::queue::PullQueue;
 use hybridcast_core::sim_driver::{simulate, SimParams};
 use hybridcast_sim::dist::Zipf;
@@ -72,6 +72,81 @@ fn bench_queue_ops(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("select_max", fill), &fill, |b, &fill| {
             let q = filled_queue(100, fill, 3);
             b.iter(|| q.select_max(|e| black_box(e.total_priority + e.count() as f64)))
+        });
+    }
+    group.finish();
+}
+
+/// Fills a queue and keeps the score index current, as the hybrid
+/// scheduler does after every insert for an index-capable policy.
+fn indexed_queue(
+    cat: &Catalog,
+    classes: &ClassSet,
+    policy: &dyn hybridcast_core::pull::PullPolicy,
+    fill: usize,
+) -> PullQueue {
+    let mut q = PullQueue::new(cat.len());
+    let ictx = IndexContext { catalog: cat, classes };
+    let mut t = 0.0;
+    for i in 0..fill {
+        for r in 0..2usize {
+            t += 0.01;
+            let req = Request {
+                arrival: SimTime::new(t),
+                item: ItemId(i as u32),
+                class: ClassId((r % 3) as u8),
+            };
+            q.insert(&req, classes.priority(req.class));
+            let s = policy.rescore(q.get(req.item).unwrap(), &ictx);
+            q.reindex(req.item, s);
+        }
+    }
+    q
+}
+
+/// Selection + churn at catalog scale: the ISSUE's D ∈ {100, 100_000}
+/// comparison of the linear scan against the lazy-heap index.
+fn bench_queue_scale(c: &mut Criterion) {
+    let classes = ClassSet::paper_default();
+    let policy = PullPolicyKind::importance(0.5).build();
+    let mut group = c.benchmark_group("pull_queue_scale");
+    group.sample_size(10);
+    for &d in &[100usize, 100_000] {
+        let cat = catalog(d);
+        let ctx = PullContext {
+            catalog: &cat,
+            classes: &classes,
+            now: SimTime::new(1e6),
+            mean_queue_len: d as f64 / 2.0,
+        };
+        let ictx = IndexContext {
+            catalog: &cat,
+            classes: &classes,
+        };
+        // All but the last item active, so insert/remove always hits a
+        // fresh slot without resizing the queue.
+        let fill = d - 1;
+        let mut q = indexed_queue(&cat, &classes, policy.as_ref(), fill);
+        group.bench_with_input(BenchmarkId::new("select_max_scan", d), &d, |b, _| {
+            b.iter(|| q.select_max(|e| policy.score(black_box(e), &ctx)))
+        });
+        group.bench_with_input(BenchmarkId::new("select_max_indexed", d), &d, |b, _| {
+            b.iter(|| black_box(q.select_max_indexed()))
+        });
+        group.bench_with_input(BenchmarkId::new("insert_reindex_remove", d), &d, |b, _| {
+            let spare = ItemId((d - 1) as u32);
+            let req = Request {
+                arrival: SimTime::new(2e6),
+                item: spare,
+                class: ClassId(0),
+            };
+            b.iter(|| {
+                q.insert(black_box(&req), classes.priority(req.class));
+                let s = policy.rescore(q.get(spare).unwrap(), &ictx);
+                q.reindex(spare, s);
+                let e = q.remove(spare);
+                q.recycle(e);
+            })
         });
     }
     group.finish();
@@ -216,6 +291,7 @@ fn bench_end_to_end(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_queue_ops,
+    bench_queue_scale,
     bench_policy_scoring,
     bench_hybrid_step,
     bench_substrate,

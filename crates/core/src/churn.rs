@@ -140,6 +140,7 @@ impl ChurnDriver {
                 let penalty = self.cfg.blocked_penalty * self.cfg.tolerance[class.index()];
                 self.observe_delay(client, class, penalty);
             }
+            self.scheduler.recycle(entry);
         }
         self.metrics.queue_changed(
             now,
@@ -236,6 +237,7 @@ impl ChurnDriver {
                                     .record_served(class, TxKind::Pull, arrival, now);
                                 self.observe_delay(client, class, delay);
                             }
+                            self.scheduler.recycle(batch);
                         }
                         self.dispatch(eng, now);
                         return;

@@ -29,7 +29,7 @@ use hybridcast_workload::requests::Request;
 use crate::bandwidth::{BandwidthManager, Grant};
 use crate::config::HybridConfig;
 use crate::metrics::TxKind;
-use crate::pull::{PullContext, PullPolicy};
+use crate::pull::{IndexContext, PullContext, PullPolicy};
 use crate::push::{PushKind, PushScheduler};
 use crate::queue::{PendingItem, PullQueue};
 
@@ -80,6 +80,10 @@ pub struct HybridScheduler {
     push_kind: PushKind,
     push: Box<dyn PushScheduler>,
     policy: Box<dyn PullPolicy>,
+    /// Cached `policy.score_is_local()`: when set, every insert publishes
+    /// the entry's fresh score to the queue's heap index and pull slots
+    /// select in O(log n) instead of scanning.
+    indexed: bool,
     queue: PullQueue,
     bandwidth: BandwidthManager,
     /// Pull slots granted per push slot (Fig. 1: one).
@@ -129,6 +133,7 @@ impl HybridScheduler {
         );
         let num_items = catalog.len();
         let push_member: Vec<bool> = (0..num_items).map(|i| i < config.cutoff).collect();
+        let indexed = policy.score_is_local();
         HybridScheduler {
             catalog,
             classes,
@@ -137,6 +142,7 @@ impl HybridScheduler {
             push_kind: config.push,
             push,
             policy,
+            indexed,
             queue: PullQueue::new(num_items),
             bandwidth,
             pull_per_push: config.pull_per_push,
@@ -236,9 +242,26 @@ impl HybridScheduler {
         } else {
             let q = self.classes.priority(req.class);
             self.queue.insert(req, q);
+            self.reindex(req.item);
             self.queue_avg.set(req.arrival, self.queue.len() as f64);
             Disposition::Queued
         }
+    }
+
+    /// Publishes `item`'s fresh score to the queue's heap index. Eq. 1
+    /// structure: a request changes the score of the one item it targets,
+    /// so this single O(log n) push keeps the whole index current.
+    fn reindex(&mut self, item: ItemId) {
+        if !self.indexed {
+            return;
+        }
+        let ictx = IndexContext {
+            catalog: &self.catalog,
+            classes: &self.classes,
+        };
+        let entry = self.queue.get(item).expect("item was just inserted");
+        let score = self.policy.rescore(entry, &ictx);
+        self.queue.reindex(item, score);
     }
 
     /// Re-inserts a former broadcast waiter into the pull queue after a
@@ -252,6 +275,7 @@ impl HybridScheduler {
         );
         let q = self.classes.priority(req.class);
         self.queue.insert(req, q);
+        self.reindex(req.item);
         self.queue_avg.set(now, self.queue.len() as f64);
     }
 
@@ -304,11 +328,22 @@ impl HybridScheduler {
                 now,
                 mean_queue_len: self.queue_avg.time_average(now).unwrap_or(0.0),
             };
-            let policy = &self.policy;
-            let selected = self.queue.select_max(|e| policy.score(e, &ctx))?;
+            let selected = if self.indexed && self.policy.index_usable(&ctx) {
+                self.queue.select_max_indexed()?
+            } else {
+                let policy = &self.policy;
+                self.queue.select_max(|e| policy.score(e, &ctx))?
+            };
             let entry = self.queue.remove(selected);
             self.queue_avg.set(now, self.queue.len() as f64);
-            match self.bandwidth.try_admit(entry.dominant_class()) {
+            let Some(dominant) = entry.dominant_class() else {
+                // A queued entry always has requesters; defensively drop
+                // rather than panic if the invariant is ever violated.
+                debug_assert!(false, "selected entry has no requesters");
+                dropped.push(entry);
+                continue;
+            };
+            match self.bandwidth.try_admit(dominant) {
                 Some(grant) => {
                     let duration = SimDuration::new(self.catalog.length(selected) as f64);
                     return Some(Transmission {
@@ -363,6 +398,12 @@ impl HybridScheduler {
             self.bandwidth.release(grant);
         }
         tx.served
+    }
+
+    /// Returns a fully-attributed batch's buffers to the queue's entry
+    /// pool so later inserts reuse them instead of allocating.
+    pub fn recycle(&mut self, entry: PendingItem) {
+        self.queue.recycle(entry);
     }
 
     /// The online time-averaged pull-queue length estimate at `now`.

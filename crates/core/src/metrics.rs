@@ -133,6 +133,24 @@ impl MetricsCollector {
         }
     }
 
+    /// Bulk form of [`MetricsCollector::record_blocked`] fed from a
+    /// dropped entry's per-class aggregates: `counts[c]` requests of class
+    /// `c` were dropped, the oldest having arrived at `first_arrival`.
+    ///
+    /// Returns `false` without recording when `first_arrival` precedes the
+    /// warmup boundary — then the batch may straddle it and the caller
+    /// must fall back to per-request attribution. In steady state this
+    /// replaces the O(requesters) walk with an O(classes) update.
+    pub fn record_blocked_batch(&mut self, counts: &[usize], first_arrival: SimTime) -> bool {
+        if !self.measured(first_arrival) {
+            return false;
+        }
+        for (acc, &n) in self.per_class.iter_mut().zip(counts) {
+            acc.blocked += n as u64;
+        }
+        true
+    }
+
     /// A whole queued item (with all its requests) was dropped.
     pub fn record_blocked_item(&mut self) {
         self.blocked_items += 1;

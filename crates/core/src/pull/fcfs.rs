@@ -1,6 +1,12 @@
 //! First-come-first-served: serve the item whose oldest pending request has
 //! waited longest. The simplest fair baseline — blind to popularity, item
 //! length and client priority.
+//!
+//! Stays on the linear-scan selection path: the score is clock-dependent
+//! (though `argmax (now − A_i)` equals `argmin A_i`, so an index over
+//! `−first_arrival` would be order-equivalent, the scan keeps the baseline
+//! faithful to its textbook form; see "Scheduler complexity" in
+//! `DESIGN.md`).
 
 use crate::pull::{PullContext, PullPolicy};
 use crate::queue::PendingItem;

@@ -23,7 +23,9 @@
 //! (what a real server knows), [`ImportanceFactor::eq6`] with the online
 //! estimate of `E[L_pull]` carried in [`PullContext::mean_queue_len`].
 
-use crate::pull::{PullContext, PullPolicy};
+use hybridcast_workload::catalog::Catalog;
+
+use crate::pull::{IndexContext, PullContext, PullPolicy};
 use crate::queue::PendingItem;
 
 /// Which form of the importance factor to evaluate.
@@ -81,17 +83,26 @@ impl ImportanceFactor {
         self.alpha
     }
 
-    /// The stretch term `S_i` of `entry` under the chosen form.
-    fn stretch_term(&self, entry: &PendingItem, ctx: &PullContext<'_>) -> f64 {
-        let len = ctx.catalog.length(entry.item) as f64;
-        let count = self.effective_count(entry, ctx);
-        count / len.powf(self.exponent)
-    }
-
-    fn effective_count(&self, entry: &PendingItem, ctx: &PullContext<'_>) -> f64 {
+    /// The clock-free per-entry score that drives the incremental index.
+    ///
+    /// * Eq. 1: the full score `α·R_i/L_i^exp + (1−α)·Q_i` — it only
+    ///   depends on the entry's own aggregates.
+    /// * Eq. 6: `p_i·(α/L_i^exp + (1−α)·Q_i)`. The true score is this
+    ///   times `E[L_pull]`, a *common positive factor* across all queued
+    ///   items, so the ordering (ties included) is unchanged — except when
+    ///   `E[L_pull] = 0` collapses every score, handled by
+    ///   [`ImportanceFactor::index_usable`].
+    fn local_score(&self, entry: &PendingItem, catalog: &Catalog) -> f64 {
+        let len_pow = (catalog.length(entry.item) as f64).powf(self.exponent);
         match self.form {
-            Form::Observed => entry.count() as f64,
-            Form::Expected => ctx.mean_queue_len * ctx.catalog.prob(entry.item),
+            Form::Observed => {
+                self.alpha * (entry.count() as f64 / len_pow)
+                    + (1.0 - self.alpha) * entry.total_priority
+            }
+            Form::Expected => {
+                catalog.prob(entry.item)
+                    * (self.alpha / len_pow + (1.0 - self.alpha) * entry.total_priority)
+            }
         }
     }
 }
@@ -112,13 +123,31 @@ impl PullPolicy for ImportanceFactor {
     }
 
     fn score(&self, entry: &PendingItem, ctx: &PullContext<'_>) -> f64 {
-        let stretch = self.stretch_term(entry, ctx);
-        let priority = match self.form {
-            Form::Observed => entry.total_priority,
-            // Eq. 6 scales the priority term by the expected item count too.
-            Form::Expected => self.effective_count(entry, ctx) * entry.total_priority,
-        };
-        self.alpha * stretch + (1.0 - self.alpha) * priority
+        match self.form {
+            Form::Observed => self.local_score(entry, ctx.catalog),
+            // Eq. 6: both the stretch and the priority term carry the
+            // expected count `E[L_pull]·p_i`, so the whole score factors
+            // as `E[L_pull] · local_score`.
+            Form::Expected => ctx.mean_queue_len * self.local_score(entry, ctx.catalog),
+        }
+    }
+
+    fn score_is_local(&self) -> bool {
+        true
+    }
+
+    fn rescore(&self, entry: &PendingItem, ctx: &IndexContext<'_>) -> f64 {
+        self.local_score(entry, ctx.catalog)
+    }
+
+    fn index_usable(&self, ctx: &PullContext<'_>) -> bool {
+        match self.form {
+            Form::Observed => true,
+            // With E[L_pull] = 0 all true scores are 0 and selection falls
+            // to the scan tie-break (lowest active item id); the index
+            // ordering would pick something else, so scan instead.
+            Form::Expected => ctx.mean_queue_len > 0.0,
+        }
     }
 }
 

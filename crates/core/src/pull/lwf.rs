@@ -7,7 +7,16 @@
 use crate::pull::{PullContext, PullPolicy};
 use crate::queue::PendingItem;
 
-/// LWF — score is `Σ_j (now − arrival_j)` over pending requesters.
+/// LWF — score is `Σ_j (now − arrival_j)` over pending requesters,
+/// evaluated in O(1) from the entry's aggregates as `R_i·now − Σ_j A_j`.
+///
+/// LWF does **not** get an incremental score index: total accumulated
+/// wait grows at rate `R_i` per unit time, so two items' scores drift
+/// relative to each other *between* queue events and no insert-time
+/// snapshot can preserve the ordering (`R=1, A=0` vs `R=2, A=10` flip at
+/// `now = 20`; see "Scheduler complexity" in `DESIGN.md`). Selection
+/// stays on the linear scan — but each scanned entry is now O(1) instead
+/// of O(requesters).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Lwf;
 
@@ -17,11 +26,7 @@ impl PullPolicy for Lwf {
     }
 
     fn score(&self, entry: &PendingItem, ctx: &PullContext<'_>) -> f64 {
-        entry
-            .requesters
-            .iter()
-            .map(|&(arrival, _)| (ctx.now - arrival).as_f64())
-            .sum()
+        entry.count() as f64 * ctx.now.as_f64() - entry.arrival_sum()
     }
 }
 

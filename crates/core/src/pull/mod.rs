@@ -48,13 +48,73 @@ pub struct PullContext<'a> {
     pub mean_queue_len: f64,
 }
 
+/// The clock-free subset of [`PullContext`] available when a queue event
+/// (insert) triggers an incremental rescore: catalog and classes only — a
+/// local score must not depend on `now` or on the running queue average.
+#[derive(Debug, Clone, Copy)]
+pub struct IndexContext<'a> {
+    /// The item database (lengths, access probabilities).
+    pub catalog: &'a Catalog,
+    /// The service classes (priority weights).
+    pub classes: &'a ClassSet,
+}
+
+impl<'a> From<&PullContext<'a>> for IndexContext<'a> {
+    fn from(ctx: &PullContext<'a>) -> Self {
+        IndexContext {
+            catalog: ctx.catalog,
+            classes: ctx.classes,
+        }
+    }
+}
+
 /// A pull-selection policy: higher score wins.
+///
+/// # Incremental scoring
+///
+/// Policies whose score changes only when an item's own queue entry
+/// changes (a request arrives, the entry is served/dropped) can opt into
+/// the *incremental score* capability: `score_is_local` returns `true`
+/// and [`PullPolicy::rescore`] recomputes the entry's score without a
+/// clock. The scheduler then maintains a lazy max-heap over these scores
+/// ([`crate::queue::PullQueue::reindex`] /
+/// [`crate::queue::PullQueue::select_max_indexed`]) and selection costs
+/// O(log n) instead of a full scan. `rescore` must order entries exactly
+/// like `score` whenever [`PullPolicy::index_usable`] holds — including
+/// ties (equal `rescore` values ⇔ equal `score` values); time-dependent
+/// policies keep the default scan path. See "Scheduler complexity" in
+/// `DESIGN.md` for the per-policy arguments.
 pub trait PullPolicy: std::fmt::Debug + Send {
     /// Short identifier for reports ("importance", "rxw", ...).
     fn name(&self) -> &'static str;
 
     /// The selection score of `entry` — must be finite.
     fn score(&self, entry: &PendingItem, ctx: &PullContext<'_>) -> f64;
+
+    /// `true` when this policy's ordering is reproducible from per-entry
+    /// state alone, so a score index maintained at insert/remove time stays
+    /// valid between queue events.
+    fn score_is_local(&self) -> bool {
+        false
+    }
+
+    /// Recomputes `entry`'s index score after a queue event. Only
+    /// meaningful when [`PullPolicy::score_is_local`] is `true`.
+    fn rescore(&self, entry: &PendingItem, ctx: &IndexContext<'_>) -> f64 {
+        let _ = (entry, ctx);
+        unimplemented!("{} has no incremental score index", self.name())
+    }
+
+    /// Whether the maintained index orders items exactly like `score`
+    /// under `ctx` *right now*. Differs from [`PullPolicy::score_is_local`]
+    /// only for policies whose true score is the index score times a
+    /// context-dependent common factor that can degenerate to zero (Eq. 6
+    /// with `E[L_pull] = 0` collapses every score to 0, where the scan's
+    /// tie-break takes over and the index ordering no longer applies).
+    fn index_usable(&self, ctx: &PullContext<'_>) -> bool {
+        let _ = ctx;
+        self.score_is_local()
+    }
 }
 
 /// Serializable policy selector, turned into a boxed policy with

@@ -2,7 +2,7 @@
 //! Maximizes immediate throughput of satisfied requests but can starve
 //! unpopular items and ignores both item length and client priority.
 
-use crate::pull::{PullContext, PullPolicy};
+use crate::pull::{IndexContext, PullContext, PullPolicy};
 use crate::queue::PendingItem;
 
 /// MRF — score is the pending request count `R_i`.
@@ -15,6 +15,15 @@ impl PullPolicy for Mrf {
     }
 
     fn score(&self, entry: &PendingItem, _ctx: &PullContext<'_>) -> f64 {
+        entry.count() as f64
+    }
+
+    // `R_i` changes only on this item's own queue events.
+    fn score_is_local(&self) -> bool {
+        true
+    }
+
+    fn rescore(&self, entry: &PendingItem, _ctx: &IndexContext<'_>) -> f64 {
         entry.count() as f64
     }
 }

@@ -6,7 +6,7 @@
 //! indefinitely behind a stream of premium requests — the starvation risk
 //! §3 of the paper calls out as the reason to blend in the stretch term.
 
-use crate::pull::{PullContext, PullPolicy};
+use crate::pull::{IndexContext, PullContext, PullPolicy};
 use crate::queue::PendingItem;
 
 /// Priority-only: score is `Q_i`.
@@ -19,6 +19,15 @@ impl PullPolicy for PriorityOnly {
     }
 
     fn score(&self, entry: &PendingItem, _ctx: &PullContext<'_>) -> f64 {
+        entry.total_priority
+    }
+
+    // `Q_i` is an insert-time aggregate — the index is always exact.
+    fn score_is_local(&self) -> bool {
+        true
+    }
+
+    fn rescore(&self, entry: &PendingItem, _ctx: &IndexContext<'_>) -> f64 {
         entry.total_priority
     }
 }

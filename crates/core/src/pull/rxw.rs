@@ -4,6 +4,12 @@
 //! item with the *product* of its pending request count and the waiting time
 //! of its oldest request. Still blind to item length and client priority —
 //! exactly the gap the paper's importance factor fills.
+//!
+//! Stays on the linear-scan selection path: `R_i·(now − A_i)` mixes the
+//! clock into a non-monotone combination with per-item state, so two
+//! items' scores can reorder between queue events and no insert-time
+//! index can capture the ordering (see "Scheduler complexity" in
+//! `DESIGN.md`).
 
 use crate::pull::{PullContext, PullPolicy};
 use crate::queue::PendingItem;

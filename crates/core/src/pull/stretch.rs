@@ -6,7 +6,7 @@
 //! itself, one because *stretch* normalizes response time by service time).
 //! The exponent is exposed for the ABL-STRETCH ablation (`R/L` vs `R/L²`).
 
-use crate::pull::{PullContext, PullPolicy};
+use crate::pull::{IndexContext, PullContext, PullPolicy};
 use crate::queue::PendingItem;
 
 /// Stretch-optimal: score `S_i = R_i / L_i^exponent`.
@@ -40,12 +40,6 @@ impl StretchOptimal {
     }
 }
 
-impl Default for StretchOptimal {
-    fn default() -> Self {
-        StretchOptimal::new(2.0)
-    }
-}
-
 impl PullPolicy for StretchOptimal {
     fn name(&self) -> &'static str {
         "stretch"
@@ -53,6 +47,23 @@ impl PullPolicy for StretchOptimal {
 
     fn score(&self, entry: &PendingItem, ctx: &PullContext<'_>) -> f64 {
         self.stretch(entry, ctx)
+    }
+
+    // `R_i / L_i^e` depends only on the entry's own request count, so the
+    // score index stays exact between queue events.
+    fn score_is_local(&self) -> bool {
+        true
+    }
+
+    fn rescore(&self, entry: &PendingItem, ctx: &IndexContext<'_>) -> f64 {
+        let len = ctx.catalog.length(entry.item) as f64;
+        entry.count() as f64 / len.powf(self.exponent)
+    }
+}
+
+impl Default for StretchOptimal {
+    fn default() -> Self {
+        StretchOptimal::new(2.0)
     }
 }
 

@@ -8,6 +8,26 @@
 //! Serving an item clears *all* its pending requests at once (batch
 //! service), which is what keeps the pull side bounded: the queue never
 //! holds more than `D − K` distinct items.
+//!
+//! # Selection
+//!
+//! Two selection paths share one tie-break contract (equal scores go to the
+//! lower [`ItemId`]):
+//!
+//! * [`PullQueue::select_max`] — the original linear scan over the active
+//!   items; policies see the full [`PendingItem`]. O(active) per slot.
+//! * [`PullQueue::select_max_indexed`] — a lazy-deletion max-heap over
+//!   `(score, generation, item)` maintained by [`PullQueue::reindex`] at
+//!   insert/remove time. O(log n) amortized per slot; usable whenever the
+//!   policy's score depends only on queue-event-local state (see the
+//!   `score_is_local` capability on `PullPolicy` and the "Scheduler
+//!   complexity" section of `DESIGN.md`).
+//!
+//! The index exploits the paper's Eq. 1 structure: a request arrival
+//! changes the score of *one* item, so the heap absorbs one push per
+//! insert instead of rescoring the whole queue per slot.
+
+use std::collections::BinaryHeap;
 
 use hybridcast_sim::time::SimTime;
 use hybridcast_workload::catalog::ItemId;
@@ -27,9 +47,69 @@ pub struct PendingItem {
     pub last_arrival: SimTime,
     /// Every pending request: `(arrival, class)`.
     pub requesters: Vec<(SimTime, ClassId)>,
+    /// Dense pending-request count per class, indexed by `ClassId`; the
+    /// length is `1 + max class index seen` on this entry.
+    class_counts: Vec<u32>,
+    /// Per-class sum of requester arrival times, same indexing as
+    /// `class_counts`.
+    class_arrival_sums: Vec<f64>,
+    /// Sum of all requester arrival times `Σ A_j` — gives O(1) total-wait
+    /// scores (`R_i·now − Σ A_j`) and mean-delay attribution.
+    arrival_sum: f64,
 }
 
 impl PendingItem {
+    fn new(req: &Request, priority: f64) -> Self {
+        let mut entry = PendingItem {
+            item: req.item,
+            total_priority: 0.0,
+            first_arrival: req.arrival,
+            last_arrival: req.arrival,
+            requesters: Vec::with_capacity(4),
+            class_counts: Vec::new(),
+            class_arrival_sums: Vec::new(),
+            arrival_sum: 0.0,
+        };
+        entry.push_request(req, priority);
+        entry
+    }
+
+    /// Reinitializes a recycled entry for `req` (capacity is retained).
+    fn reset(&mut self, req: &Request, priority: f64) {
+        debug_assert!(self.requesters.is_empty(), "recycled entry must be clear");
+        self.item = req.item;
+        self.total_priority = 0.0;
+        self.first_arrival = req.arrival;
+        self.last_arrival = req.arrival;
+        self.arrival_sum = 0.0;
+        self.push_request(req, priority);
+    }
+
+    /// Folds one request into the aggregates.
+    fn push_request(&mut self, req: &Request, priority: f64) {
+        self.total_priority += priority;
+        // Uplink latency can deliver requests out of arrival order; keep
+        // first/last as true extremes.
+        self.first_arrival = self.first_arrival.min(req.arrival);
+        self.last_arrival = self.last_arrival.max(req.arrival);
+        self.requesters.push((req.arrival, req.class));
+        let c = req.class.index();
+        if c >= self.class_counts.len() {
+            self.class_counts.resize(c + 1, 0);
+            self.class_arrival_sums.resize(c + 1, 0.0);
+        }
+        self.class_counts[c] += 1;
+        self.class_arrival_sums[c] += req.arrival.as_f64();
+        self.arrival_sum += req.arrival.as_f64();
+    }
+
+    /// Clears the aggregates for pooling, keeping allocated capacity.
+    fn clear(&mut self) {
+        self.requesters.clear();
+        self.class_counts.clear();
+        self.class_arrival_sums.clear();
+    }
+
     /// Number of pending requests `R_i`.
     #[inline]
     pub fn count(&self) -> usize {
@@ -38,31 +118,147 @@ impl PendingItem {
 
     /// The highest-priority class among pending requesters (smallest
     /// `ClassId`); used by the bandwidth manager to decide whose partition
-    /// a transmission draws from.
-    pub fn dominant_class(&self) -> ClassId {
-        self.requesters
+    /// a transmission draws from. `None` only for an entry with no
+    /// requesters, which the queue never hands out.
+    pub fn dominant_class(&self) -> Option<ClassId> {
+        self.class_counts
             .iter()
-            .map(|&(_, c)| c)
-            .min()
-            .expect("pending item always has at least one requester")
+            .position(|&n| n > 0)
+            .map(|i| ClassId(i as u8))
     }
 
-    /// Pending request count per class, as a dense vector of length
-    /// `num_classes`.
-    pub fn class_counts(&self, num_classes: usize) -> Vec<usize> {
-        let mut counts = vec![0usize; num_classes];
-        for &(_, c) in &self.requesters {
-            counts[c.index()] += 1;
+    /// Writes the pending request count per class into `counts`.
+    ///
+    /// # Panics
+    /// Panics if `counts` is shorter than the highest class index seen on
+    /// this entry.
+    pub fn class_counts(&self, counts: &mut [usize]) {
+        assert!(
+            counts.len() >= self.class_counts.len(),
+            "need {} class slots, got {}",
+            self.class_counts.len(),
+            counts.len()
+        );
+        counts.fill(0);
+        for (out, &n) in counts.iter_mut().zip(&self.class_counts) {
+            *out = n as usize;
         }
-        counts
+    }
+
+    /// Per-class sums of requester arrival times, indexed by class; may be
+    /// shorter than the total number of classes (classes never seen on
+    /// this entry are absent, i.e. zero).
+    pub fn class_arrival_sums(&self) -> &[f64] {
+        &self.class_arrival_sums
+    }
+
+    /// Sum of all requester arrival times `Σ A_j`. The total accumulated
+    /// wait at time `t` is `count()·t − arrival_sum()` without walking
+    /// `requesters`.
+    pub fn arrival_sum(&self) -> f64 {
+        self.arrival_sum
     }
 }
 
-/// The pull queue: per-item request aggregation with linear-scan selection.
+/// One heap record of the score index. Ordering: higher score first, then
+/// lower item id — exactly the scan's tie-break.
+#[derive(Debug, Clone, Copy)]
+struct IndexEntry {
+    score: f64,
+    gen: u64,
+    item: u32,
+}
+
+impl PartialEq for IndexEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for IndexEntry {}
+
+impl PartialOrd for IndexEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for IndexEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Scores are NaN-free (asserted at reindex) and −0.0 is normalized
+        // to 0.0 there, so total_cmp agrees with the scan's `<=` ordering.
+        self.score
+            .total_cmp(&other.score)
+            .then_with(|| other.item.cmp(&self.item))
+    }
+}
+
+/// Lazy-deletion max-heap over per-item scores.
 ///
-/// Selection is a scan over the (≤ `D − K`) active items, which is both
-/// cache-friendly at the paper's scale (`D = 100`) and lets policies see the
-/// full [`PendingItem`] instead of a pre-digested score.
+/// Every mutation of a slot bumps its generation, orphaning any heap
+/// record for that slot; stale records are discarded when they surface at
+/// the top. `live` counts slots whose newest record is still in the heap,
+/// which lets selection assert full coverage cheaply.
+#[derive(Debug, Clone, Default)]
+struct ScoreIndex {
+    heap: BinaryHeap<IndexEntry>,
+    /// Per-slot generation counter; a heap record is current iff its `gen`
+    /// matches.
+    gens: Vec<u64>,
+    /// Per-slot flag: the slot has a current heap record.
+    current: Vec<bool>,
+    /// Number of slots with a current heap record.
+    live: usize,
+}
+
+impl ScoreIndex {
+    fn new(num_items: usize) -> Self {
+        ScoreIndex {
+            heap: BinaryHeap::new(),
+            gens: vec![0; num_items],
+            current: vec![false; num_items],
+            live: 0,
+        }
+    }
+
+    /// Orphans any current record for `idx` (slot content changed).
+    #[inline]
+    fn invalidate(&mut self, idx: usize) {
+        self.gens[idx] += 1;
+        if self.current[idx] {
+            self.current[idx] = false;
+            self.live -= 1;
+        }
+    }
+
+    /// Publishes `score` as the current record for `idx`.
+    fn set(&mut self, idx: usize, score: f64, item: u32) {
+        self.invalidate(idx);
+        self.current[idx] = true;
+        self.live += 1;
+        self.heap.push(IndexEntry {
+            score,
+            gen: self.gens[idx],
+            item,
+        });
+    }
+
+    /// Drops every stale record; O(heap). Called when stale records
+    /// outnumber live ones, so the cost amortizes against the pushes that
+    /// created them.
+    fn compact(&mut self) {
+        let gens = &self.gens;
+        let kept: Vec<IndexEntry> = self
+            .heap
+            .drain()
+            .filter(|e| gens[e.item as usize] == e.gen)
+            .collect();
+        self.heap = BinaryHeap::from(kept);
+    }
+}
+
+/// The pull queue: per-item request aggregation with linear-scan *and*
+/// heap-indexed selection (see the module docs for when each applies).
 #[derive(Debug, Clone)]
 pub struct PullQueue {
     /// Slot per catalog item; `None` when the item has no pending requests.
@@ -75,7 +271,16 @@ pub struct PullQueue {
     inserted: u64,
     served_items: u64,
     served_requests: u64,
+    /// The incremental score index (empty unless `reindex` is used).
+    index: ScoreIndex,
+    /// Recycled entries whose buffers are reused by `insert`.
+    pool: Vec<PendingItem>,
 }
+
+/// Upper bound on pooled entries — enough to cover the in-flight batches
+/// of any channel layout without holding memory proportional to the
+/// catalog.
+const POOL_LIMIT: usize = 1024;
 
 impl PullQueue {
     /// A queue over a catalog of `num_items` items.
@@ -87,36 +292,44 @@ impl PullQueue {
             inserted: 0,
             served_items: 0,
             served_requests: 0,
+            index: ScoreIndex::new(num_items),
+            pool: Vec::new(),
         }
     }
 
     /// Appends `req` (with its requester's priority weight `q_j`) to the
-    /// queue, creating the item entry on first request.
+    /// queue, creating the item entry on first request. Any indexed score
+    /// for the item becomes stale; callers maintaining the index must
+    /// [`PullQueue::reindex`] the item afterwards.
     pub fn insert(&mut self, req: &Request, priority: f64) {
         debug_assert!(priority > 0.0, "priority weights are positive");
-        let slot = &mut self.slots[req.item.index()];
-        match slot {
-            Some(entry) => {
-                entry.total_priority += priority;
-                // Uplink latency can deliver requests out of arrival
-                // order; keep first/last as true extremes.
-                entry.first_arrival = entry.first_arrival.min(req.arrival);
-                entry.last_arrival = entry.last_arrival.max(req.arrival);
-                entry.requesters.push((req.arrival, req.class));
-            }
-            None => {
-                *slot = Some(PendingItem {
-                    item: req.item,
-                    total_priority: priority,
-                    first_arrival: req.arrival,
-                    last_arrival: req.arrival,
-                    requesters: vec![(req.arrival, req.class)],
+        let idx = req.item.index();
+        match &mut self.slots[idx] {
+            Some(entry) => entry.push_request(req, priority),
+            slot @ None => {
+                *slot = Some(match self.pool.pop() {
+                    Some(mut recycled) => {
+                        recycled.reset(req, priority);
+                        recycled
+                    }
+                    None => PendingItem::new(req, priority),
                 });
                 self.active += 1;
             }
         }
+        self.index.invalidate(idx);
         self.total_requests += 1;
         self.inserted += 1;
+    }
+
+    /// Returns a consumed entry's buffers to the allocation pool. Entirely
+    /// optional — skipping it only costs fresh allocations on later
+    /// inserts.
+    pub fn recycle(&mut self, mut entry: PendingItem) {
+        if self.pool.len() < POOL_LIMIT {
+            entry.clear();
+            self.pool.push(entry);
+        }
     }
 
     /// The entry for `item`, if it has pending requests.
@@ -149,6 +362,60 @@ impl PullQueue {
         best.map(|(_, id)| id)
     }
 
+    /// Publishes `score` as `item`'s current index score. Must be called
+    /// after every [`PullQueue::insert`] touching `item` for
+    /// [`PullQueue::select_max_indexed`] to be usable.
+    ///
+    /// # Panics
+    /// Panics (debug) if `item` has no pending requests or `score` is NaN.
+    pub fn reindex(&mut self, item: ItemId, score: f64) {
+        debug_assert!(!score.is_nan(), "index score for {item} is NaN");
+        debug_assert!(
+            self.slots[item.index()].is_some(),
+            "{item} is not in the pull queue"
+        );
+        // Fold −0.0 into 0.0 so total_cmp ties exactly where the scan's
+        // `<=` ties.
+        let score = if score == 0.0 { 0.0 } else { score };
+        self.index.set(item.index(), score, item.0);
+        // Lazy deletion leaves one stale record per superseded score; once
+        // they dominate the heap, sweep them out.
+        if self.index.heap.len() > 2 * self.active + 64 {
+            self.index.compact();
+        }
+    }
+
+    /// The indexed counterpart of [`PullQueue::select_max`]: the item with
+    /// the highest indexed score, ties broken toward the lower item id —
+    /// decision-identical to a scan of the same scores. O(log n) amortized.
+    ///
+    /// Requires every active item to have a current index score (insert →
+    /// reindex discipline); selection coverage is asserted in debug builds.
+    pub fn select_max_indexed(&mut self) -> Option<ItemId> {
+        debug_assert_eq!(
+            self.index.live, self.active,
+            "indexed selection requires every active item to be reindexed"
+        );
+        while let Some(top) = self.index.heap.peek() {
+            if self.index.gens[top.item as usize] == top.gen {
+                return Some(ItemId(top.item));
+            }
+            self.index.heap.pop();
+        }
+        None
+    }
+
+    /// Number of items with a current index score (= active items when the
+    /// insert → reindex discipline is followed).
+    pub fn indexed_len(&self) -> usize {
+        self.index.live
+    }
+
+    #[cfg(test)]
+    fn index_heap_len(&self) -> usize {
+        self.index.heap.len()
+    }
+
     /// Removes `item` from the queue, returning its aggregated entry. Used
     /// both when the item is served and when it is dropped (blocked).
     ///
@@ -158,6 +425,7 @@ impl PullQueue {
         let entry = self.slots[item.index()]
             .take()
             .unwrap_or_else(|| panic!("{item} is not in the pull queue"));
+        self.index.invalidate(item.index());
         self.active -= 1;
         self.total_requests -= entry.count();
         self.served_items += 1;
@@ -190,6 +458,7 @@ impl PullQueue {
         let mut out = Vec::new();
         for idx in 0..k.min(self.slots.len()) {
             if let Some(entry) = self.slots[idx].take() {
+                self.index.invalidate(idx);
                 self.active -= 1;
                 self.total_requests -= entry.count();
                 out.push(entry);
@@ -210,6 +479,7 @@ impl PullQueue {
                 .unwrap_or(false);
             if matches {
                 let entry = self.slots[idx].take().expect("checked Some");
+                self.index.invalidate(idx);
                 self.active -= 1;
                 self.total_requests -= entry.count();
                 out.push(entry);
@@ -259,6 +529,7 @@ mod tests {
         assert!((e.total_priority - 4.0).abs() < 1e-12);
         assert_eq!(e.first_arrival, SimTime::new(1.0));
         assert_eq!(e.last_arrival, SimTime::new(2.0));
+        assert!((e.arrival_sum() - 3.0).abs() < 1e-12);
     }
 
     #[test]
@@ -268,8 +539,28 @@ mod tests {
         q.insert(&req(2.0, 3, 0), 3.0);
         q.insert(&req(3.0, 3, 1), 2.0);
         let e = q.get(ItemId(3)).unwrap();
-        assert_eq!(e.dominant_class(), ClassId(0));
-        assert_eq!(e.class_counts(3), vec![1, 1, 1]);
+        assert_eq!(e.dominant_class(), Some(ClassId(0)));
+        let mut counts = [0usize; 3];
+        e.class_counts(&mut counts);
+        assert_eq!(counts, [1, 1, 1]);
+    }
+
+    #[test]
+    fn class_aggregates_track_inserts() {
+        let mut q = PullQueue::new(10);
+        q.insert(&req(1.0, 3, 2), 1.0);
+        q.insert(&req(4.0, 3, 2), 1.0);
+        q.insert(&req(2.0, 3, 1), 2.0);
+        let e = q.get(ItemId(3)).unwrap();
+        // class 0 never seen → sums vector stops at the max class index
+        assert_eq!(e.class_arrival_sums().len(), 3);
+        assert!((e.class_arrival_sums()[2] - 5.0).abs() < 1e-12);
+        assert!((e.class_arrival_sums()[1] - 2.0).abs() < 1e-12);
+        assert!((e.arrival_sum() - 7.0).abs() < 1e-12);
+        // a wider caller buffer is zero-filled beyond the seen classes
+        let mut counts = [9usize; 5];
+        e.class_counts(&mut counts);
+        assert_eq!(counts, [0, 1, 2, 0, 0]);
     }
 
     #[test]
@@ -299,6 +590,71 @@ mod tests {
     }
 
     #[test]
+    fn indexed_select_matches_scan() {
+        let mut q = PullQueue::new(10);
+        for &(t, i) in &[(1.0, 2u32), (1.5, 7), (2.0, 7), (2.5, 4)] {
+            q.insert(&req(t, i, 0), 1.0);
+            let e = q.get(ItemId(i)).unwrap();
+            let s = e.count() as f64;
+            q.reindex(ItemId(i), s);
+        }
+        assert_eq!(q.indexed_len(), 3);
+        let scan = q.select_max(|e| e.count() as f64);
+        let indexed = q.select_max_indexed();
+        assert_eq!(indexed, scan);
+        assert_eq!(indexed, Some(ItemId(7)));
+    }
+
+    #[test]
+    fn indexed_select_ties_break_to_lower_rank() {
+        let mut q = PullQueue::new(10);
+        for i in [8u32, 4, 6] {
+            q.insert(&req(1.0, i, 0), 1.0);
+            q.reindex(ItemId(i), 1.0);
+        }
+        assert_eq!(q.select_max_indexed(), Some(ItemId(4)));
+        // −0.0 and 0.0 are the same tie class
+        let mut q = PullQueue::new(10);
+        q.insert(&req(1.0, 5, 0), 1.0);
+        q.reindex(ItemId(5), 0.0);
+        q.insert(&req(1.0, 3, 0), 1.0);
+        q.reindex(ItemId(3), -0.0);
+        assert_eq!(q.select_max_indexed(), Some(ItemId(3)));
+    }
+
+    #[test]
+    fn indexed_select_skips_stale_records() {
+        let mut q = PullQueue::new(10);
+        q.insert(&req(1.0, 2, 0), 1.0);
+        q.reindex(ItemId(2), 5.0);
+        q.insert(&req(2.0, 6, 0), 1.0);
+        q.reindex(ItemId(6), 1.0);
+        // item 2 leaves; its heap record is stale and must be skipped
+        let _ = q.remove(ItemId(2));
+        assert_eq!(q.select_max_indexed(), Some(ItemId(6)));
+        // a re-inserted item picks up its fresh score, not the stale 5.0
+        q.insert(&req(3.0, 2, 0), 1.0);
+        q.reindex(ItemId(2), 0.5);
+        assert_eq!(q.select_max_indexed(), Some(ItemId(6)));
+    }
+
+    #[test]
+    fn index_heap_compacts_under_churn() {
+        let mut q = PullQueue::new(4);
+        for round in 0..10_000u32 {
+            let i = round % 4;
+            q.insert(&req(round as f64, i, 0), 1.0);
+            q.reindex(ItemId(i), (round % 17) as f64);
+            if round % 3 == 0 {
+                let sel = q.select_max_indexed().unwrap();
+                q.remove(sel);
+            }
+        }
+        // lazy deletion is bounded: stale records never dominate for long
+        assert!(q.index_heap_len() <= 2 * q.len() + 64 + 1);
+    }
+
+    #[test]
     fn remove_clears_all_pending_requests() {
         let mut q = PullQueue::new(10);
         q.insert(&req(1.0, 3, 0), 3.0);
@@ -324,6 +680,27 @@ mod tests {
     }
 
     #[test]
+    fn recycled_entries_start_fresh() {
+        let mut q = PullQueue::new(10);
+        q.insert(&req(1.0, 3, 0), 3.0);
+        q.insert(&req(2.0, 3, 2), 1.0);
+        let served = q.remove(ItemId(3));
+        q.recycle(served);
+        // the pooled buffers must not leak into the next entry
+        q.insert(&req(5.0, 7, 1), 2.0);
+        let e = q.get(ItemId(7)).unwrap();
+        assert_eq!(e.item, ItemId(7));
+        assert_eq!(e.count(), 1);
+        assert_eq!(e.first_arrival, SimTime::new(5.0));
+        assert_eq!(e.dominant_class(), Some(ClassId(1)));
+        assert!((e.total_priority - 2.0).abs() < 1e-12);
+        assert!((e.arrival_sum() - 5.0).abs() < 1e-12);
+        let mut counts = [0usize; 3];
+        e.class_counts(&mut counts);
+        assert_eq!(counts, [0, 1, 0]);
+    }
+
+    #[test]
     #[should_panic(expected = "not in the pull queue")]
     fn remove_missing_panics() {
         let mut q = PullQueue::new(5);
@@ -345,16 +722,21 @@ mod tests {
         let mut q = PullQueue::new(10);
         for i in [1u32, 4, 7] {
             q.insert(&req(1.0, i, 0), 1.0);
+            q.reindex(ItemId(i), 1.0);
         }
         let below = q.drain_below(5);
         assert_eq!(below.len(), 2);
         assert_eq!(q.len(), 1);
+        assert_eq!(q.indexed_len(), 1);
         q.insert(&req(2.0, 2, 0), 1.0);
+        q.reindex(ItemId(2), 1.0);
         let odd = q.drain_matching(|it| it.0 % 2 == 1);
         assert_eq!(odd.len(), 1);
         assert_eq!(odd[0].item, ItemId(7));
         assert_eq!(q.len(), 1);
         assert_eq!(q.get(ItemId(2)).unwrap().count(), 1);
+        // the drained items' records are stale; selection still works
+        assert_eq!(q.select_max_indexed(), Some(ItemId(2)));
     }
 
     #[test]
@@ -369,7 +751,8 @@ mod tests {
                 }
             }
             if let Some(sel) = q.select_max(|e| e.total_priority) {
-                q.remove(sel);
+                let served = q.remove(sel);
+                q.recycle(served);
             }
         }
         // conservation: inserted == extracted + still pending
@@ -384,5 +767,14 @@ mod tests {
             q.total_requests(),
             q.iter().map(|e| e.count()).sum::<usize>()
         );
+        // per-entry aggregates stay consistent with the requester lists
+        for e in q.iter() {
+            assert_eq!(
+                e.count() as u64,
+                e.class_counts.iter().map(|&n| n as u64).sum::<u64>()
+            );
+            let walked: f64 = e.requesters.iter().map(|&(a, _)| a.as_f64()).sum();
+            assert!((e.arrival_sum() - walked).abs() < 1e-9);
+        }
     }
 }

@@ -194,6 +194,8 @@ struct Driver {
     layout: ChannelLayout,
     /// Split layout only: pull channels currently idle.
     idle_pull_channels: u32,
+    /// Scratch buffer for per-class counts of dropped entries.
+    class_counts_buf: Vec<usize>,
 }
 
 impl Driver {
@@ -206,11 +208,25 @@ impl Driver {
     }
 
     fn record_dropped(&mut self, dropped: Vec<crate::queue::PendingItem>) {
+        if dropped.is_empty() {
+            return;
+        }
+        self.class_counts_buf
+            .resize(self.scheduler.classes().len(), 0);
         for entry in dropped {
             self.metrics.record_blocked_item();
-            for &(arrival, class) in &entry.requesters {
-                self.metrics.record_blocked(class, arrival);
+            entry.class_counts(&mut self.class_counts_buf);
+            if !self
+                .metrics
+                .record_blocked_batch(&self.class_counts_buf, entry.first_arrival)
+            {
+                // The batch straddles the warmup boundary: attribute each
+                // request individually.
+                for &(arrival, class) in &entry.requesters {
+                    self.metrics.record_blocked(class, arrival);
+                }
             }
+            self.scheduler.recycle(entry);
         }
     }
 
@@ -339,6 +355,7 @@ impl Driver {
                                 self.metrics
                                     .record_served(class, TxKind::Pull, arrival, now);
                             }
+                            self.scheduler.recycle(batch);
                         }
                         match self.layout {
                             ChannelLayout::Interleaved => self.dispatch(eng, now),
@@ -526,6 +543,7 @@ pub fn simulate(scenario: &Scenario, hybrid: &HybridConfig, params: &SimParams) 
                 pull_channels
             }
         },
+        class_counts_buf: Vec::new(),
     };
 
     let mut engine: Engine<Event> = Engine::new();
@@ -587,6 +605,7 @@ pub fn simulate_with_source(
                 pull_channels
             }
         },
+        class_counts_buf: Vec::new(),
     };
     let mut engine: Engine<Event> = Engine::new();
     if let Some(t) = driver.gen.peek() {
@@ -656,6 +675,7 @@ pub fn simulate_adaptive(
                 pull_channels
             }
         },
+        class_counts_buf: Vec::new(),
     };
 
     let mut engine: Engine<Event> = Engine::new();

@@ -1,0 +1,204 @@
+//! Property test for the incremental score index: under randomized
+//! insert/serve/drain interleavings, heap-indexed selection
+//! ([`PullQueue::select_max_indexed`]) must return exactly the item the
+//! linear-scan oracle ([`PullQueue::select_max`]) picks — including
+//! tie-breaks — for every policy, at every decision point.
+//!
+//! The generator deliberately provokes ties: a handful of items, three
+//! discrete priority weights, and repeated inserts make equal request
+//! counts and equal priority sums common, so the lower-item-id tie-break
+//! is exercised constantly rather than incidentally.
+
+use proptest::prelude::*;
+
+use hybridcast_core::pull::{IndexContext, PullContext, PullPolicyKind};
+use hybridcast_core::queue::PullQueue;
+use hybridcast_sim::rng::{streams, RngFactory};
+use hybridcast_sim::time::SimTime;
+use hybridcast_workload::catalog::{Catalog, ItemId};
+use hybridcast_workload::classes::{ClassId, ClassSet};
+use hybridcast_workload::lengths::LengthModel;
+use hybridcast_workload::popularity::PopularityModel;
+use hybridcast_workload::requests::Request;
+
+const D: u32 = 8;
+
+fn catalog() -> Catalog {
+    let factory = RngFactory::new(2005);
+    let mut rng = factory.stream(streams::LENGTHS);
+    Catalog::build(
+        D as usize,
+        &PopularityModel::zipf(0.8),
+        &LengthModel::Uniform { min: 1, max: 4 },
+        &mut rng,
+    )
+}
+
+/// Every policy kind, incremental and scan-only alike.
+fn all_kinds() -> Vec<PullPolicyKind> {
+    let mut kinds = PullPolicyKind::baselines();
+    kinds.push(PullPolicyKind::Importance {
+        alpha: 0.5,
+        exponent: 2.0,
+    });
+    // α extremes maximize tie density (pure priority / pure stretch).
+    kinds.push(PullPolicyKind::Importance {
+        alpha: 0.0,
+        exponent: 2.0,
+    });
+    kinds.push(PullPolicyKind::Importance {
+        alpha: 1.0,
+        exponent: 2.0,
+    });
+    kinds.push(PullPolicyKind::ImportanceExpected {
+        alpha: 0.5,
+        exponent: 2.0,
+    });
+    kinds
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Queue a request for `item` from `class`.
+    Insert { item: u32, class: u8 },
+    /// Select the best item (indexed vs scan must agree), then serve it.
+    ServeBest,
+    /// Cutoff move: drop all queued items with rank < k.
+    DrainBelow { k: u32 },
+}
+
+fn op_strategy() -> BoxedStrategy<Op> {
+    prop_oneof![
+        5 => (0u32..D, 0u8..3).prop_map(|(item, class)| Op::Insert { item, class }),
+        3 => Just(Op::ServeBest),
+        1 => (0u32..D).prop_map(|k| Op::DrainBelow { k }),
+    ]
+    .boxed()
+}
+
+/// Replays `ops` against one queue under `kind`, asserting at every
+/// selection that the indexed and scan decisions are identical.
+fn check_kind(kind: PullPolicyKind, ops: &[Op], cat: &Catalog, classes: &ClassSet) {
+    let policy = kind.build();
+    let mut q = PullQueue::new(D as usize);
+    let ictx = IndexContext {
+        catalog: cat,
+        classes,
+    };
+    let mut selections_scan: Vec<ItemId> = Vec::new();
+    let mut selections_indexed: Vec<ItemId> = Vec::new();
+    for (step, op) in ops.iter().enumerate() {
+        let now = SimTime::new(step as f64 * 0.5);
+        match *op {
+            Op::Insert { item, class } => {
+                let req = Request {
+                    arrival: now,
+                    item: ItemId(item),
+                    class: ClassId(class),
+                };
+                q.insert(&req, classes.priority(req.class));
+                if policy.score_is_local() {
+                    let s = policy.rescore(q.get(req.item).unwrap(), &ictx);
+                    q.reindex(req.item, s);
+                }
+            }
+            Op::ServeBest => {
+                // Cycle the queue-average estimate through zero to hit the
+                // Eq. 6 degenerate regime where the index must NOT be used.
+                let mean_queue_len = (step % 4) as f64 * 2.5;
+                let ctx = PullContext {
+                    catalog: cat,
+                    classes,
+                    now,
+                    mean_queue_len,
+                };
+                let scan = q.select_max(|e| policy.score(e, &ctx));
+                let indexed = if policy.score_is_local() && policy.index_usable(&ctx) {
+                    q.select_max_indexed()
+                } else {
+                    scan
+                };
+                prop_assert_eq!(
+                    indexed,
+                    scan,
+                    "{}: step {} indexed {:?} vs scan {:?}",
+                    policy.name(),
+                    step,
+                    indexed,
+                    scan
+                );
+                if let Some(sel) = scan {
+                    selections_scan.push(sel);
+                    if let Some(isel) = indexed {
+                        selections_indexed.push(isel);
+                    }
+                    let served = q.remove(sel);
+                    prop_assert!(served.count() > 0);
+                    prop_assert!(served.dominant_class().is_some());
+                    q.recycle(served);
+                }
+            }
+            Op::DrainBelow { k } => {
+                let _ = q.drain_below(k as usize);
+            }
+        }
+    }
+    // The full decision *sequences* agree, not just individual picks.
+    prop_assert_eq!(selections_indexed, selections_scan);
+}
+
+proptest! {
+    #[test]
+    fn indexed_selection_matches_scan_oracle(
+        ops in proptest::collection::vec(op_strategy(), 1..160)
+    ) {
+        let cat = catalog();
+        let classes = ClassSet::paper_default();
+        for kind in all_kinds() {
+            check_kind(kind, &ops, &cat, &classes);
+        }
+    }
+}
+
+/// Deterministic regression: a dense tie storm (every item same length,
+/// same class, same count) must resolve to the lowest item id on both
+/// paths, every time.
+#[test]
+fn tie_storm_resolves_identically() {
+    let probs = vec![1.0 / D as f64; D as usize];
+    let lengths = vec![2u32; D as usize];
+    let cat = Catalog::from_parts(probs, lengths);
+    let classes = ClassSet::paper_default();
+    for kind in all_kinds() {
+        let policy = kind.build();
+        let mut q = PullQueue::new(D as usize);
+        let ictx = IndexContext {
+            catalog: &cat,
+            classes: &classes,
+        };
+        for item in (0..D).rev() {
+            let req = Request {
+                arrival: SimTime::new(1.0),
+                item: ItemId(item),
+                class: ClassId(1),
+            };
+            q.insert(&req, classes.priority(req.class));
+            if policy.score_is_local() {
+                let s = policy.rescore(q.get(req.item).unwrap(), &ictx);
+                q.reindex(req.item, s);
+            }
+        }
+        let ctx = PullContext {
+            catalog: &cat,
+            classes: &classes,
+            now: SimTime::new(5.0),
+            mean_queue_len: 3.0,
+        };
+        // All scores equal ⇒ both paths must pick item 0.
+        let scan = q.select_max(|e| policy.score(e, &ctx));
+        assert_eq!(scan, Some(ItemId(0)), "{} scan", policy.name());
+        if policy.score_is_local() && policy.index_usable(&ctx) {
+            assert_eq!(q.select_max_indexed(), scan, "{} indexed", policy.name());
+        }
+    }
+}

@@ -268,6 +268,15 @@ impl TimeWeighted {
             t >= self.last_t,
             "time-weighted updates must be non-decreasing in time"
         );
+        // Equal-value "transitions" are common on hot paths (the pull
+        // queue's item count is unchanged when a request joins an already
+        // queued item); the trajectory is identical either way, so defer
+        // the area accumulation to the next real transition. Accumulating
+        // one `last_v·(t₂−t₀)` instead of two partial spans also rounds
+        // less.
+        if v == self.last_v {
+            return;
+        }
         self.area += self.last_v * (t - self.last_t).as_f64();
         self.last_t = t;
         self.last_v = v;

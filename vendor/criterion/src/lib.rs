@@ -1,0 +1,264 @@
+//! Offline stand-in for `criterion` (see `vendor/rand/src/lib.rs` for why
+//! the workspace vendors its dependencies).
+//!
+//! Mirrors the API surface hybridcast's benches use — `criterion_group!` /
+//! `criterion_main!`, benchmark groups, `bench_function`,
+//! `bench_with_input`, `Bencher::iter` / `iter_batched`, `black_box` — and
+//! really times the closures, but with a simple calibrated loop (short
+//! warmup, then enough iterations to fill a fixed measuring window)
+//! reporting mean ns/iteration to stdout. No statistical analysis, HTML
+//! reports, or CLI argument parsing.
+
+
+#![allow(clippy::all, clippy::pedantic)]
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The stand-in times every batch
+/// individually regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input for every single iteration.
+    PerIteration,
+}
+
+/// A `function-name/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/param`.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{param}", name.into()),
+        }
+    }
+
+    /// Builds a parameter-only id.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by `iter`/`iter_batched`.
+    result_ns: f64,
+    measure_for: Duration,
+}
+
+impl Bencher {
+    fn new(measure_for: Duration) -> Self {
+        Bencher {
+            result_ns: f64::NAN,
+            measure_for,
+        }
+    }
+
+    /// Times `routine` over a calibrated number of iterations.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warmup + calibration: estimate per-iteration cost.
+        let calib_start = Instant::now();
+        let mut calib_iters = 0u64;
+        while calib_start.elapsed() < self.measure_for / 10 || calib_iters < 3 {
+            black_box(routine());
+            calib_iters += 1;
+            if calib_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = calib_start.elapsed().as_secs_f64() / calib_iters as f64;
+        let target = (self.measure_for.as_secs_f64() / per_iter.max(1e-9)) as u64;
+        let iters = target.clamp(3, 10_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.result_ns = start.elapsed().as_secs_f64() * 1e9 / iters as f64;
+    }
+
+    /// Times `routine` on inputs produced by `setup`; setup time excluded.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let wall = Instant::now();
+        while (total < self.measure_for || iters < 3) && wall.elapsed() < self.measure_for * 20 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+            if iters >= 1_000_000 {
+                break;
+            }
+        }
+        self.result_ns = total.as_secs_f64() * 1e9 / iters as f64;
+    }
+}
+
+fn report(name: &str, ns: f64) {
+    let (value, unit) = if ns >= 1e9 {
+        (ns / 1e9, "s")
+    } else if ns >= 1e6 {
+        (ns / 1e6, "ms")
+    } else if ns >= 1e3 {
+        (ns / 1e3, "µs")
+    } else {
+        (ns, "ns")
+    };
+    println!("{name:<50} time: {value:>10.3} {unit}/iter");
+}
+
+/// The benchmark registry/driver.
+pub struct Criterion {
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measure_for: Duration::from_millis(60),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.measure_for);
+        f(&mut b);
+        report(&name.to_string(), b.result_ns);
+        self
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in's timing loop does not
+    /// use a fixed sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.criterion.measure_for = time.min(Duration::from_millis(250));
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.criterion.measure_for);
+        f(&mut b);
+        report(&format!("{}/{name}", self.name), b.result_ns);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.criterion.measure_for);
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), b.result_ns);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut b = Bencher::new(Duration::from_millis(5));
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        assert!(b.result_ns.is_finite() && b.result_ns > 0.0);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher::new(Duration::from_millis(5));
+        b.iter_batched(
+            || vec![1u64; 64],
+            |v| v.iter().sum::<u64>(),
+            BatchSize::SmallInput,
+        );
+        assert!(b.result_ns.is_finite() && b.result_ns > 0.0);
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion {
+            measure_for: Duration::from_millis(2),
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10)
+            .bench_function("f", |b| b.iter(|| black_box(1u32) + 1));
+        g.bench_with_input(BenchmarkId::new("p", 3), &3u32, |b, &x| {
+            b.iter(|| black_box(x) * 2)
+        });
+        g.finish();
+    }
+}

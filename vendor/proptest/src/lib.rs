@@ -1,0 +1,129 @@
+//! Offline stand-in for `proptest` (see `vendor/rand/src/lib.rs` for why
+//! the workspace vendors its dependencies).
+//!
+//! Covers the surface hybridcast's model-based tests use: the [`Strategy`]
+//! trait with `prop_map`/`boxed`, range/tuple/`Just`/`vec`/bool strategies,
+//! weighted `prop_oneof!`, and the `proptest!` test-runner macro with
+//! `ProptestConfig::with_cases`. Cases are generated from a deterministic
+//! per-test PRNG (seeded from the test name), so failures reproduce
+//! run-to-run. There is **no shrinking**: a failing case panics through the
+//! normal assertion message on the exact generated inputs.
+
+
+#![allow(clippy::all, clippy::pedantic)]
+pub mod strategy;
+pub mod test_runner;
+
+/// `proptest::collection::vec` and friends.
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// Strategy producing `Vec`s of `element` values with a length drawn
+    /// from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// `proptest::bool::ANY`.
+pub mod bool {
+    /// Strategy producing uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolAny;
+
+    /// Uniformly random booleans.
+    pub const ANY: BoolAny = BoolAny;
+
+    impl crate::strategy::Strategy for BoolAny {
+        type Value = bool;
+        fn generate(&self, rng: &mut crate::test_runner::TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// The glob-import surface: `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts `cond`, reporting through the current test case on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality, reporting through the current test case on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality, reporting through the current test case on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Weighted union of strategies: `prop_oneof![3 => a, 1 => b]` picks `a`
+/// three times as often as `b`. Unweighted arms default to weight 1.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( (($weight) as u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( (1u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+}
+
+/// Declares `#[test]` functions whose arguments are drawn from strategies.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn holds(x in 0u32..10, (a, b) in (0u8..3, 0u8..3)) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { @config($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            @config($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@config($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for __case in 0..config.cases {
+                let ($($pat,)+) = (
+                    $( $crate::strategy::Strategy::generate(&($strat), &mut __rng) ,)+
+                );
+                $body
+            }
+        }
+    )*};
+}

@@ -1,0 +1,133 @@
+//! Offline stand-in for `rand_distr`: the [`Distribution`] trait and an
+//! exact [`Poisson`] sampler (Knuth's product-of-uniforms method, chunked
+//! so large means do not underflow). See `vendor/rand` for why this exists.
+
+
+#![allow(clippy::all, clippy::pedantic)]
+use rand::Rng;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned by distribution constructors on invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoissonError;
+
+impl std::fmt::Display for PoissonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Poisson mean must be positive and finite")
+    }
+}
+
+impl std::error::Error for PoissonError {}
+
+/// Poisson counting distribution with mean `lambda`.
+///
+/// Sampling uses Knuth's multiplication method in chunks of `e⁻⁵⁰⁰` so the
+/// running product never underflows, which keeps the draw *exact* for any
+/// finite mean (at O(λ) cost — fine for the workloads here, where per-item
+/// bandwidth demands have single-digit means).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson<F> {
+    lambda: F,
+}
+
+impl Poisson<f64> {
+    /// Builds the distribution; `lambda` must be positive and finite.
+    pub fn new(lambda: f64) -> Result<Self, PoissonError> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Poisson { lambda })
+        } else {
+            Err(PoissonError)
+        }
+    }
+
+    /// The mean (= variance) of the law.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+}
+
+impl Distribution<f64> for Poisson<f64> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Knuth: count uniforms whose running product stays above e^-λ.
+        // Chunked at λ' = 500 per round to avoid exp underflow.
+        const CHUNK: f64 = 500.0;
+        let mut remaining = self.lambda;
+        let mut count: u64 = 0;
+        loop {
+            let lam = remaining.min(CHUNK);
+            let threshold = (-lam).exp();
+            let mut p = 1.0f64;
+            loop {
+                p *= rng.gen::<f64>();
+                if p <= threshold {
+                    break;
+                }
+                count += 1;
+            }
+            remaining -= lam;
+            if remaining <= 0.0 {
+                return count as f64;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    struct Walk(u64);
+    impl RngCore for Walk {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let b = self.next_u64().to_le_bytes();
+                let n = chunk.len();
+                chunk.copy_from_slice(&b[..n]);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_lambda() {
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Poisson::new(-1.0).is_err());
+        assert!(Poisson::new(f64::NAN).is_err());
+        assert!(Poisson::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn small_mean_matches_moments() {
+        let d = Poisson::new(3.0).unwrap();
+        let mut rng = Walk(11);
+        let n = 50_000;
+        let draws: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 3.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn large_mean_does_not_underflow() {
+        let d = Poisson::new(2_000.0).unwrap();
+        let mut rng = Walk(5);
+        let x = d.sample(&mut rng);
+        assert!((1_500.0..2_500.0).contains(&x), "draw {x}");
+    }
+}

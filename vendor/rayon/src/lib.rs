@@ -1,0 +1,145 @@
+//! Offline stand-in for `rayon`: just the `into_par_iter().map(..).collect()`
+//! pipeline the experiment harness uses, executed for real on scoped
+//! `std::thread` chunks (contiguous chunks, results re-assembled in input
+//! order). See `vendor/rand` for why the workspace vendors its deps.
+
+
+#![allow(clippy::all, clippy::pedantic)]
+/// The adapters re-exported by `rayon::prelude`.
+pub mod prelude {
+    pub use crate::IntoParallelIterator;
+}
+
+/// Conversion into a (materialized) parallel iterator.
+pub trait IntoParallelIterator: Sized {
+    /// Element type.
+    type Item;
+    /// Materializes the input; parallelism happens at the consuming step.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {
+    type Item = T::Item;
+    fn into_par_iter(self) -> ParIter<T::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// A materialized parallel iterator.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T> ParIter<T> {
+    /// Maps each element through `f` (executed in parallel at `collect`).
+    pub fn map<U, F: Fn(T) -> U + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel pipeline awaiting its consumer.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    fn run<U: Send>(self) -> Vec<U>
+    where
+        F: Fn(T) -> U + Sync,
+    {
+        let ParMap { mut items, f } = self;
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n);
+        if threads <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let chunk = n.div_ceil(threads);
+        // Split into owned contiguous chunks, keeping input order.
+        let mut chunks: Vec<Vec<T>> = Vec::new();
+        while items.len() > chunk {
+            let rest = items.split_off(chunk);
+            chunks.push(std::mem::replace(&mut items, rest));
+        }
+        chunks.push(items);
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<U>>()))
+                .collect();
+            let mut out = Vec::with_capacity(n);
+            for h in handles {
+                out.extend(h.join().expect("worker thread panicked"));
+            }
+            out
+        })
+    }
+
+    /// Runs the pipeline and collects results in input order.
+    pub fn collect<C, U>(self) -> C
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+        C: FromIterator<U>,
+    {
+        self.run().into_iter().collect()
+    }
+
+    /// Runs the pipeline for its side effects.
+    pub fn for_each<U>(self)
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        let _ = self.run();
+    }
+
+    /// Runs the pipeline and sums the results.
+    pub fn sum<U>(self) -> U
+    where
+        U: Send + std::iter::Sum<U>,
+        F: Fn(T) -> U + Sync,
+    {
+        self.run().into_iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let out: Vec<u64> = (0u64..1000).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out.len(), 1000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
+        let one: Vec<u32> = vec![7u32].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        let s: u64 = (1u64..=100).into_par_iter().map(|x| x).sum();
+        assert_eq!(s, 5050);
+    }
+}

@@ -1,0 +1,422 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no network access to a crate registry, so the
+//! workspace vendors the handful of external crates it uses (see
+//! `vendor/rand/src/lib.rs` for the full rationale). This crate keeps the
+//! parts of serde's surface hybridcast touches — `#[derive(Serialize,
+//! Deserialize)]`, `Option`/`Vec`/map/primitive impls, and the attributes
+//! `default`, `default = "path"`, `rename_all`, `tag`, and `transparent` —
+//! over a deliberately simplified data model: everything serializes into a
+//! JSON-shaped [`Value`] tree and deserializes back out of one, instead of
+//! streaming through Serializer/Deserializer visitors. `serde_json` is then
+//! a thin text layer over [`Value`].
+
+
+#![allow(clippy::all, clippy::pedantic)]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value;
+pub use value::{Number, Value};
+
+/// Serialization/deserialization error: a message, optionally prefixed with
+/// the field path where it occurred.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Builds an error from a message.
+    pub fn msg(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+
+    /// "expected X, found Y" constructor.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        Error::msg(format!("expected {what}, found {}", found.kind()))
+    }
+
+    /// Returns the error with `context` prefixed (e.g. a field name).
+    pub fn context(self, context: &str) -> Self {
+        Error::msg(format!("{context}: {}", self.msg))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn serialize_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a value tree.
+    ///
+    /// Missing struct fields are passed in as [`Value::Null`], which is how
+    /// `Option` fields default to `None` without an explicit attribute.
+    fn deserialize_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Alias so code written against real serde's `DeserializeOwned` bound works.
+pub trait DeserializeOwned: Deserialize {}
+impl<T: Deserialize> DeserializeOwned for T {}
+
+/// Name-compatible module: real serde exposes `serde::de::DeserializeOwned`.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned, Error};
+}
+
+/// Name-compatible module for `serde::ser::Serialize` paths.
+pub mod ser {
+    pub use crate::{Error, Serialize};
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::expected("bool", v))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::expected("number", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::Number(Number::Float(*self as f64))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| Error::expected("number", v))
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let u = v.as_u64().ok_or_else(|| Error::expected("unsigned integer", v))?;
+                <$t>::try_from(u).map_err(|_| {
+                    Error::msg(format!("{u} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                let x = *self as i64;
+                if x < 0 {
+                    Value::Number(Number::NegInt(x))
+                } else {
+                    Value::Number(Number::PosInt(x as u64))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let i = v.as_i64().ok_or_else(|| Error::expected("integer", v))?;
+                <$t>::try_from(i).map_err(|_| {
+                    Error::msg(format!("{i} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::expected("string", v))
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(x) => x.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        let arr = v.as_array().ok_or_else(|| Error::expected("array", v))?;
+        arr.iter()
+            .enumerate()
+            .map(|(i, x)| T::deserialize_value(x).map_err(|e| e.context(&format!("[{i}]"))))
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::deserialize_value(v)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::msg(format!("expected array of length {N}, found {len}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        T::deserialize_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let arr = v.as_array().ok_or_else(|| Error::expected("array", v))?;
+                let expected = [$($idx),+].len();
+                if arr.len() != expected {
+                    return Err(Error::msg(format!(
+                        "expected array of length {expected}, found {}", arr.len()
+                    )));
+                }
+                Ok(($($name::deserialize_value(&arr[$idx])
+                    .map_err(|e| e.context(&format!("[{}]", $idx)))?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        let obj = v.as_object().ok_or_else(|| Error::expected("object", v))?;
+        obj.iter()
+            .map(|(k, x)| {
+                V::deserialize_value(x)
+                    .map(|x| (k.clone(), x))
+                    .map_err(|e| e.context(k))
+            })
+            .collect()
+    }
+}
+
+impl<V: Serialize, S: std::hash::BuildHasher> Serialize for std::collections::HashMap<String, V, S> {
+    fn serialize_value(&self) -> Value {
+        // Sort keys so output is deterministic, like a BTreeMap would be.
+        let mut entries: Vec<_> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.serialize_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize
+    for std::collections::HashMap<String, V, S>
+{
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        let obj = v.as_object().ok_or_else(|| Error::expected("object", v))?;
+        obj.iter()
+            .map(|(k, x)| {
+                V::deserialize_value(x)
+                    .map(|x| (k.clone(), x))
+                    .map_err(|e| e.context(k))
+            })
+            .collect()
+    }
+}
+
+// `Value` itself round-trips through serialization unchanged.
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::deserialize_value(&42u64.serialize_value()).unwrap(), 42);
+        assert_eq!(
+            i32::deserialize_value(&(-7i32).serialize_value()).unwrap(),
+            -7
+        );
+        assert_eq!(
+            f64::deserialize_value(&1.5f64.serialize_value()).unwrap(),
+            1.5
+        );
+        assert!(bool::deserialize_value(&true.serialize_value()).unwrap());
+        assert_eq!(
+            String::deserialize_value(&"hi".serialize_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn option_null_is_none() {
+        assert_eq!(Option::<u32>::deserialize_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<u32>::deserialize_value(&3u32.serialize_value()).unwrap(),
+            Some(3)
+        );
+        assert_eq!(Option::<u32>::None.serialize_value(), Value::Null);
+    }
+
+    #[test]
+    fn vec_and_tuple_round_trip() {
+        let v = vec![(1u32, 2.5f64), (3, 4.5)];
+        let tree = v.serialize_value();
+        let back = Vec::<(u32, f64)>::deserialize_value(&tree).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn out_of_range_int_errors() {
+        let tree = 300u64.serialize_value();
+        assert!(u8::deserialize_value(&tree).is_err());
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let text = r#"{"a": [1, -2, 3.5], "b": {"nested": true}, "c": null, "s": "x\ny"}"#;
+        let v = value::parse(text).unwrap();
+        let mut out = String::new();
+        v.write_compact(&mut out);
+        let v2 = value::parse(&out).unwrap();
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn float_formatting_keeps_decimal_point() {
+        let mut out = String::new();
+        Value::Number(Number::Float(2.0)).write_compact(&mut out);
+        assert_eq!(out, "2.0");
+        out.clear();
+        Value::Number(Number::PosInt(2)).write_compact(&mut out);
+        assert_eq!(out, "2");
+    }
+}

@@ -1,0 +1,580 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The registry is unreachable in this build environment (see
+//! `vendor/rand/src/lib.rs`), and the real `serde_derive` needs `syn` +
+//! `quote`, which would drag in a large dependency tree to vendor. Since the
+//! vendored `serde` uses a simplified value-tree data model, the derive only
+//! has to know each type's *shape* — field names, variant names, and serde
+//! attributes — never its types (those resolve through trait dispatch in the
+//! generated code). That is little enough structure to parse straight out of
+//! the `proc_macro::TokenStream`, so this crate does exactly that and emits
+//! the impls as source text.
+//!
+//! Supported shapes (everything the workspace derives):
+//! - named-field structs, with `#[serde(default)]` / `#[serde(default =
+//!   "path")]` on fields;
+//! - tuple structs with exactly one field (newtypes), which serialize as
+//!   their inner value, with or without `#[serde(transparent)]`;
+//! - enums of unit and named-field variants, externally tagged or internally
+//!   tagged via `#[serde(tag = "...")]`, with `#[serde(rename_all =
+//!   "snake_case")]`.
+//!
+//! Anything else panics with a descriptive message at expansion time, which
+//! surfaces as a compile error pointing at the derive.
+
+
+#![allow(clippy::all, clippy::pedantic)]
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-tree flavour).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` (value-tree flavour).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Shape model
+// ---------------------------------------------------------------------------
+
+/// One `key` or `key = "value"` entry from a `#[serde(...)]` attribute.
+#[derive(Debug, Clone)]
+struct SerdeAttr {
+    key: String,
+    value: Option<String>,
+}
+
+/// A named field and its serde attributes.
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: Vec<SerdeAttr>,
+}
+
+/// The body of a struct or enum variant.
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<Field>),
+    /// Tuple body with this many fields.
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    attrs: Vec<SerdeAttr>,
+    body: Body,
+}
+
+impl Item {
+    fn attr(&self, key: &str) -> Option<&SerdeAttr> {
+        self.attrs.iter().find(|a| a.key == key)
+    }
+
+    /// Applies the container's `rename_all` rule to a variant name.
+    fn rename_variant(&self, variant: &str) -> String {
+        match self.attr("rename_all").and_then(|a| a.value.as_deref()) {
+            Some("snake_case") => to_snake_case(variant),
+            Some("lowercase") => variant.to_lowercase(),
+            Some(other) => panic!("unsupported rename_all rule {other:?}"),
+            None => variant.to_string(),
+        }
+    }
+}
+
+fn to_snake_case(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.extend(c.to_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Token parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor { tokens: stream.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Consumes the next token if it is the ident `word`.
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == word {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Consumes leading attributes (`#[...]`), returning any serde entries.
+    fn eat_attrs(&mut self) -> Vec<SerdeAttr> {
+        let mut out = Vec::new();
+        loop {
+            let is_pound = matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#');
+            if !is_pound {
+                return out;
+            }
+            self.pos += 1;
+            let Some(TokenTree::Group(g)) = self.next() else {
+                panic!("expected [..] after # in attribute");
+            };
+            out.extend(parse_serde_attr(g.stream()));
+        }
+    }
+
+    /// Consumes `pub`, `pub(crate)`, `pub(in ...)` etc. if present.
+    fn eat_visibility(&mut self) {
+        if self.eat_ident("pub") {
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+}
+
+/// If `attr_body` is `serde ( ... )`, parses the comma-separated entries.
+fn parse_serde_attr(attr_body: TokenStream) -> Vec<SerdeAttr> {
+    let mut c = Cursor::new(attr_body);
+    if !c.eat_ident("serde") {
+        return Vec::new();
+    }
+    let Some(TokenTree::Group(g)) = c.next() else {
+        return Vec::new();
+    };
+    let mut entries = Vec::new();
+    let mut inner = Cursor::new(g.stream());
+    while !inner.at_end() {
+        let Some(TokenTree::Ident(key)) = inner.next() else {
+            panic!("unsupported #[serde(..)] syntax: expected ident");
+        };
+        let mut value = None;
+        if let Some(TokenTree::Punct(p)) = inner.peek() {
+            if p.as_char() == '=' {
+                inner.pos += 1;
+                match inner.next() {
+                    Some(TokenTree::Literal(l)) => {
+                        let text = l.to_string();
+                        value = Some(
+                            text.trim_matches('"').to_string(),
+                        );
+                    }
+                    other => panic!("expected string literal in #[serde(..)], got {other:?}"),
+                }
+            }
+        }
+        entries.push(SerdeAttr { key: key.to_string(), value });
+        if let Some(TokenTree::Punct(p)) = inner.peek() {
+            if p.as_char() == ',' {
+                inner.pos += 1;
+            }
+        }
+    }
+    entries
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    let attrs = c.eat_attrs();
+    c.eat_visibility();
+    let is_struct = c.eat_ident("struct");
+    let is_enum = !is_struct && c.eat_ident("enum");
+    if !is_struct && !is_enum {
+        panic!("derive(Serialize/Deserialize) supports only structs and enums");
+    }
+    let Some(TokenTree::Ident(name)) = c.next() else {
+        panic!("expected type name after struct/enum keyword");
+    };
+    let name = name.to_string();
+    if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive on generic type {name} is not supported by the vendored serde_derive");
+    }
+    let body = if is_struct {
+        match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Struct(Fields::Unit),
+            other => panic!("unexpected struct body for {name}: {other:?}"),
+        }
+    } else {
+        match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unexpected enum body for {name}: {other:?}"),
+        }
+    };
+    Item { name, attrs, body }
+}
+
+/// Parses `attr* vis? name : type` fields, skipping the type tokens
+/// (commas inside `<...>` are not separators).
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let attrs = c.eat_attrs();
+        if c.at_end() {
+            break;
+        }
+        c.eat_visibility();
+        let Some(TokenTree::Ident(fname)) = c.next() else {
+            panic!("expected field name");
+        };
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected ':' after field {fname}, got {other:?}"),
+        }
+        skip_type(&mut c);
+        fields.push(Field { name: fname.to_string(), attrs });
+    }
+    fields
+}
+
+/// Advances past one type, stopping after the separating `,` (or at end).
+fn skip_type(c: &mut Cursor) {
+    let mut angle_depth = 0i32;
+    while let Some(t) = c.next() {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut count = 0;
+    while !c.at_end() {
+        c.eat_attrs();
+        if c.at_end() {
+            break;
+        }
+        c.eat_visibility();
+        skip_type(&mut c);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        c.eat_attrs();
+        if c.at_end() {
+            break;
+        }
+        let Some(TokenTree::Ident(vname)) = c.next() else {
+            panic!("expected variant name");
+        };
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                c.pos += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                c.pos += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = c.peek() {
+            if p.as_char() == ',' {
+                c.pos += 1;
+            }
+        }
+        variants.push(Variant { name: vname.to_string(), fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+/// `members.push(("field", value_of self_expr.field));` lines for a
+/// named-field body.
+fn ser_named_fields(fields: &[Field], self_prefix: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        out.push_str(&format!(
+            "members.push(({:?}.to_string(), ::serde::Serialize::serialize_value(&{}{})));\n",
+            f.name, self_prefix, f.name
+        ));
+    }
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(Fields::Named(fields)) => {
+            format!(
+                "let mut members: Vec<(String, ::serde::Value)> = Vec::new();\n{}\
+                 ::serde::Value::Object(members)",
+                ser_named_fields(fields, "self.")
+            )
+        }
+        Body::Struct(Fields::Tuple(1)) => {
+            // Newtype structs serialize as their inner value (matching real
+            // serde), whether or not #[serde(transparent)] is present.
+            "::serde::Serialize::serialize_value(&self.0)".to_string()
+        }
+        Body::Struct(other) => {
+            panic!("derive(Serialize) for {name}: unsupported struct shape {other:?}")
+        }
+        Body::Enum(variants) => {
+            let tag = item.attr("tag").and_then(|a| a.value.clone());
+            let mut arms = String::new();
+            for v in variants {
+                let wire = item.rename_variant(&v.name);
+                match (&v.fields, &tag) {
+                    (Fields::Unit, None) => arms.push_str(&format!(
+                        "{name}::{} => ::serde::Value::String({wire:?}.to_string()),\n",
+                        v.name
+                    )),
+                    (Fields::Unit, Some(tag)) => arms.push_str(&format!(
+                        "{name}::{} => ::serde::Value::Object(vec![({tag:?}.to_string(), \
+                         ::serde::Value::String({wire:?}.to_string()))]),\n",
+                        v.name
+                    )),
+                    (Fields::Named(fields), Some(tag)) => {
+                        let binds: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        arms.push_str(&format!(
+                            "{name}::{} {{ {} }} => {{\n\
+                             let mut members: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                             members.push(({tag:?}.to_string(), \
+                             ::serde::Value::String({wire:?}.to_string())));\n\
+                             {}\
+                             ::serde::Value::Object(members)\n}}\n",
+                            v.name,
+                            binds.join(", "),
+                            ser_named_fields(fields, "")
+                        ));
+                    }
+                    (Fields::Named(fields), None) => {
+                        let binds: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        arms.push_str(&format!(
+                            "{name}::{} {{ {} }} => {{\n\
+                             let mut members: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                             {}\
+                             ::serde::Value::Object(vec![({wire:?}.to_string(), \
+                             ::serde::Value::Object(members))])\n}}\n",
+                            v.name,
+                            binds.join(", "),
+                            ser_named_fields(fields, "")
+                        ));
+                    }
+                    (Fields::Tuple(_), _) => panic!(
+                        "derive(Serialize) for {name}::{}: tuple variants unsupported",
+                        v.name
+                    ),
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+/// Expression extracting one named field out of `obj`
+/// (a `&Vec<(String, Value)>` binding in the generated scope).
+fn de_named_field(f: &Field) -> String {
+    let missing = match f.attrs.iter().find(|a| a.key == "default") {
+        Some(SerdeAttr { value: Some(path), .. }) => format!("{path}()"),
+        Some(SerdeAttr { value: None, .. }) => {
+            "::std::default::Default::default()".to_string()
+        }
+        // No default: hand the impl a Null so `Option` fields come out as
+        // `None` and everything else reports the missing field.
+        None => format!(
+            "::serde::Deserialize::deserialize_value(&::serde::Value::Null)\
+             .map_err(|e| e.context(concat!(\"missing field `\", {:?}, \"`\")))?",
+            f.name
+        ),
+    };
+    format!(
+        "match obj.iter().find(|(k, _)| k == {n:?}) {{\n\
+         Some((_, x)) => ::serde::Deserialize::deserialize_value(x)\
+         .map_err(|e| e.context({n:?}))?,\n\
+         None => {missing},\n}}",
+        n = f.name
+    )
+}
+
+fn de_named_body(type_path: &str, fields: &[Field]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        inits.push_str(&format!("{}: {},\n", f.name, de_named_field(f)));
+    }
+    format!("{type_path} {{\n{inits}}}")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(Fields::Named(fields)) => format!(
+            "let obj = v.as_object().ok_or_else(|| \
+             ::serde::Error::expected(concat!(\"object for \", {name:?}), v))?;\n\
+             Ok({})",
+            de_named_body(name, fields)
+        ),
+        Body::Struct(Fields::Tuple(1)) => format!(
+            "Ok({name}(::serde::Deserialize::deserialize_value(v)\
+             .map_err(|e| e.context({name:?}))?))"
+        ),
+        Body::Struct(other) => {
+            panic!("derive(Deserialize) for {name}: unsupported struct shape {other:?}")
+        }
+        Body::Enum(variants) => {
+            let tag = item.attr("tag").and_then(|a| a.value.clone());
+            match tag {
+                Some(tag) => {
+                    // Internally tagged: { "<tag>": "<variant>", fields... }.
+                    let mut arms = String::new();
+                    for v in variants {
+                        let wire = item.rename_variant(&v.name);
+                        match &v.fields {
+                            Fields::Unit => arms.push_str(&format!(
+                                "{wire:?} => Ok({name}::{}),\n",
+                                v.name
+                            )),
+                            Fields::Named(fields) => arms.push_str(&format!(
+                                "{wire:?} => Ok({}),\n",
+                                de_named_body(&format!("{name}::{}", v.name), fields)
+                            )),
+                            Fields::Tuple(_) => panic!(
+                                "derive(Deserialize) for {name}::{}: tuple variants unsupported",
+                                v.name
+                            ),
+                        }
+                    }
+                    format!(
+                        "let obj = v.as_object().ok_or_else(|| \
+                         ::serde::Error::expected(concat!(\"object for \", {name:?}), v))?;\n\
+                         let tag = obj.iter().find(|(k, _)| k == {tag:?})\
+                         .and_then(|(_, x)| x.as_str())\
+                         .ok_or_else(|| ::serde::Error::msg(concat!(\
+                         \"missing tag `\", {tag:?}, \"` for \", {name:?})))?;\n\
+                         match tag {{\n{arms}\
+                         other => Err(::serde::Error::msg(format!(\
+                         \"unknown {name} variant {{other:?}}\"))),\n}}"
+                    )
+                }
+                None => {
+                    // Externally tagged: "variant" or { "variant": {...} }.
+                    let mut str_arms = String::new();
+                    let mut obj_arms = String::new();
+                    for v in variants {
+                        let wire = item.rename_variant(&v.name);
+                        match &v.fields {
+                            Fields::Unit => str_arms.push_str(&format!(
+                                "{wire:?} => return Ok({name}::{}),\n",
+                                v.name
+                            )),
+                            Fields::Named(fields) => obj_arms.push_str(&format!(
+                                "{wire:?} => {{\n\
+                                 let obj = inner.as_object().ok_or_else(|| \
+                                 ::serde::Error::expected(\"object\", inner))?;\n\
+                                 return Ok({});\n}}\n",
+                                de_named_body(&format!("{name}::{}", v.name), fields)
+                            )),
+                            Fields::Tuple(_) => panic!(
+                                "derive(Deserialize) for {name}::{}: tuple variants unsupported",
+                                v.name
+                            ),
+                        }
+                    }
+                    format!(
+                        "if let Some(s) = v.as_str() {{\n\
+                         match s {{\n{str_arms}_ => {{}}\n}}\n}}\n\
+                         if let Some(obj) = v.as_object() {{\n\
+                         if obj.len() == 1 {{\n\
+                         let (key, inner) = &obj[0];\n\
+                         match key.as_str() {{\n{obj_arms}_ => {{}}\n}}\n}}\n}}\n\
+                         Err(::serde::Error::msg(format!(\
+                         \"unknown {name} variant: {{v}}\")))"
+                    )
+                }
+            }
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}

@@ -1,0 +1,187 @@
+//! Offline stand-in for `serde_json` (see `vendor/rand/src/lib.rs` for why
+//! the workspace vendors its dependencies).
+//!
+//! The vendored `serde` already converts everything through a JSON-shaped
+//! [`Value`] tree and owns the text parser/writers, so this crate is the
+//! thin function layer on top: `from_str` / `to_string` / `json!` and
+//! friends. Floats round-trip exactly — the writer uses Rust's
+//! shortest-roundtrip `{}` formatting (with a forced `.0` on integral
+//! values, matching serde_json's output).
+
+
+#![allow(clippy::all, clippy::pedantic)]
+pub use serde::value::{Number, Value};
+pub use serde::Error;
+
+/// Parses `T` from JSON text.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = serde::value::parse(text)?;
+    T::deserialize_value(&value)
+}
+
+/// Parses `T` from JSON bytes (must be UTF-8).
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let text =
+        std::str::from_utf8(bytes).map_err(|e| Error::msg(format!("invalid UTF-8: {e}")))?;
+    from_str(text)
+}
+
+/// Reconstructs `T` from an already-parsed value tree.
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T, Error> {
+    T::deserialize_value(&value)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: &T) -> Result<Value, Error> {
+    Ok(value.serialize_value())
+}
+
+/// Serializes `value` as compact JSON text.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_value().write_compact(&mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON text (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_value().write_pretty(&mut out, 0);
+    Ok(out)
+}
+
+/// Implementation detail of [`json!`]; lets the macro serialize values in
+/// crates that depend on `serde_json` but not on `serde` directly.
+#[doc(hidden)]
+pub mod __private {
+    /// Converts any serializable value into a [`crate::Value`].
+    pub fn serialize<T: serde::Serialize + ?Sized>(value: &T) -> crate::Value {
+        value.serialize_value()
+    }
+}
+
+/// Builds a [`Value`] from a JSON-ish literal. Object members and array
+/// elements may be nested `{...}` / `[...]` literals, `null`, or any
+/// `serde::Serialize` expression.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($tt:tt)* }) => { $crate::__json_object!([] $($tt)*) };
+    ([ $($tt:tt)* ]) => { $crate::__json_array!([] $($tt)*) };
+    ($other:expr) => { $crate::__private::serialize(&($other)) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_object {
+    ([$($done:tt)*] $key:literal : { $($inner:tt)* } , $($rest:tt)*) => {
+        $crate::__json_object!([$($done)* (($key).to_string(), $crate::json!({ $($inner)* })),] $($rest)*)
+    };
+    ([$($done:tt)*] $key:literal : { $($inner:tt)* }) => {
+        $crate::__json_object!([$($done)* (($key).to_string(), $crate::json!({ $($inner)* })),])
+    };
+    ([$($done:tt)*] $key:literal : [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $crate::__json_object!([$($done)* (($key).to_string(), $crate::json!([ $($inner)* ])),] $($rest)*)
+    };
+    ([$($done:tt)*] $key:literal : [ $($inner:tt)* ]) => {
+        $crate::__json_object!([$($done)* (($key).to_string(), $crate::json!([ $($inner)* ])),])
+    };
+    ([$($done:tt)*] $key:literal : null , $($rest:tt)*) => {
+        $crate::__json_object!([$($done)* (($key).to_string(), $crate::Value::Null),] $($rest)*)
+    };
+    ([$($done:tt)*] $key:literal : null) => {
+        $crate::__json_object!([$($done)* (($key).to_string(), $crate::Value::Null),])
+    };
+    ([$($done:tt)*] $key:literal : $value:expr , $($rest:tt)*) => {
+        $crate::__json_object!([$($done)* (($key).to_string(), $crate::__private::serialize(&($value))),] $($rest)*)
+    };
+    ([$($done:tt)*] $key:literal : $value:expr) => {
+        $crate::__json_object!([$($done)* (($key).to_string(), $crate::__private::serialize(&($value))),])
+    };
+    ([$($done:tt)*]) => { $crate::Value::Object(vec![$($done)*]) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_array {
+    ([$($done:tt)*] { $($inner:tt)* } , $($rest:tt)*) => {
+        $crate::__json_array!([$($done)* $crate::json!({ $($inner)* }),] $($rest)*)
+    };
+    ([$($done:tt)*] { $($inner:tt)* }) => {
+        $crate::__json_array!([$($done)* $crate::json!({ $($inner)* }),])
+    };
+    ([$($done:tt)*] [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $crate::__json_array!([$($done)* $crate::json!([ $($inner)* ]),] $($rest)*)
+    };
+    ([$($done:tt)*] [ $($inner:tt)* ]) => {
+        $crate::__json_array!([$($done)* $crate::json!([ $($inner)* ]),])
+    };
+    ([$($done:tt)*] null , $($rest:tt)*) => {
+        $crate::__json_array!([$($done)* $crate::Value::Null,] $($rest)*)
+    };
+    ([$($done:tt)*] null) => {
+        $crate::__json_array!([$($done)* $crate::Value::Null,])
+    };
+    ([$($done:tt)*] $value:expr , $($rest:tt)*) => {
+        $crate::__json_array!([$($done)* $crate::__private::serialize(&($value)),] $($rest)*)
+    };
+    ([$($done:tt)*] $value:expr) => {
+        $crate::__json_array!([$($done)* $crate::__private::serialize(&($value)),])
+    };
+    ([$($done:tt)*]) => { $crate::Value::Array(vec![$($done)*]) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_value_text() {
+        let v: Value = from_str(r#"{"a": 1, "b": [true, null, "x"], "f": 2.5}"#).unwrap();
+        assert_eq!(v["a"].as_u64(), Some(1));
+        assert_eq!(v["b"].as_array().unwrap().len(), 3);
+        assert_eq!(v["f"].as_f64(), Some(2.5));
+        let text = to_string(&v).unwrap();
+        let v2: Value = from_str(&text).unwrap();
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn json_macro_builds_objects_and_arrays() {
+        let v = json!({
+            "name": "run",
+            "ks": [30u32, 60u32],
+            "rate": 2.0,
+        });
+        assert_eq!(v["name"].as_str(), Some("run"));
+        assert_eq!(v["ks"][1].as_u64(), Some(60));
+        assert_eq!(to_string(&v).unwrap(), r#"{"name":"run","ks":[30,60],"rate":2.0}"#);
+    }
+
+    #[test]
+    fn index_mut_inserts_keys() {
+        let mut v: Value = from_str("{}").unwrap();
+        v["params"]["horizon"] = 1_500.0.into();
+        v["list"] = json!([1u32, 2u32]);
+        assert_eq!(v["params"]["horizon"].as_f64(), Some(1500.0));
+        assert_eq!(v["list"][0].as_u64(), Some(1));
+    }
+
+    #[test]
+    fn pretty_output_is_reparsable() {
+        let v = json!({"outer": [1u32, 2u32], "inner": 3u32});
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn exotic_floats_round_trip() {
+        for f in [0.1, 1e-300, 123456.789012345, -2.5e17, f64::MIN_POSITIVE] {
+            let text = to_string(&f).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back, f, "{text}");
+        }
+    }
+}
