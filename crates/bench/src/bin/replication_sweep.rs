@@ -1,0 +1,175 @@
+//! Replication-engine and parallel-sweep benchmark: wall-clock scaling of
+//! `run_replicated` vs its sequential fold, and of the parallel cutoff
+//! sweep vs the serial path — with the aggregation equivalences checked
+//! in-process.
+//!
+//! ```text
+//! cargo run --release -p hybridcast-bench --bin replication_sweep [-- quick]
+//! ```
+//!
+//! Writes `results/BENCH_experiments.json`:
+//!
+//! * `replication_rows` — for each `R ∈ {1, 2, 4, 8}`: serial and parallel
+//!   wall-clock, speedup, and whether the parallel reduction was
+//!   bit-identical to the sequential fold (it must be — order-preserving
+//!   collect + fixed-order reduce);
+//! * `sweep` — serial vs parallel grid sweep over `K ∈ {10, …, 90}` on the
+//!   icpp2005 scenario: wall-clock, speedup, `best_k` agreement;
+//! * `host.cores` — the speedup acceptance gate (≥ 4× at `R = 8`) is only
+//!   enforced where the hardware can express it (≥ 4 cores); a single-core
+//!   host records its honest ≈1× and reports the gate as skipped.
+
+use std::time::Instant;
+
+use hybridcast_bench::results_dir;
+use hybridcast_core::config::HybridConfig;
+use hybridcast_core::cutoff::{CutoffOptimizer, Objective};
+use hybridcast_core::experiment::{run_replicated, run_replicated_serial};
+use hybridcast_core::sim_driver::SimParams;
+use hybridcast_workload::scenario::ScenarioConfig;
+use serde_json::json;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "quick" || a == "--quick");
+    let params = if quick {
+        SimParams {
+            horizon: 2_500.0,
+            warmup: 300.0,
+            replication: 0,
+        }
+    } else {
+        SimParams {
+            horizon: 12_000.0,
+            warmup: 1_500.0,
+            replication: 0,
+        }
+    };
+    let scenario = ScenarioConfig::icpp2005(0.6).build();
+    let cfg = HybridConfig::paper(40, 0.5);
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    println!("# BENCH_experiments — parallel replication & sweep engine (cores = {cores})\n");
+    println!("## run_replicated: parallel fan-out vs sequential fold\n");
+    println!("| R | serial ms | parallel ms | speedup | bit-identical |");
+    println!("|---|-----------|-------------|---------|---------------|");
+
+    let mut replication_rows = Vec::new();
+    let mut speedup_r8 = 0.0_f64;
+    let mut all_identical = true;
+    for &r in &[1u64, 2, 4, 8] {
+        // Warm-up pass (untimed) so allocator/page-cache effects don't
+        // poison the first measurement.
+        let _ = run_replicated(&scenario, &cfg, &params, r);
+        let t0 = Instant::now();
+        let serial = run_replicated_serial(&scenario, &cfg, &params, r);
+        let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = Instant::now();
+        let parallel = run_replicated(&scenario, &cfg, &params, r);
+        let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
+        let identical = parallel == serial;
+        all_identical &= identical;
+        let speedup = serial_ms / parallel_ms;
+        if r == 8 {
+            speedup_r8 = speedup;
+        }
+        println!(
+            "| {r} | {serial_ms:.1} | {parallel_ms:.1} | {speedup:.2}x | {} |",
+            if identical { "yes" } else { "NO" }
+        );
+        replication_rows.push(json!({
+            "replications": r,
+            "serial_ms": serial_ms,
+            "parallel_ms": parallel_ms,
+            "speedup": speedup,
+            "bit_identical": identical,
+            "overall_delay_mean": parallel.overall_delay.mean,
+            "overall_delay_ci95": parallel.overall_delay.ci95,
+        }));
+    }
+
+    println!("\n## cutoff sweep: parallel grid vs serial\n");
+    let ks: Vec<usize> = (10..=90).step_by(10).collect();
+    let opt = CutoffOptimizer::new(Objective::TotalPrioritizedCost, params);
+    let _ = opt.sweep(&scenario, &cfg, ks.clone());
+    let t0 = Instant::now();
+    let serial_sweep = opt.sweep_serial(&scenario, &cfg, ks.clone());
+    let sweep_serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = Instant::now();
+    let parallel_sweep = opt.sweep(&scenario, &cfg, ks.clone());
+    let sweep_parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let sweep_identical = parallel_sweep == serial_sweep;
+    all_identical &= sweep_identical;
+    let sweep_speedup = sweep_serial_ms / sweep_parallel_ms;
+    println!(
+        "grid |K| = {}: serial {sweep_serial_ms:.1} ms, parallel {sweep_parallel_ms:.1} ms \
+         ({sweep_speedup:.2}x), best_k = {} (serial {}), bit-identical: {}",
+        ks.len(),
+        parallel_sweep.best_k(),
+        serial_sweep.best_k(),
+        if sweep_identical { "yes" } else { "NO" }
+    );
+
+    let gate_enforced = !quick && cores >= 4;
+    let pass_speedup = speedup_r8 >= 4.0;
+    println!();
+    println!(
+        "acceptance: parallel reduction bit-identical to sequential fold: {}",
+        if all_identical { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "acceptance: parallel sweep best_k == serial best_k: {}",
+        if sweep_identical { "PASS" } else { "FAIL" }
+    );
+    if gate_enforced {
+        println!(
+            "acceptance: >=4x speedup at R=8 on {cores} cores: {}",
+            if pass_speedup { "PASS" } else { "FAIL" }
+        );
+    } else {
+        println!(
+            "acceptance: >=4x speedup at R=8: SKIPPED ({}; measured {speedup_r8:.2}x)",
+            if quick {
+                "quick mode".to_string()
+            } else {
+                format!("single-threaded host, {cores} core(s)")
+            }
+        );
+    }
+
+    let doc = json!({
+        "bench": "experiments",
+        "workload": "icpp2005(theta=0.6), paper(K=40, alpha=0.5)",
+        "params": { "horizon": params.horizon, "warmup": params.warmup },
+        "host": { "cores": cores },
+        "replication_rows": replication_rows,
+        "sweep": {
+            "ks": ks,
+            "serial_ms": sweep_serial_ms,
+            "parallel_ms": sweep_parallel_ms,
+            "speedup": sweep_speedup,
+            "best_k_parallel": parallel_sweep.best_k(),
+            "best_k_serial": serial_sweep.best_k(),
+            "bit_identical": sweep_identical,
+        },
+        "acceptance": {
+            "bit_identical_reduction": all_identical,
+            "best_k_agrees": sweep_identical,
+            "speedup_r8": speedup_r8,
+            "speedup_gate_enforced": gate_enforced,
+            "speedup_gate_pass": if gate_enforced { Some(pass_speedup) } else { None },
+        },
+    });
+    let dir = results_dir();
+    let path = dir.join("BENCH_experiments.json");
+    match std::fs::create_dir_all(&dir)
+        .and_then(|_| std::fs::write(&path, serde_json::to_string_pretty(&doc).unwrap()))
+    {
+        Ok(()) => eprintln!("[saved {}]", path.display()),
+        Err(e) => eprintln!("[warn: could not persist results: {e}]"),
+    }
+    if !all_identical || !sweep_identical || (gate_enforced && !pass_speedup) {
+        std::process::exit(1);
+    }
+}

@@ -23,6 +23,7 @@ use hybridcast_analysis::hybrid_model::{HybridDelayModel, ModelDelays};
 use hybridcast_core::churn::{simulate_with_churn, ChurnConfig, ChurnReport};
 use hybridcast_core::config::HybridConfig;
 use hybridcast_core::cutoff::{CutoffOptimizer, CutoffSweep, Objective};
+use hybridcast_core::experiment::{run_replicated, ReplicatedReport};
 use hybridcast_core::metrics::SimReport;
 use hybridcast_core::pull::PullPolicyKind;
 use hybridcast_core::sim_driver::{
@@ -52,6 +53,10 @@ pub struct ExperimentConfig {
     /// when absent).
     #[serde(default)]
     pub churn: Option<ChurnConfig>,
+    /// Independent replications for `simulate`/`summary`/`optimize`
+    /// (defaults to 1; the `--replications N` flag overrides).
+    #[serde(default)]
+    pub replications: Option<u64>,
 }
 
 impl Default for ExperimentConfig {
@@ -64,6 +69,7 @@ impl Default for ExperimentConfig {
             optimize_ks: None,
             objective: None,
             churn: None,
+            replications: None,
         }
     }
 }
@@ -83,6 +89,11 @@ impl ExperimentConfig {
         self.optimize_ks
             .clone()
             .unwrap_or_else(|| (10..=90).step_by(10).collect())
+    }
+
+    /// Effective replication count (config field, defaulting to 1).
+    pub fn effective_replications(&self) -> u64 {
+        self.replications.unwrap_or(1).max(1)
     }
 }
 
@@ -106,11 +117,26 @@ pub fn run_churn(cfg: &ExperimentConfig) -> ChurnReport {
     simulate_with_churn(&scenario, &cfg.hybrid, &cfg.params, &churn)
 }
 
-/// `optimize`: simulation-backed cutoff grid search.
+/// `simulate --replications N`: `N` independent replications fanned
+/// across threads, reduced into a CI-aggregated report.
+pub fn run_simulate_replicated(cfg: &ExperimentConfig) -> ReplicatedReport {
+    let scenario = cfg.scenario.build();
+    run_replicated(
+        &scenario,
+        &cfg.hybrid,
+        &cfg.params,
+        cfg.effective_replications(),
+    )
+}
+
+/// `optimize`: simulation-backed cutoff grid search (parallel over the
+/// grid; each point averaged over `cfg.replications`).
 pub fn run_optimize(cfg: &ExperimentConfig) -> CutoffSweep {
     let scenario = cfg.scenario.build();
     let objective = cfg.objective.unwrap_or(Objective::TotalPrioritizedCost);
-    CutoffOptimizer::new(objective, cfg.params).sweep(&scenario, &cfg.hybrid, cfg.ks())
+    CutoffOptimizer::new(objective, cfg.params)
+        .with_replications(cfg.effective_replications())
+        .sweep(&scenario, &cfg.hybrid, cfg.ks())
 }
 
 /// `model`: analytic per-class delays at every grid cutoff (no simulation).
@@ -161,6 +187,43 @@ pub fn summarize(report: &SimReport) -> String {
         report.mean_queue_items,
         report.push_transmissions,
         report.pull_transmissions
+    );
+    out
+}
+
+/// A compact human-readable summary of a replicated report: every figure
+/// carries its 95% CI half-width across replications.
+pub fn summarize_replicated(report: &ReplicatedReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:>10} {:>9} {:>18} {:>18} {:>16}",
+        "class", "served", "blocked", "delay ±95% [bu]", "pull ±95% [bu]", "cost ±95%"
+    );
+    for c in &report.per_class {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>10} {:>9} {:>11.2} ±{:<5.2} {:>11.2} ±{:<5.2} {:>9.2} ±{:<5.2}",
+            c.name,
+            c.served,
+            c.blocked,
+            c.delay.mean,
+            c.delay.ci95,
+            c.pull_delay.mean,
+            c.pull_delay.ci95,
+            c.prioritized_cost.mean,
+            c.prioritized_cost.ci95,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "overall {:.2} ±{:.2} bu | total cost {:.2} ±{:.2} | R = {} replications (Student-t CIs)",
+        report.overall_delay.mean,
+        report.overall_delay.ci95,
+        report.total_prioritized_cost.mean,
+        report.total_prioritized_cost.ci95,
+        report.replications
     );
     out
 }
@@ -236,6 +299,47 @@ mod tests {
         let out = run_churn(&cfg);
         assert_eq!(out.churn_per_class.len(), 3);
         assert!((0.0..=1.0).contains(&out.weighted_retention));
+    }
+
+    #[test]
+    fn replicated_simulate_reports_cis() {
+        let mut cfg = quick_cfg();
+        cfg.replications = Some(3);
+        let rep = run_simulate_replicated(&cfg);
+        assert_eq!(rep.replications, 3);
+        let text = summarize_replicated(&rep);
+        assert!(text.contains("Class-A"));
+        assert!(text.contains("±"));
+        assert!(text.contains("R = 3 replications"));
+        assert!(rep.overall_delay.ci95 > 0.0);
+    }
+
+    #[test]
+    fn replications_default_to_one() {
+        let cfg = quick_cfg();
+        assert_eq!(cfg.effective_replications(), 1);
+        let rep = run_simulate_replicated(&cfg);
+        assert_eq!(rep.replications, 1);
+        // single replication mean equals the plain simulate() mean
+        let single = run_simulate(&cfg);
+        assert_eq!(rep.overall_delay.mean, single.overall_delay.mean);
+    }
+
+    #[test]
+    fn optimize_with_replications_populates_point_cis() {
+        let mut cfg = quick_cfg();
+        cfg.optimize_ks = Some(vec![30, 60]);
+        cfg.replications = Some(2);
+        cfg.params = SimParams {
+            horizon: 1_500.0,
+            warmup: 200.0,
+            replication: 0,
+        };
+        let sweep = run_optimize(&cfg);
+        assert_eq!(sweep.replications, 2);
+        for p in &sweep.points {
+            assert!(p.objective_ci95 > 0.0);
+        }
     }
 
     #[test]

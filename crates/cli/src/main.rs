@@ -5,7 +5,8 @@ use std::io::Read as _;
 use std::process::ExitCode;
 
 use hybridcast_cli::{
-    run_adaptive, run_churn, run_model, run_optimize, run_simulate, summarize, ExperimentConfig,
+    run_adaptive, run_churn, run_model, run_optimize, run_simulate, run_simulate_replicated,
+    summarize, summarize_replicated, ExperimentConfig,
 };
 
 const USAGE: &str = "\
@@ -19,6 +20,11 @@ USAGE:
     hybridcast model     <config.json>    analytic per-class delays (no simulation)
     hybridcast churn     <config.json>    run with the finite-population churn model
     hybridcast summary   <config.json>    static run, human-readable table
+
+OPTIONS:
+    --replications <N>    run N independent replications in parallel and
+                          report means with 95% confidence intervals
+                          (simulate, summary, optimize)
 
 Use `-` as the config path to read from stdin.
 ";
@@ -36,8 +42,27 @@ fn load_config(path: &str) -> Result<ExperimentConfig, String> {
     ExperimentConfig::from_json(&text)
 }
 
+/// Strips `--replications N` from the argument list, returning its value.
+fn take_replications(args: &mut Vec<String>) -> Result<Option<u64>, String> {
+    let Some(i) = args.iter().position(|a| a == "--replications") else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        return Err("--replications needs a value".to_string());
+    }
+    let value: u64 = args[i + 1]
+        .parse()
+        .map_err(|_| format!("invalid replication count `{}`", args[i + 1]))?;
+    if value == 0 {
+        return Err("--replications must be at least 1".to_string());
+    }
+    args.drain(i..=i + 1);
+    Ok(Some(value))
+}
+
 fn run() -> Result<(), String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let replications = take_replications(&mut args)?;
     let (cmd, path) = match args.as_slice() {
         [cmd] if cmd == "init-config" => {
             println!("{}", ExperimentConfig::default().to_json());
@@ -46,14 +71,25 @@ fn run() -> Result<(), String> {
         [cmd, path] => (cmd.as_str(), path.as_str()),
         _ => return Err(USAGE.to_string()),
     };
-    let cfg = load_config(path)?;
+    let mut cfg = load_config(path)?;
+    if replications.is_some() {
+        cfg.replications = replications;
+    }
     match cmd {
         "simulate" => {
-            let report = run_simulate(&cfg);
-            println!(
-                "{}",
-                serde_json::to_string_pretty(&report).expect("report serializes")
-            );
+            if cfg.effective_replications() > 1 {
+                let report = run_simulate_replicated(&cfg);
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&report).expect("report serializes")
+                );
+            } else {
+                let report = run_simulate(&cfg);
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&report).expect("report serializes")
+                );
+            }
         }
         "adaptive" => {
             let out = run_adaptive(&cfg);
@@ -65,9 +101,11 @@ fn run() -> Result<(), String> {
         "optimize" => {
             let sweep = run_optimize(&cfg);
             eprintln!(
-                "optimal K = {} (objective {:.3})",
+                "optimal K = {} (objective {:.3} ±{:.3}, R = {})",
                 sweep.best_k(),
-                sweep.best().objective
+                sweep.best().objective,
+                sweep.best().objective_ci95,
+                sweep.replications
             );
             println!(
                 "{}",
@@ -94,8 +132,13 @@ fn run() -> Result<(), String> {
             );
         }
         "summary" => {
-            let report = run_simulate(&cfg);
-            print!("{}", summarize(&report));
+            if cfg.effective_replications() > 1 {
+                let report = run_simulate_replicated(&cfg);
+                print!("{}", summarize_replicated(&report));
+            } else {
+                let report = run_simulate(&cfg);
+                print!("{}", summarize(&report));
+            }
         }
         other => return Err(format!("unknown subcommand `{other}`\n\n{USAGE}")),
     }

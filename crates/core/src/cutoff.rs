@@ -2,10 +2,20 @@
 //!
 //! "Periodically the algorithm is executed for different cutoff-points and
 //! obtains the optimal cutoff-point which minimizes the overall access time"
-//! (§3). [`CutoffOptimizer`] sweeps `K` over a grid, simulates each value,
-//! and picks the argmin of a configurable objective — the paper's headline
-//! objective is the **total prioritized cost** `Σ_c q_c·E[delay_c]` (§5.3).
+//! (§3). [`CutoffOptimizer`] sweeps `K` over a grid, simulates each value
+//! (fanning the grid across threads; each point optionally averaged over
+//! independent replications), and picks the argmin of a configurable
+//! objective — the paper's headline objective is the **total prioritized
+//! cost** `Σ_c q_c·E[delay_c]` (§5.3).
+//!
+//! A cutoff under which the objective's class completes *zero* requests is
+//! not a free lunch — it is an unmeasurable configuration. The empty
+//! [`hybridcast_sim::stats::Welford`] reports a mean of `0.0`, which
+//! silently wins any argmin; [`Objective::evaluate`] therefore maps
+//! zero-served reports to `+∞`, and the argmin orders non-finite values
+//! last via `total_cmp` instead of panicking.
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use hybridcast_workload::scenario::Scenario;
@@ -13,6 +23,7 @@ use hybridcast_workload::scenario::Scenario;
 use crate::config::HybridConfig;
 use crate::metrics::SimReport;
 use crate::sim_driver::{simulate, SimParams};
+use hybridcast_sim::stats::Welford;
 
 /// What the sweep minimizes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -28,24 +39,114 @@ pub enum Objective {
 
 impl Objective {
     /// Evaluates the objective on a finished report.
+    ///
+    /// A report in which the objective's class (any class, for the
+    /// all-class objectives) served zero requests evaluates to `+∞`: an
+    /// empty accumulator's `0.0` mean is an absence of evidence, not a
+    /// perfect delay, and must never win the argmin.
     pub fn evaluate(&self, report: &SimReport) -> f64 {
         match self {
-            Objective::TotalPrioritizedCost => report.total_prioritized_cost,
-            Objective::MeanDelay => report.overall_delay.mean,
-            Objective::PremiumDelay => report.per_class[0].delay.mean,
+            Objective::TotalPrioritizedCost => {
+                // The sum silently drops any class with no completions —
+                // a zero-served class makes the total incomparable.
+                if report.per_class.iter().any(|c| c.delay.count == 0) {
+                    f64::INFINITY
+                } else {
+                    report.total_prioritized_cost
+                }
+            }
+            Objective::MeanDelay => {
+                if report.overall_delay.count == 0 {
+                    f64::INFINITY
+                } else {
+                    report.overall_delay.mean
+                }
+            }
+            Objective::PremiumDelay => {
+                let premium = &report.per_class[0];
+                if premium.delay.count == 0 {
+                    f64::INFINITY
+                } else {
+                    premium.delay.mean
+                }
+            }
         }
     }
 }
 
-/// One evaluated cutoff.
+/// One evaluated cutoff: the objective plus a compact per-K summary.
+///
+/// Deliberately does *not* retain the full [`SimReport`] — a sweep over a
+/// large grid (each point possibly replicated) would otherwise hold every
+/// per-class histogram and quantile estimator of every run alive at once.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CutoffPoint {
     /// The cutoff `K`.
     pub k: usize,
-    /// Objective value at `K`.
+    /// Objective value at `K` (mean across replications; `+∞` when any
+    /// replication was unmeasurable).
     pub objective: f64,
-    /// Full report at `K`.
-    pub report: SimReport,
+    /// 95% CI half-width of the objective across replications (0 with a
+    /// single replication or a non-finite objective).
+    pub objective_ci95: f64,
+    /// `Σ_c q_c × E[delay_c]`, averaged across replications.
+    pub total_prioritized_cost: f64,
+    /// Overall mean access delay, averaged across replications.
+    pub overall_delay: f64,
+    /// Per-class mean access delay, averaged across replications.
+    pub per_class_delay: Vec<f64>,
+    /// Per-class blocking probability, averaged across replications.
+    pub per_class_blocking: Vec<f64>,
+    /// Requests served, summed across replications.
+    pub served: u64,
+    /// Requests blocked, summed across replications.
+    pub blocked: u64,
+}
+
+impl CutoffPoint {
+    /// Reduces the per-replication reports for one `K` (in replication
+    /// order) into a point.
+    fn from_reports(objective: Objective, k: usize, reports: &[SimReport]) -> Self {
+        assert!(!reports.is_empty());
+        let n = reports.len() as f64;
+        let classes = reports[0].per_class.len();
+        let mut obj = Welford::new();
+        let mut unmeasurable = false;
+        let mut point = CutoffPoint {
+            k,
+            objective: 0.0,
+            objective_ci95: 0.0,
+            total_prioritized_cost: 0.0,
+            overall_delay: 0.0,
+            per_class_delay: vec![0.0; classes],
+            per_class_blocking: vec![0.0; classes],
+            served: 0,
+            blocked: 0,
+        };
+        for r in reports {
+            let value = objective.evaluate(r);
+            if value.is_finite() {
+                obj.push(value);
+            } else {
+                unmeasurable = true;
+            }
+            point.total_prioritized_cost += r.total_prioritized_cost / n;
+            point.overall_delay += r.overall_delay.mean / n;
+            for (c, cls) in r.per_class.iter().enumerate() {
+                point.per_class_delay[c] += cls.delay.mean / n;
+                point.per_class_blocking[c] += cls.blocking_probability / n;
+            }
+            point.served += r.total_served();
+            point.blocked += r.total_blocked();
+        }
+        if unmeasurable {
+            point.objective = f64::INFINITY;
+        } else {
+            point.objective = obj.mean();
+            point.objective_ci95 = obj.ci95_halfwidth();
+        }
+        point
+    }
 }
 
 /// Result of a sweep: the winner plus the whole curve.
@@ -53,10 +154,17 @@ pub struct CutoffPoint {
 pub struct CutoffSweep {
     /// Objective that was minimized.
     pub objective: Objective,
-    /// Every evaluated point, in ascending `K`.
+    /// Replications averaged per point.
+    #[serde(default = "default_replications")]
+    pub replications: u64,
+    /// Every evaluated point, in grid order.
     pub points: Vec<CutoffPoint>,
     /// Index into `points` of the minimizer.
     pub best_index: usize,
+}
+
+fn default_replications() -> u64 {
+    1
 }
 
 impl CutoffSweep {
@@ -76,16 +184,64 @@ impl CutoffSweep {
 pub struct CutoffOptimizer {
     objective: Objective,
     params: SimParams,
+    replications: u64,
 }
 
 impl CutoffOptimizer {
     /// An optimizer minimizing `objective` with per-point run length
-    /// `params`.
+    /// `params` and a single replication per point.
     pub fn new(objective: Objective, params: SimParams) -> Self {
-        CutoffOptimizer { objective, params }
+        CutoffOptimizer {
+            objective,
+            params,
+            replications: 1,
+        }
     }
 
-    /// Evaluates every cutoff in `ks` (ascending) and returns the sweep.
+    /// Averages each grid point over `r` independent replications
+    /// (seeded `params.replication + i` as in [`crate::experiment`]), so
+    /// the argmin compares means with confidence intervals instead of
+    /// single-seed point estimates.
+    ///
+    /// # Panics
+    /// Panics if `r == 0`.
+    pub fn with_replications(mut self, r: u64) -> Self {
+        assert!(r >= 1, "need at least one replication per point");
+        self.replications = r;
+        self
+    }
+
+    /// Evaluates one cutoff: `replications` runs, reduced in order.
+    fn evaluate_point(&self, scenario: &Scenario, base: &HybridConfig, k: usize) -> CutoffPoint {
+        let cfg = base.with_cutoff(k);
+        let reports: Vec<SimReport> = (0..self.replications)
+            .map(|i| {
+                simulate(
+                    scenario,
+                    &cfg,
+                    &self.params.with_replication(self.params.replication + i),
+                )
+            })
+            .collect();
+        CutoffPoint::from_reports(self.objective, k, &reports)
+    }
+
+    /// Argmin over finished points: non-finite objectives order last
+    /// (`total_cmp`), first minimum wins on exact ties.
+    fn best_index(points: &[CutoffPoint]) -> usize {
+        points
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.objective.total_cmp(&b.objective))
+            .map(|(i, _)| i)
+            .expect("non-empty")
+    }
+
+    /// Evaluates every cutoff in `ks`, fanning the grid across the thread
+    /// pool, and returns the sweep. Each point is simulated with the same
+    /// seeds the sequential path uses and the results are collected in
+    /// grid order, so the sweep — `best_k` included — is **bit-identical**
+    /// to [`CutoffOptimizer::sweep_serial`].
     ///
     /// # Panics
     /// Panics if `ks` is empty or contains a value beyond the catalog size.
@@ -95,32 +251,39 @@ impl CutoffOptimizer {
         base: &HybridConfig,
         ks: impl IntoIterator<Item = usize>,
     ) -> CutoffSweep {
-        let mut points = Vec::new();
-        for k in ks {
-            let cfg = base.with_cutoff(k);
-            let report = simulate(scenario, &cfg, &self.params);
-            let objective = self.objective.evaluate(&report);
-            points.push(CutoffPoint {
-                k,
-                objective,
-                report,
-            });
-        }
+        let ks: Vec<usize> = ks.into_iter().collect();
+        let points: Vec<CutoffPoint> = ks
+            .into_par_iter()
+            .map(|k| self.evaluate_point(scenario, base, k))
+            .collect();
+        self.finish(points)
+    }
+
+    /// Single-threaded twin of [`CutoffOptimizer::sweep`], for speedup
+    /// baselines and equivalence checks.
+    ///
+    /// # Panics
+    /// Panics if `ks` is empty or contains a value beyond the catalog size.
+    pub fn sweep_serial(
+        &self,
+        scenario: &Scenario,
+        base: &HybridConfig,
+        ks: impl IntoIterator<Item = usize>,
+    ) -> CutoffSweep {
+        let points: Vec<CutoffPoint> = ks
+            .into_iter()
+            .map(|k| self.evaluate_point(scenario, base, k))
+            .collect();
+        self.finish(points)
+    }
+
+    fn finish(&self, points: Vec<CutoffPoint>) -> CutoffSweep {
         assert!(!points.is_empty(), "cutoff sweep needs at least one K");
-        let best_index = points
-            .iter()
-            .enumerate()
-            .min_by(|(_, a), (_, b)| {
-                a.objective
-                    .partial_cmp(&b.objective)
-                    .expect("objectives are finite")
-            })
-            .map(|(i, _)| i)
-            .expect("non-empty");
         CutoffSweep {
             objective: self.objective,
+            replications: self.replications,
+            best_index: Self::best_index(&points),
             points,
-            best_index,
         }
     }
 
@@ -203,5 +366,93 @@ mod tests {
         let scenario = ScenarioConfig::icpp2005(0.6).build();
         let base = HybridConfig::default();
         let _ = quick_optimizer(Objective::MeanDelay).sweep(&scenario, &base, []);
+    }
+
+    /// Regression for the zero-served argmin bug: a `K` under which the
+    /// premium class completes zero requests must never win the sweep.
+    ///
+    /// At `K = 0` everything is pull, and with per-class partitions
+    /// holding less than 1 bandwidth unit (demands are always ≥ 1) every
+    /// pull transmission is inadmissible — nothing is ever served. The
+    /// empty `Welford` reports mean `0.0`, so pre-fix the sweep evaluated
+    /// `PremiumDelay(K = 0) = 0.0` and selected the cutoff that serves
+    /// nobody over one that serves everyone.
+    #[test]
+    fn zero_served_cutoff_is_never_selected() {
+        use crate::bandwidth::BandwidthConfig;
+        let scenario = ScenarioConfig::icpp2005(0.6).build();
+        let mut base = HybridConfig::paper(0, 0.5);
+        base.bandwidth = BandwidthConfig::per_class(0.9, 2.0);
+        for objective in [
+            Objective::PremiumDelay,
+            Objective::MeanDelay,
+            Objective::TotalPrioritizedCost,
+        ] {
+            let sweep = quick_optimizer(objective).sweep(&scenario, &base, [0usize, 40]);
+            let starved = &sweep.points[0];
+            assert_eq!(starved.k, 0);
+            assert_eq!(starved.served, 0, "K = 0 must serve nothing");
+            assert!(
+                starved.objective.is_infinite(),
+                "{objective:?}: zero-served K must evaluate to +inf, got {}",
+                starved.objective
+            );
+            assert_eq!(
+                sweep.best_k(),
+                40,
+                "{objective:?}: sweep must not select the zero-served K"
+            );
+        }
+    }
+
+    /// All-unmeasurable grids must still return a sweep (NaN/∞ ordering
+    /// instead of the old `partial_cmp(..).expect(..)` panic).
+    #[test]
+    fn all_infinite_objectives_do_not_panic() {
+        use crate::bandwidth::BandwidthConfig;
+        let scenario = ScenarioConfig::icpp2005(0.6).build();
+        let mut base = HybridConfig::paper(0, 0.5);
+        base.bandwidth = BandwidthConfig::per_class(0.9, 2.0);
+        // Pure pull at every K = 0 grid point: nothing is measurable.
+        let sweep = quick_optimizer(Objective::PremiumDelay).sweep(&scenario, &base, [0usize]);
+        assert!(sweep.best().objective.is_infinite());
+        assert_eq!(sweep.best_k(), 0);
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        let scenario = ScenarioConfig::icpp2005(0.6).build();
+        let base = HybridConfig::paper(0, 0.5);
+        let opt = quick_optimizer(Objective::TotalPrioritizedCost);
+        let par = opt.sweep(&scenario, &base, [20usize, 40, 60, 80]);
+        let ser = opt.sweep_serial(&scenario, &base, [20usize, 40, 60, 80]);
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn replicated_points_carry_confidence_intervals() {
+        let scenario = ScenarioConfig::icpp2005(0.6).build();
+        let base = HybridConfig::paper(0, 0.5);
+        let opt = quick_optimizer(Objective::TotalPrioritizedCost).with_replications(3);
+        let sweep = opt.sweep(&scenario, &base, [20usize, 60]);
+        assert_eq!(sweep.replications, 3);
+        for p in &sweep.points {
+            assert!(p.objective.is_finite());
+            assert!(p.objective_ci95 > 0.0, "K={}: spread across seeds", p.k);
+            assert_eq!(p.per_class_delay.len(), 3);
+        }
+        // replicated parallel == replicated serial, bit for bit
+        let ser = opt.sweep_serial(&scenario, &base, [20usize, 60]);
+        assert_eq!(sweep, ser);
+    }
+
+    #[test]
+    fn sweep_round_trips_via_serde() {
+        let scenario = ScenarioConfig::icpp2005(0.6).build();
+        let base = HybridConfig::paper(0, 0.5);
+        let sweep = quick_optimizer(Objective::MeanDelay).sweep(&scenario, &base, [20usize, 60]);
+        let js = serde_json::to_string(&sweep).unwrap();
+        let back: CutoffSweep = serde_json::from_str(&js).unwrap();
+        assert_eq!(back, sweep);
     }
 }

@@ -1,0 +1,355 @@
+//! Replicated experiments with confidence-interval aggregation.
+//!
+//! A single simulation run is a point estimate: every delay and blocking
+//! figure it reports carries sampling noise from one seed, and comparing
+//! two policies on point estimates is statistically meaningless. This
+//! module runs `R` *independent replications* — each with its own RNG
+//! stream family derived via [`SimParams::with_replication`] — and reduces
+//! them into a [`ReplicatedReport`] carrying, per class:
+//!
+//! * **across-replication statistics** of the per-replication mean delay,
+//!   pull delay, blocking probability, and prioritized cost: mean,
+//!   variance, and a 95% CI half-width (Student-t below 30 replications,
+//!   see [`hybridcast_sim::stats::critical_value_95`]) — the honest "error
+//!   bar" on every reported number;
+//! * **pooled per-request statistics** over all `R·n_r` served requests,
+//!   obtained by reconstructing each replication's [`Welford`] accumulator
+//!   from its serialized snapshot and merging them with the parallel
+//!   Chan-et-al. reduction ([`Welford::merge`]).
+//!
+//! ## Determinism & parallelism
+//!
+//! Replications fan out across threads with `rayon`, but the *reduction*
+//! is always the sequential left-fold over reports in replication order
+//! (`r = 0, 1, …, R−1`): `rayon`'s order-preserving `collect` hands back
+//! the per-replication reports in input order regardless of thread
+//! schedule, so the aggregated report from [`run_replicated`] is
+//! **bit-identical** to the one from [`run_replicated_serial`]. Merge-order
+//! invariance of the underlying Welford reduction (up to ulp-scale noise
+//! for variances) is property-tested in
+//! `crates/core/tests/replication_equivalence.rs`.
+//!
+//! ## Seed derivation
+//!
+//! Replication `i` runs with
+//! `params.with_replication(params.replication + i)`: the scenario's
+//! master seed is mixed with the replication index
+//! through a splitmix64 round ([`hybridcast_sim::rng::RngFactory`]), which
+//! reseeds *every* stream family (arrivals, item choice, classes,
+//! bandwidth, uplink) at once. A non-zero base `params.replication`
+//! shifts the whole family, so disjoint replication blocks can be farmed
+//! out to different machines without overlap.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use hybridcast_sim::stats::{SummaryStats, Welford};
+use hybridcast_workload::scenario::Scenario;
+
+use crate::config::HybridConfig;
+use crate::metrics::SimReport;
+use crate::sim_driver::{simulate, SimParams};
+
+/// Across-replication and pooled statistics for one service class.
+///
+/// The `delay`/`pull_delay`/`blocking_probability`/`prioritized_cost`
+/// snapshots treat *per-replication aggregates* as observations: their
+/// `count` is the number of replications that produced a value (a
+/// replication in which the class served zero requests contributes no mean
+/// delay — see `count < replications` to detect starvation), their `ci95`
+/// is the Student-t/normal half-width across replications. `pooled_delay`
+/// instead pools every individual served request across all replications.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicatedClassReport {
+    /// Class name ("Class-A", ...).
+    pub name: String,
+    /// Priority weight `q_c`.
+    pub priority: f64,
+    /// Across-replication stats of the per-replication mean access delay.
+    pub delay: SummaryStats,
+    /// Across-replication stats of the per-replication mean pull delay.
+    pub pull_delay: SummaryStats,
+    /// Across-replication stats of the per-replication blocking
+    /// probability.
+    pub blocking_probability: SummaryStats,
+    /// Across-replication stats of `q_c × E[delay_c]`.
+    pub prioritized_cost: SummaryStats,
+    /// Per-request delay statistics pooled over all replications
+    /// ([`Welford::merge`], Chan et al.).
+    pub pooled_delay: SummaryStats,
+    /// Total requests generated across all replications.
+    pub generated: u64,
+    /// Total requests served across all replications.
+    pub served: u64,
+    /// Total requests blocked across all replications.
+    pub blocked: u64,
+}
+
+/// CI-aggregated result of `R` independent replications.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicatedReport {
+    /// Number of independent replications reduced.
+    pub replications: u64,
+    /// Per-class aggregates, highest priority first.
+    pub per_class: Vec<ReplicatedClassReport>,
+    /// Across-replication stats of the per-replication overall mean delay.
+    pub overall_delay: SummaryStats,
+    /// Across-replication stats of `Σ_c q_c × E[delay_c]`.
+    pub total_prioritized_cost: SummaryStats,
+    /// Per-request overall delay pooled over all replications.
+    pub pooled_overall_delay: SummaryStats,
+}
+
+impl ReplicatedReport {
+    /// Reduces finished per-replication reports (in replication order)
+    /// into the aggregate. The fold order is fixed, so the result is
+    /// independent of how the reports were *produced* (threads, machines).
+    ///
+    /// # Panics
+    /// Panics if `reports` is empty or the reports disagree on the class
+    /// set.
+    pub fn from_reports(reports: &[SimReport]) -> Self {
+        assert!(!reports.is_empty(), "need at least one replication");
+        let classes = reports[0].per_class.len();
+        assert!(
+            reports.iter().all(|r| r.per_class.len() == classes),
+            "replications must share one class set"
+        );
+
+        let mut overall = Welford::new();
+        let mut total_cost = Welford::new();
+        let mut pooled_overall = Welford::new();
+        struct Acc {
+            delay: Welford,
+            pull_delay: Welford,
+            blocking: Welford,
+            cost: Welford,
+            pooled: Welford,
+            generated: u64,
+            served: u64,
+            blocked: u64,
+        }
+        let mut per_class: Vec<Acc> = (0..classes)
+            .map(|_| Acc {
+                delay: Welford::new(),
+                pull_delay: Welford::new(),
+                blocking: Welford::new(),
+                cost: Welford::new(),
+                pooled: Welford::new(),
+                generated: 0,
+                served: 0,
+                blocked: 0,
+            })
+            .collect();
+
+        for r in reports {
+            if r.overall_delay.count > 0 {
+                overall.push(r.overall_delay.mean);
+            }
+            total_cost.push(r.total_prioritized_cost);
+            pooled_overall.merge(&Welford::from_summary(&r.overall_delay));
+            for (acc, cls) in per_class.iter_mut().zip(&r.per_class) {
+                if cls.delay.count > 0 {
+                    acc.delay.push(cls.delay.mean);
+                    acc.cost.push(cls.prioritized_cost);
+                }
+                if cls.pull_delay.count > 0 {
+                    acc.pull_delay.push(cls.pull_delay.mean);
+                }
+                acc.blocking.push(cls.blocking_probability);
+                acc.pooled.merge(&Welford::from_summary(&cls.delay));
+                acc.generated += cls.generated;
+                acc.served += cls.served;
+                acc.blocked += cls.blocked;
+            }
+        }
+
+        ReplicatedReport {
+            replications: reports.len() as u64,
+            per_class: per_class
+                .into_iter()
+                .zip(&reports[0].per_class)
+                .map(|(acc, cls)| ReplicatedClassReport {
+                    name: cls.name.clone(),
+                    priority: cls.priority,
+                    delay: acc.delay.summary(),
+                    pull_delay: acc.pull_delay.summary(),
+                    blocking_probability: acc.blocking.summary(),
+                    prioritized_cost: acc.cost.summary(),
+                    pooled_delay: acc.pooled.summary(),
+                    generated: acc.generated,
+                    served: acc.served,
+                    blocked: acc.blocked,
+                })
+                .collect(),
+            overall_delay: overall.summary(),
+            total_prioritized_cost: total_cost.summary(),
+            pooled_overall_delay: pooled_overall.summary(),
+        }
+    }
+}
+
+/// Runs replications `base, base+1, …, base+r−1` (where `base =
+/// params.replication`) across the thread pool and returns the reports in
+/// replication order.
+pub fn replicate(
+    scenario: &Scenario,
+    hybrid: &HybridConfig,
+    params: &SimParams,
+    r: u64,
+) -> Vec<SimReport> {
+    (0..r)
+        .into_par_iter()
+        .map(|i| {
+            simulate(
+                scenario,
+                hybrid,
+                &params.with_replication(params.replication + i),
+            )
+        })
+        .collect()
+}
+
+/// Sequential twin of [`replicate`] — same seeds, same order, one thread.
+pub fn replicate_serial(
+    scenario: &Scenario,
+    hybrid: &HybridConfig,
+    params: &SimParams,
+    r: u64,
+) -> Vec<SimReport> {
+    (0..r)
+        .map(|i| {
+            simulate(
+                scenario,
+                hybrid,
+                &params.with_replication(params.replication + i),
+            )
+        })
+        .collect()
+}
+
+/// Fans `r` independent replications across threads and reduces them into
+/// a CI-aggregated report. Bit-identical to [`run_replicated_serial`]
+/// (order-preserving collect + fixed-order fold).
+///
+/// # Panics
+/// Panics if `r == 0`.
+pub fn run_replicated(
+    scenario: &Scenario,
+    hybrid: &HybridConfig,
+    params: &SimParams,
+    r: u64,
+) -> ReplicatedReport {
+    assert!(r >= 1, "need at least one replication");
+    ReplicatedReport::from_reports(&replicate(scenario, hybrid, params, r))
+}
+
+/// Single-threaded reference reduction, for speedup baselines and
+/// equivalence checks.
+///
+/// # Panics
+/// Panics if `r == 0`.
+pub fn run_replicated_serial(
+    scenario: &Scenario,
+    hybrid: &HybridConfig,
+    params: &SimParams,
+    r: u64,
+) -> ReplicatedReport {
+    assert!(r >= 1, "need at least one replication");
+    ReplicatedReport::from_reports(&replicate_serial(scenario, hybrid, params, r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybridcast_workload::scenario::ScenarioConfig;
+
+    fn setup() -> (Scenario, HybridConfig, SimParams) {
+        (
+            ScenarioConfig::icpp2005(0.6).build(),
+            HybridConfig::paper(40, 0.5),
+            SimParams::quick(),
+        )
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let (scenario, cfg, params) = setup();
+        let par = run_replicated(&scenario, &cfg, &params, 4);
+        let ser = run_replicated_serial(&scenario, &cfg, &params, 4);
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn aggregates_cover_all_replications() {
+        let (scenario, cfg, params) = setup();
+        let rep = run_replicated(&scenario, &cfg, &params, 3);
+        assert_eq!(rep.replications, 3);
+        assert_eq!(rep.per_class.len(), 3);
+        for c in &rep.per_class {
+            assert_eq!(c.delay.count, 3, "{}: every replication served", c.name);
+            assert!(c.delay.mean > 0.0);
+            assert!(c.delay.ci95 > 0.0, "{}: spread across seeds", c.name);
+            // pooled stats see every individual request
+            assert_eq!(c.pooled_delay.count, c.served);
+            assert!(c.served > 1_000);
+        }
+        assert_eq!(rep.overall_delay.count, 3);
+        assert_eq!(
+            rep.pooled_overall_delay.count,
+            rep.per_class.iter().map(|c| c.served).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn pooled_mean_is_bit_identical_to_manual_merge() {
+        let (scenario, cfg, params) = setup();
+        let reports = replicate_serial(&scenario, &cfg, &params, 3);
+        let rep = ReplicatedReport::from_reports(&reports);
+        let mut manual = Welford::new();
+        for r in &reports {
+            manual.merge(&Welford::from_summary(&r.per_class[0].delay));
+        }
+        assert_eq!(rep.per_class[0].pooled_delay.mean, manual.mean());
+        assert_eq!(rep.per_class[0].pooled_delay.count, manual.count());
+    }
+
+    #[test]
+    fn single_replication_has_zero_ci() {
+        let (scenario, cfg, params) = setup();
+        let rep = run_replicated(&scenario, &cfg, &params, 1);
+        assert_eq!(rep.replications, 1);
+        assert_eq!(rep.overall_delay.ci95, 0.0);
+        // and matches the plain simulate() means exactly
+        let single = simulate(&scenario, &cfg, &params);
+        assert_eq!(rep.overall_delay.mean, single.overall_delay.mean);
+        assert_eq!(rep.per_class[0].delay.mean, single.per_class[0].delay.mean);
+    }
+
+    #[test]
+    fn base_replication_offsets_the_family() {
+        let (scenario, cfg, params) = setup();
+        let block0 = replicate_serial(&scenario, &cfg, &params, 3);
+        let block1 = replicate_serial(&scenario, &cfg, &params.with_replication(1), 3);
+        // overlapping indices produce identical runs; shifted ones differ
+        assert_eq!(block0[1], block1[0]);
+        assert_eq!(block0[2], block1[1]);
+        assert_ne!(block0[0], block1[2]);
+    }
+
+    #[test]
+    fn report_round_trips_via_serde() {
+        let (scenario, cfg, params) = setup();
+        let rep = run_replicated(&scenario, &cfg, &params, 2);
+        let js = serde_json::to_string(&rep).unwrap();
+        let back: ReplicatedReport = serde_json::from_str(&js).unwrap();
+        assert_eq!(back, rep);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replication")]
+    fn zero_replications_panics() {
+        let (scenario, cfg, params) = setup();
+        let _ = run_replicated(&scenario, &cfg, &params, 0);
+    }
+}

@@ -17,7 +17,10 @@
 //! * [`hybrid`] — the Fig. 1 dispatch loop tying it all together;
 //! * [`sim_driver`] — the event-driven end-to-end simulation;
 //! * [`metrics`] — per-class delay/blocking/prioritized-cost reports;
-//! * [`cutoff`] — the optimal-cutoff (`K*`) grid search;
+//! * [`cutoff`] — the optimal-cutoff (`K*`) grid search, parallelized
+//!   over the candidate grid;
+//! * [`experiment`] — the replication engine: independent seeded
+//!   replications fanned across threads, reduced into CI-carrying reports;
 //! * [`churn`] — the finite-population churn model behind the paper's
 //!   motivation (dissatisfied clients leave; premium departures cost most).
 //!
@@ -46,6 +49,7 @@ pub mod bandwidth;
 pub mod churn;
 pub mod config;
 pub mod cutoff;
+pub mod experiment;
 pub mod hybrid;
 pub mod metrics;
 pub mod pull;
@@ -59,7 +63,10 @@ pub mod prelude {
     pub use crate::bandwidth::{BandwidthConfig, BandwidthManager, BandwidthPolicy, Grant};
     pub use crate::churn::{simulate_with_churn, ChurnConfig, ChurnReport};
     pub use crate::config::{ChannelLayout, HybridConfig};
-    pub use crate::cutoff::{CutoffOptimizer, CutoffSweep, Objective};
+    pub use crate::cutoff::{CutoffOptimizer, CutoffPoint, CutoffSweep, Objective};
+    pub use crate::experiment::{
+        run_replicated, run_replicated_serial, ReplicatedClassReport, ReplicatedReport,
+    };
     pub use crate::hybrid::{Disposition, HybridScheduler, Transmission};
     pub use crate::metrics::{ClassReport, MetricsCollector, SimReport, TxKind};
     pub use crate::pull::{PullContext, PullPolicy, PullPolicyKind};

@@ -699,16 +699,17 @@ pub fn simulate_adaptive(
     }
 }
 
-/// Runs `replications` independent simulations and returns all reports.
+/// Runs `replications` independent simulations (in parallel, fanned across
+/// the thread pool by [`crate::experiment::replicate`]) and returns all
+/// reports in replication order. Replication `i` runs with index
+/// `params.replication + i`.
 pub fn simulate_replicated(
     scenario: &Scenario,
     hybrid: &HybridConfig,
     params: &SimParams,
     replications: u64,
 ) -> Vec<SimReport> {
-    (0..replications)
-        .map(|r| simulate(scenario, hybrid, &params.with_replication(r)))
-        .collect()
+    crate::experiment::replicate(scenario, hybrid, params, replications)
 }
 
 #[cfg(test)]

@@ -105,9 +105,13 @@ impl Welford {
         }
     }
 
-    /// Half-width of a normal-approximation 95% CI on the mean.
+    /// Half-width of a two-sided 95% CI on the mean.
+    ///
+    /// Uses Student-t critical values for `n < 30` (replication counts of
+    /// 5–10 are the norm; the z = 1.96 normal approximation understates the
+    /// interval badly there) and the normal approximation above.
     pub fn ci95_halfwidth(&self) -> f64 {
-        1.959_963_984_540_054 * self.std_err()
+        critical_value_95(self.n) * self.std_err()
     }
 
     /// Smallest observation; `None` when empty.
@@ -118,6 +122,27 @@ impl Welford {
     /// Largest observation; `None` when empty.
     pub fn max(&self) -> Option<f64> {
         (self.n > 0).then_some(self.max)
+    }
+
+    /// Reconstructs an accumulator from a serialized snapshot, so reports
+    /// from independent replications can be pooled with [`Welford::merge`].
+    ///
+    /// The count, mean, and extremes round-trip exactly; the second moment
+    /// is rebuilt from the standard deviation (one sqrt/square round trip,
+    /// exact to within an ulp), so pooled *means* are bit-identical to a
+    /// merge of the original accumulators while pooled variances agree to
+    /// floating-point noise.
+    pub fn from_summary(s: &SummaryStats) -> Self {
+        if s.count == 0 {
+            return Welford::new();
+        }
+        Welford {
+            n: s.count,
+            mean: s.mean,
+            m2: s.std_dev * s.std_dev * (s.count - 1) as f64,
+            min: s.min,
+            max: s.max,
+        }
     }
 
     /// Serializable snapshot.
@@ -133,6 +158,34 @@ impl Welford {
     }
 }
 
+/// Two-sided 95% critical values of Student's t for `df = n − 1 ∈ [1, 29]`.
+///
+/// `t_{0.975, df}` — the exact small-sample multiplier for a CI on the mean
+/// of iid normal observations. Indexed by `df - 1`.
+const T_95: [f64; 29] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045,
+];
+
+/// `z_{0.975}` — the large-sample limit of the t critical values.
+const Z_95: f64 = 1.959_963_984_540_054;
+
+/// Two-sided 95% critical value for a CI on a mean of `n` observations:
+/// Student-t (`df = n − 1`) below 30 observations, normal above.
+///
+/// With `n < 2` there is no variance estimate at all; the returned value is
+/// irrelevant (the standard error is 0) but kept finite.
+pub fn critical_value_95(n: u64) -> f64 {
+    if n < 2 {
+        Z_95
+    } else if n < 30 {
+        T_95[(n - 2) as usize]
+    } else {
+        Z_95
+    }
+}
+
 /// A serializable statistics snapshot.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SummaryStats {
@@ -142,7 +195,8 @@ pub struct SummaryStats {
     pub mean: f64,
     /// Sample standard deviation.
     pub std_dev: f64,
-    /// 95% confidence-interval half-width on the mean (normal approx).
+    /// 95% confidence-interval half-width on the mean (Student-t below 30
+    /// observations, normal approximation above).
     pub ci95: f64,
     /// Minimum observation.
     pub min: f64,
@@ -483,6 +537,81 @@ mod tests {
             }
         }
         assert!(large.ci95_halfwidth() < small.ci95_halfwidth());
+    }
+
+    #[test]
+    fn small_sample_ci_uses_student_t() {
+        // Five replications: the z = 1.96 normal approximation understates
+        // the interval; the t multiplier for df = 4 is 2.776.
+        let mut w = Welford::new();
+        for x in [10.0, 12.0, 9.0, 11.0, 13.0] {
+            w.push(x);
+        }
+        let expected = 2.776 * w.std_err();
+        assert!((w.ci95_halfwidth() - expected).abs() < 1e-12);
+        assert!(w.ci95_halfwidth() > 1.959_963_984_540_054 * w.std_err());
+    }
+
+    #[test]
+    fn large_sample_ci_uses_normal_approximation() {
+        let mut w = Welford::new();
+        for i in 0..30 {
+            w.push(i as f64);
+        }
+        let expected = 1.959_963_984_540_054 * w.std_err();
+        assert!((w.ci95_halfwidth() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_values_decrease_toward_z() {
+        for n in 2..60u64 {
+            assert!(critical_value_95(n + 1) <= critical_value_95(n));
+            assert!(critical_value_95(n) >= Z_95);
+        }
+        assert_eq!(critical_value_95(2), 12.706);
+        assert_eq!(critical_value_95(30), Z_95);
+    }
+
+    #[test]
+    fn from_summary_round_trips_for_merging() {
+        let mut w = Welford::new();
+        for x in [2.0, 4.0, 4.0, 5.0, 7.0, 9.0] {
+            w.push(x);
+        }
+        let back = Welford::from_summary(&w.summary());
+        assert_eq!(back.count(), w.count());
+        assert_eq!(back.mean(), w.mean());
+        assert_eq!(back.min(), w.min());
+        assert_eq!(back.max(), w.max());
+        assert!((back.variance() - w.variance()).abs() < 1e-12);
+        // merging reconstructed accumulators pools means exactly
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for x in [1.0, 3.0, 5.0] {
+            a.push(x);
+        }
+        for x in [2.0, 4.0] {
+            b.push(x);
+        }
+        let mut direct = a.clone();
+        direct.merge(&b);
+        let mut via_summary = Welford::from_summary(&a.summary());
+        via_summary.merge(&Welford::from_summary(&b.summary()));
+        assert_eq!(via_summary.mean(), direct.mean());
+        assert_eq!(via_summary.count(), direct.count());
+    }
+
+    #[test]
+    fn from_summary_empty_is_empty() {
+        let s = Welford::new().summary();
+        let back = Welford::from_summary(&s);
+        assert_eq!(back.count(), 0);
+        assert_eq!(back.min(), None);
+        let mut w = Welford::new();
+        w.push(5.0);
+        w.merge(&back);
+        assert_eq!(w.count(), 1);
+        assert_eq!(w.mean(), 5.0);
     }
 
     #[test]

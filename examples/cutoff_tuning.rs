@@ -28,17 +28,13 @@ fn main() {
     println!("cutoff sweep (theta = {theta}, alpha = {alpha}):\n");
     println!(
         "{:>4} {:>12} {:>12} {:>12} {:>12}",
-        "K", "total cost", "A delay", "C delay", "E[L_pull]"
+        "K", "total cost", "A delay", "C delay", "served"
     );
     for p in &sweep.points {
         let marker = if p.k == sweep.best_k() { " <-- K*" } else { "" };
         println!(
-            "{:>4} {:>12.2} {:>12.2} {:>12.2} {:>12.2}{marker}",
-            p.k,
-            p.objective,
-            p.report.per_class[0].delay.mean,
-            p.report.per_class[2].delay.mean,
-            p.report.mean_queue_items,
+            "{:>4} {:>12.2} {:>12.2} {:>12.2} {:>12}{marker}",
+            p.k, p.objective, p.per_class_delay[0], p.per_class_delay[2], p.served,
         );
     }
     println!(

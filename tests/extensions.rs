@@ -41,31 +41,47 @@ fn churn_end_to_end_and_revenue_ordering() {
         warmup: 0.0,
         replication: 0,
     };
-    let retention = |alpha: f64| {
+    let run = |alpha: f64| {
         simulate_with_churn(
             &scenario,
             &HybridConfig::paper(40, alpha),
             &params,
             &churn_cfg,
         )
-        .weighted_retention
     };
-    let r0 = retention(0.0);
-    let r_half = retention(0.5);
-    let r1 = retention(1.0);
+    let c0 = run(0.0);
+    let c_half = run(0.5);
+    let c1 = run(1.0);
     assert!(
-        r0 > 0.8,
-        "priority scheduling retains most subscribers: {r0}"
+        c0.weighted_retention > 0.8,
+        "priority scheduling retains most subscribers: {}",
+        c0.weighted_retention
     );
-    assert!(r1 < 0.2, "stretch-only scheduling loses them: {r1}");
-    // Weak ordering up to single-client granularity: retention moves in
-    // steps of ~1/total_clients, so one churned client either side of the
-    // margin must not fail the qualitative claim.
-    let slack = 1.5 / churn_cfg.total_clients as f64;
     assert!(
-        r0 >= r_half - slack && r_half >= r1 - slack,
-        "{r0} ≥ {r_half} ≥ {r1} (slack {slack})"
+        c1.weighted_retention < 0.2,
+        "stretch-only scheduling loses them: {}",
+        c1.weighted_retention
     );
+    // The simulation is deterministic under the vendored RNG, so pin the
+    // exact outcomes rather than a slack-masked weak ordering: at this
+    // horizon the pure-priority policy churns exactly one client (the
+    // retention figures for α = 0 and α = 0.5 sit within one client of
+    // each other), while stretch-only scheduling loses the whole
+    // population.
+    assert_eq!(c0.departures, 1, "α=0 churns exactly one client");
+    assert_eq!(c_half.departures, 0, "α=0.5 retains everyone");
+    assert_eq!(
+        c1.departures,
+        churn_cfg.total_clients as u64,
+        "α=1 loses everyone"
+    );
+    assert!(
+        (c0.weighted_retention - 0.9944444444444445).abs() < 1e-12,
+        "α=0 retention pinned to the RNG draw sequence: {}",
+        c0.weighted_retention
+    );
+    assert_eq!(c_half.weighted_retention, 1.0);
+    assert_eq!(c1.weighted_retention, 0.0);
 }
 
 #[test]
