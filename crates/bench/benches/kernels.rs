@@ -86,7 +86,10 @@ fn indexed_queue(
     fill: usize,
 ) -> PullQueue {
     let mut q = PullQueue::new(cat.len());
-    let ictx = IndexContext { catalog: cat, classes };
+    let ictx = IndexContext {
+        catalog: cat,
+        classes,
+    };
     let mut t = 0.0;
     for i in 0..fill {
         for r in 0..2usize {
@@ -97,7 +100,9 @@ fn indexed_queue(
                 class: ClassId((r % 3) as u8),
             };
             q.insert(&req, classes.priority(req.class));
-            let s = policy.rescore(q.get(req.item).unwrap(), &ictx);
+            let s = policy
+                .rescore(q.get(req.item).unwrap(), &ictx)
+                .expect("policy advertises an index");
             q.reindex(req.item, s);
         }
     }
@@ -142,7 +147,9 @@ fn bench_queue_scale(c: &mut Criterion) {
             };
             b.iter(|| {
                 q.insert(black_box(&req), classes.priority(req.class));
-                let s = policy.rescore(q.get(spare).unwrap(), &ictx);
+                let s = policy
+                    .rescore(q.get(spare).unwrap(), &ictx)
+                    .expect("policy advertises an index");
                 q.reindex(spare, s);
                 let e = q.remove(spare);
                 q.recycle(e);

@@ -52,7 +52,9 @@ fn filled(cat: &Catalog, classes: &ClassSet, policy: &dyn PullPolicy) -> PullQue
             class: ClassId((i % 3) as u8),
         };
         q.insert(&req, classes.priority(req.class));
-        let s = policy.rescore(q.get(req.item).unwrap(), &ictx);
+        let s = policy
+            .rescore(q.get(req.item).unwrap(), &ictx)
+            .expect("policy advertises an index");
         q.reindex(req.item, s);
     }
     q
@@ -86,10 +88,9 @@ impl Churn<'_> {
 fn run_scan(mut c: Churn<'_>, policy: &dyn PullPolicy, ctx: &PullContext<'_>, iters: u64) -> f64 {
     let start = Instant::now();
     for _ in 0..iters {
-        let sel = c
-            .q
-            .select_max(|e| policy.score(e, ctx))
-            .expect("queue never empties");
+        let sel =
+            c.q.select_max(|e| policy.score(e, ctx))
+                .expect("queue never empties");
         c.turn_over(sel);
     }
     start.elapsed().as_nanos() as f64 / iters as f64
@@ -105,7 +106,9 @@ fn run_indexed(
     for _ in 0..iters {
         let sel = c.q.select_max_indexed().expect("queue never empties");
         let req = c.turn_over(sel);
-        let s = policy.rescore(c.q.get(req.item).unwrap(), ictx);
+        let s = policy
+            .rescore(c.q.get(req.item).unwrap(), ictx)
+            .expect("policy advertises an index");
         c.q.reindex(req.item, s);
     }
     start.elapsed().as_nanos() as f64 / iters as f64

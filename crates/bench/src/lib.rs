@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod dashboard;
 pub mod figures;
 pub mod runner;
 pub mod scale;

@@ -15,8 +15,13 @@ const COLORS: [&str; 10] = [
     "#4d4d4d", "#8c564b",
 ];
 
-const W: f64 = 860.0;
-const H: f64 = 520.0;
+/// Width of one rendered chart (also the dashboard panel width).
+pub const PANEL_W: f64 = 860.0;
+/// Height of one rendered chart (also the dashboard panel height).
+pub const PANEL_H: f64 = 520.0;
+
+const W: f64 = PANEL_W;
+const H: f64 = PANEL_H;
 const ML: f64 = 70.0; // margins
 const MR: f64 = 210.0; // room for the legend
 const MT: f64 = 50.0;
@@ -59,6 +64,21 @@ fn fmt_tick(v: f64) -> String {
 
 /// Renders `fig` as a complete SVG document.
 pub fn to_svg(fig: &FigureData) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}" font-family="sans-serif">"##
+    );
+    out.push_str(&to_svg_fragment(fig));
+    let _ = writeln!(out, "</svg>");
+    out
+}
+
+/// Renders `fig`'s chart contents *without* the outer `<svg>` element — a
+/// [`PANEL_W`]×[`PANEL_H`] fragment that composes into multi-panel
+/// documents (the run dashboard stacks one per QoS dimension inside
+/// translated `<g>` groups).
+pub fn to_svg_fragment(fig: &FigureData) -> String {
     let mut xs_min = f64::INFINITY;
     let mut xs_max = f64::NEG_INFINITY;
     let mut ys_min = f64::INFINITY;
@@ -97,10 +117,6 @@ pub fn to_svg(fig: &FigureData) -> String {
     let py = |y: f64| MT + plot_h - (y - ys_min) / (ys_max - ys_min) * plot_h;
 
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}" font-family="sans-serif">"##
-    );
     let _ = writeln!(out, r##"<rect width="{W}" height="{H}" fill="white"/>"##);
     // title
     let _ = writeln!(
@@ -203,7 +219,6 @@ pub fn to_svg(fig: &FigureData) -> String {
             escape(&s.label)
         );
     }
-    let _ = writeln!(out, "</svg>");
     out
 }
 
@@ -271,6 +286,16 @@ mod tests {
         };
         let svg = to_svg(&empty);
         assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn fragment_composes_into_the_full_document() {
+        let f = fig();
+        let fragment = to_svg_fragment(&f);
+        assert!(!fragment.contains("<svg"), "fragment must not open <svg>");
+        assert!(!fragment.contains("</svg>"));
+        let full = to_svg(&f);
+        assert!(full.contains(&fragment), "to_svg wraps the fragment");
     }
 
     #[test]

@@ -23,12 +23,14 @@ use hybridcast_analysis::hybrid_model::{HybridDelayModel, ModelDelays};
 use hybridcast_core::churn::{simulate_with_churn, ChurnConfig, ChurnReport};
 use hybridcast_core::config::HybridConfig;
 use hybridcast_core::cutoff::{CutoffOptimizer, CutoffSweep, Objective};
+use hybridcast_core::experiment::run_replicated_with_telemetry;
 use hybridcast_core::experiment::{run_replicated, ReplicatedReport};
 use hybridcast_core::metrics::SimReport;
 use hybridcast_core::pull::PullPolicyKind;
 use hybridcast_core::sim_driver::{
-    simulate, simulate_adaptive, AdaptiveConfig, AdaptiveReport, SimParams,
+    simulate, simulate_adaptive, simulate_telemetry, AdaptiveConfig, AdaptiveReport, SimParams,
 };
+use hybridcast_telemetry::{AggregatedSeries, TelemetryConfig, TimeSeries};
 use hybridcast_workload::scenario::ScenarioConfig;
 
 /// The complete, serializable description of one experiment.
@@ -57,6 +59,11 @@ pub struct ExperimentConfig {
     /// (defaults to 1; the `--replications N` flag overrides).
     #[serde(default)]
     pub replications: Option<u64>,
+    /// Telemetry window width in simulation time units. When set (or the
+    /// `--telemetry [window]` flag is given), instrumented runs export a
+    /// windowed QoS time series and an SVG dashboard under `results/`.
+    #[serde(default)]
+    pub telemetry: Option<f64>,
 }
 
 impl Default for ExperimentConfig {
@@ -70,6 +77,7 @@ impl Default for ExperimentConfig {
             objective: None,
             churn: None,
             replications: None,
+            telemetry: None,
         }
     }
 }
@@ -95,6 +103,11 @@ impl ExperimentConfig {
     pub fn effective_replications(&self) -> u64 {
         self.replications.unwrap_or(1).max(1)
     }
+
+    /// The telemetry recorder config, when telemetry is enabled.
+    pub fn telemetry_config(&self) -> Option<TelemetryConfig> {
+        self.telemetry.map(TelemetryConfig::new)
+    }
 }
 
 /// `simulate`: one static run.
@@ -115,6 +128,46 @@ pub fn run_churn(cfg: &ExperimentConfig) -> ChurnReport {
     let scenario = cfg.scenario.build();
     let churn = cfg.churn.clone().unwrap_or_default();
     simulate_with_churn(&scenario, &cfg.hybrid, &cfg.params, &churn)
+}
+
+/// `simulate --telemetry`: one instrumented run returning the report plus
+/// the windowed QoS time series (bit-identical report to [`run_simulate`]).
+pub fn run_simulate_telemetry(cfg: &ExperimentConfig) -> (SimReport, TimeSeries) {
+    let scenario = cfg.scenario.build();
+    let telemetry = cfg.telemetry_config().unwrap_or_default();
+    simulate_telemetry(&scenario, &cfg.hybrid, &cfg.params, telemetry)
+}
+
+/// `simulate --replications N --telemetry`: replicated runs with
+/// per-replication series reduced into a window-aligned aggregate with
+/// 95% CIs.
+pub fn run_simulate_replicated_telemetry(
+    cfg: &ExperimentConfig,
+) -> (ReplicatedReport, AggregatedSeries) {
+    let scenario = cfg.scenario.build();
+    let telemetry = cfg.telemetry_config().unwrap_or_default();
+    run_replicated_with_telemetry(
+        &scenario,
+        &cfg.hybrid,
+        &cfg.params,
+        cfg.effective_replications(),
+        telemetry,
+    )
+}
+
+/// `optimize --telemetry`: the grid search of [`run_optimize`], plus an
+/// instrumented re-run of the best cutoff so the winning configuration's
+/// transient behavior can be inspected on a dashboard.
+pub fn run_optimize_telemetry(cfg: &ExperimentConfig) -> (CutoffSweep, TimeSeries) {
+    let sweep = run_optimize(cfg);
+    let scenario = cfg.scenario.build();
+    let telemetry = cfg.telemetry_config().unwrap_or_default();
+    let best = HybridConfig {
+        cutoff: sweep.best_k(),
+        ..cfg.hybrid.clone()
+    };
+    let (_, series) = simulate_telemetry(&scenario, &best, &cfg.params, telemetry);
+    (sweep, series)
 }
 
 /// `simulate --replications N`: `N` independent replications fanned
@@ -161,6 +214,47 @@ pub fn run_model(cfg: &ExperimentConfig) -> Vec<ModelDelays> {
             .delays()
         })
         .collect()
+}
+
+/// Writes a single-run telemetry series under `results/` (or
+/// `$HYBRIDCAST_RESULTS`) as `<stem>.jsonl` plus a stacked-panel SVG
+/// dashboard `<stem>.svg`, returning the two paths.
+pub fn export_series(
+    stem: &str,
+    label: &str,
+    series: &TimeSeries,
+) -> Result<(std::path::PathBuf, std::path::PathBuf), String> {
+    use hybridcast_bench::dashboard::{dashboard_figures, dashboard_svg};
+    let svg = dashboard_svg(&dashboard_figures(series, label));
+    write_exports(stem, &series.to_jsonl(), &svg)
+}
+
+/// [`export_series`] for a replicated run's window-aligned aggregate
+/// (means ± 95% CI).
+pub fn export_aggregated_series(
+    stem: &str,
+    label: &str,
+    series: &AggregatedSeries,
+) -> Result<(std::path::PathBuf, std::path::PathBuf), String> {
+    use hybridcast_bench::dashboard::{aggregated_dashboard_figures, dashboard_svg};
+    let svg = dashboard_svg(&aggregated_dashboard_figures(series, label));
+    write_exports(stem, &series.to_jsonl(), &svg)
+}
+
+fn write_exports(
+    stem: &str,
+    jsonl: &str,
+    svg: &str,
+) -> Result<(std::path::PathBuf, std::path::PathBuf), String> {
+    let dir = hybridcast_bench::results_dir();
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let jsonl_path = dir.join(format!("{stem}.jsonl"));
+    std::fs::write(&jsonl_path, jsonl)
+        .map_err(|e| format!("cannot write {}: {e}", jsonl_path.display()))?;
+    let svg_path = dir.join(format!("{stem}.svg"));
+    std::fs::write(&svg_path, svg)
+        .map_err(|e| format!("cannot write {}: {e}", svg_path.display()))?;
+    Ok((jsonl_path, svg_path))
 }
 
 /// A compact human-readable summary of a report, for terminal use.
@@ -368,5 +462,57 @@ mod tests {
             assert_eq!(d.per_class.len(), 3);
             assert!(d.per_class[0] <= d.per_class[2] + 1e-9);
         }
+    }
+
+    #[test]
+    fn telemetry_config_defaults_off_and_validates() {
+        let cfg = quick_cfg();
+        assert!(cfg.telemetry_config().is_none());
+        let mut cfg = quick_cfg();
+        cfg.telemetry = Some(250.0);
+        assert_eq!(cfg.telemetry_config().unwrap().window, 250.0);
+    }
+
+    #[test]
+    fn telemetry_field_survives_json_round_trip() {
+        let mut cfg = quick_cfg();
+        cfg.telemetry = Some(125.0);
+        let back = ExperimentConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(back.telemetry, Some(125.0));
+    }
+
+    #[test]
+    fn simulate_telemetry_is_observational_and_covers_the_horizon() {
+        let mut cfg = quick_cfg();
+        cfg.telemetry = Some(200.0);
+        let plain = run_simulate(&cfg);
+        let (report, series) = run_simulate_telemetry(&cfg);
+        assert_eq!(report, plain, "telemetry must not perturb the report");
+        assert_eq!(series.window, 200.0);
+        assert_eq!(series.classes.len(), 3);
+        let expected = (cfg.params.horizon / 200.0).ceil() as usize;
+        assert_eq!(series.windows.len(), expected);
+    }
+
+    #[test]
+    fn replicated_telemetry_aggregates_all_replications() {
+        let mut cfg = quick_cfg();
+        cfg.replications = Some(3);
+        cfg.telemetry = Some(200.0);
+        let plain = run_simulate_replicated(&cfg);
+        let (report, series) = run_simulate_replicated_telemetry(&cfg);
+        assert_eq!(report, plain, "telemetry must not perturb the report");
+        assert_eq!(series.replications, 3);
+        assert!(!series.windows.is_empty());
+    }
+
+    #[test]
+    fn optimize_telemetry_records_the_best_cutoff_run() {
+        let mut cfg = quick_cfg();
+        cfg.optimize_ks = Some(vec![20, 60]);
+        let (sweep, series) = run_optimize_telemetry(&cfg);
+        assert!(sweep.points.len() == 2);
+        assert!(!series.windows.is_empty());
+        assert_eq!(series.window, hybridcast_telemetry::DEFAULT_WINDOW);
     }
 }

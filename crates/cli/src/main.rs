@@ -5,9 +5,12 @@ use std::io::Read as _;
 use std::process::ExitCode;
 
 use hybridcast_cli::{
-    run_adaptive, run_churn, run_model, run_optimize, run_simulate, run_simulate_replicated,
-    summarize, summarize_replicated, ExperimentConfig,
+    export_aggregated_series, export_series, run_adaptive, run_churn, run_model, run_optimize,
+    run_optimize_telemetry, run_simulate, run_simulate_replicated,
+    run_simulate_replicated_telemetry, run_simulate_telemetry, summarize, summarize_replicated,
+    ExperimentConfig,
 };
+use hybridcast_telemetry::DEFAULT_WINDOW;
 
 const USAGE: &str = "\
 hybridcast — hybrid push/pull broadcast scheduling (ICPP 2005 reproduction)
@@ -20,11 +23,16 @@ USAGE:
     hybridcast model     <config.json>    analytic per-class delays (no simulation)
     hybridcast churn     <config.json>    run with the finite-population churn model
     hybridcast summary   <config.json>    static run, human-readable table
+    hybridcast dashboard <config.json>    telemetry run → JSONL on stdout +
+                                          results/dashboard.{jsonl,svg}
 
 OPTIONS:
     --replications <N>    run N independent replications in parallel and
                           report means with 95% confidence intervals
                           (simulate, summary, optimize)
+    --telemetry [W]       record a windowed QoS time series (window width W
+                          sim-time units, default 500) and export JSONL + an
+                          SVG dashboard under results/ (simulate, optimize)
 
 Use `-` as the config path to read from stdin.
 ";
@@ -60,9 +68,29 @@ fn take_replications(args: &mut Vec<String>) -> Result<Option<u64>, String> {
     Ok(Some(value))
 }
 
+/// Strips `--telemetry [W]` from the argument list. The window width is
+/// optional: when the next argument does not parse as a number the flag
+/// stands alone and the default window applies.
+fn take_telemetry(args: &mut Vec<String>) -> Result<Option<f64>, String> {
+    let Some(i) = args.iter().position(|a| a == "--telemetry") else {
+        return Ok(None);
+    };
+    if let Some(value) = args.get(i + 1).and_then(|a| a.parse::<f64>().ok()) {
+        if !(value.is_finite() && value > 0.0) {
+            return Err(format!("telemetry window must be positive, got `{value}`"));
+        }
+        args.drain(i..=i + 1);
+        Ok(Some(value))
+    } else {
+        args.remove(i);
+        Ok(Some(DEFAULT_WINDOW))
+    }
+}
+
 fn run() -> Result<(), String> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let replications = take_replications(&mut args)?;
+    let telemetry = take_telemetry(&mut args)?;
     let (cmd, path) = match args.as_slice() {
         [cmd] if cmd == "init-config" => {
             println!("{}", ExperimentConfig::default().to_json());
@@ -75,7 +103,29 @@ fn run() -> Result<(), String> {
     if replications.is_some() {
         cfg.replications = replications;
     }
+    if telemetry.is_some() {
+        cfg.telemetry = telemetry;
+    }
     match cmd {
+        "simulate" if cfg.telemetry.is_some() => {
+            if cfg.effective_replications() > 1 {
+                let (report, series) = run_simulate_replicated_telemetry(&cfg);
+                let (jsonl, svg) = export_aggregated_series("telemetry", "simulate", &series)?;
+                eprintln!("[saved {} and {}]", jsonl.display(), svg.display());
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&report).expect("report serializes")
+                );
+            } else {
+                let (report, series) = run_simulate_telemetry(&cfg);
+                let (jsonl, svg) = export_series("telemetry", "simulate", &series)?;
+                eprintln!("[saved {} and {}]", jsonl.display(), svg.display());
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&report).expect("report serializes")
+                );
+            }
+        }
         "simulate" => {
             if cfg.effective_replications() > 1 {
                 let report = run_simulate_replicated(&cfg);
@@ -96,6 +146,22 @@ fn run() -> Result<(), String> {
             println!(
                 "{}",
                 serde_json::to_string_pretty(&out).expect("report serializes")
+            );
+        }
+        "optimize" if cfg.telemetry.is_some() => {
+            let (sweep, series) = run_optimize_telemetry(&cfg);
+            let (jsonl, svg) = export_series("telemetry_optimize", "optimize (best K)", &series)?;
+            eprintln!("[saved {} and {}]", jsonl.display(), svg.display());
+            eprintln!(
+                "optimal K = {} (objective {:.3} ±{:.3}, R = {})",
+                sweep.best_k(),
+                sweep.best().objective,
+                sweep.best().objective_ci95,
+                sweep.replications
+            );
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&sweep).expect("sweep serializes")
             );
         }
         "optimize" => {
@@ -130,6 +196,15 @@ fn run() -> Result<(), String> {
                 "{}",
                 serde_json::to_string_pretty(&delays).expect("delays serialize")
             );
+        }
+        "dashboard" => {
+            if cfg.telemetry.is_none() {
+                cfg.telemetry = Some(DEFAULT_WINDOW);
+            }
+            let (_, series) = run_simulate_telemetry(&cfg);
+            let (jsonl, svg) = export_series("dashboard", "dashboard", &series)?;
+            eprintln!("[saved {} and {}]", jsonl.display(), svg.display());
+            print!("{}", series.to_jsonl());
         }
         "summary" => {
             if cfg.effective_replications() > 1 {

@@ -10,10 +10,7 @@ fn bin() -> Command {
 
 fn quick_config() -> String {
     // start from the generated default and shrink the run
-    let out = bin()
-        .arg("init-config")
-        .output()
-        .expect("binary runs");
+    let out = bin().arg("init-config").output().expect("binary runs");
     assert!(out.status.success());
     let mut cfg: serde_json::Value =
         serde_json::from_slice(&out.stdout).expect("init-config emits JSON");
@@ -24,19 +21,25 @@ fn quick_config() -> String {
 }
 
 fn run_with_stdin(args: &[&str], stdin: &str) -> (bool, String, String) {
+    run_with_stdin_env(args, stdin, &[])
+}
+
+fn run_with_stdin_env(args: &[&str], stdin: &str, env: &[(&str, &str)]) -> (bool, String, String) {
     let mut child = bin()
         .args(args)
+        .envs(env.iter().copied())
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .stderr(Stdio::piped())
         .spawn()
         .expect("binary spawns");
-    child
+    // the child may reject its argv and exit before reading stdin, so a
+    // broken pipe here is fine
+    let _ = child
         .stdin
         .as_mut()
         .expect("stdin piped")
-        .write_all(stdin.as_bytes())
-        .expect("stdin writes");
+        .write_all(stdin.as_bytes());
     let out = child.wait_with_output().expect("binary exits");
     (
         out.status.success(),
@@ -81,6 +84,131 @@ fn model_needs_no_simulation() {
     assert!(ok);
     let delays: serde_json::Value = serde_json::from_str(&stdout).expect("delays JSON");
     assert_eq!(delays.as_array().expect("grid").len(), 2);
+}
+
+/// A throwaway results directory for telemetry-export tests; the binary
+/// honours `HYBRIDCAST_RESULTS` so nothing lands in the repo's `results/`.
+fn scratch_results(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("hybridcast-e2e-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Every line parses as JSON; the header carries window width and classes,
+/// each subsequent line is one window.
+fn assert_valid_jsonl(text: &str) {
+    let mut lines = text.lines();
+    let header: serde_json::Value =
+        serde_json::from_str(lines.next().expect("header line")).expect("header JSON");
+    assert_eq!(header["classes"].as_array().expect("classes").len(), 3);
+    let num_windows = header["num_windows"].as_u64().expect("num_windows");
+    let mut count = 0;
+    for line in lines {
+        let win: serde_json::Value = serde_json::from_str(line).expect("window JSON");
+        assert_eq!(win["per_class"].as_array().expect("per_class").len(), 3);
+        count += 1;
+    }
+    assert_eq!(count, num_windows, "header window count matches body");
+    assert!(count > 0, "at least one window recorded");
+}
+
+fn assert_valid_svg(path: &std::path::Path) {
+    let svg = std::fs::read_to_string(path).expect("svg exists");
+    assert_eq!(svg.matches("<svg").count(), 1, "exactly one <svg> root");
+    assert!(svg.trim_end().ends_with("</svg>"), "closed <svg> root");
+    assert!(svg.contains("Class-A"), "per-class series are labelled");
+}
+
+#[test]
+fn dashboard_emits_valid_svg_and_jsonl() {
+    let cfg = quick_config();
+    let results = scratch_results("dashboard");
+    let (ok, stdout, stderr) = run_with_stdin_env(
+        &["dashboard", "-"],
+        &cfg,
+        &[("HYBRIDCAST_RESULTS", results.to_str().unwrap())],
+    );
+    assert!(ok, "stderr: {stderr}");
+    assert_valid_jsonl(&stdout);
+    assert_valid_jsonl(&std::fs::read_to_string(results.join("dashboard.jsonl")).unwrap());
+    assert_valid_svg(&results.join("dashboard.svg"));
+    assert!(stderr.contains("[saved "), "stderr: {stderr}");
+    std::fs::remove_dir_all(&results).ok();
+}
+
+#[test]
+fn simulate_with_telemetry_exports_and_keeps_the_report_identical() {
+    let cfg = quick_config();
+    let results = scratch_results("simulate");
+    let (ok, plain, _) = run_with_stdin(&["simulate", "-"], &cfg);
+    assert!(ok);
+    let (ok, instrumented, stderr) = run_with_stdin_env(
+        &["simulate", "--telemetry", "250", "-"],
+        &cfg,
+        &[("HYBRIDCAST_RESULTS", results.to_str().unwrap())],
+    );
+    assert!(ok, "stderr: {stderr}");
+    // telemetry is observational: stdout report is byte-for-byte the same
+    assert_eq!(plain, instrumented);
+    let jsonl = std::fs::read_to_string(results.join("telemetry.jsonl")).unwrap();
+    assert_valid_jsonl(&jsonl);
+    let header: serde_json::Value = serde_json::from_str(jsonl.lines().next().unwrap()).unwrap();
+    assert_eq!(header["window"].as_f64(), Some(250.0));
+    assert_valid_svg(&results.join("telemetry.svg"));
+    std::fs::remove_dir_all(&results).ok();
+}
+
+#[test]
+fn replicated_telemetry_aggregates_with_confidence_intervals() {
+    let cfg = quick_config();
+    let results = scratch_results("replicated");
+    let (ok, stdout, stderr) = run_with_stdin_env(
+        &["simulate", "--replications", "4", "--telemetry", "-"],
+        &cfg,
+        &[("HYBRIDCAST_RESULTS", results.to_str().unwrap())],
+    );
+    assert!(ok, "stderr: {stderr}");
+    let report: serde_json::Value = serde_json::from_str(&stdout).expect("replicated report");
+    assert_eq!(report["replications"].as_u64(), Some(4));
+    let jsonl = std::fs::read_to_string(results.join("telemetry.jsonl")).unwrap();
+    let window: serde_json::Value =
+        serde_json::from_str(jsonl.lines().nth(1).expect("first window")).unwrap();
+    let class0 = &window["per_class"][0];
+    assert!(
+        class0["delay_mean"]["ci95"].as_f64().is_some(),
+        "CI bands present"
+    );
+    assert_valid_svg(&results.join("telemetry.svg"));
+    std::fs::remove_dir_all(&results).ok();
+}
+
+#[test]
+fn optimize_with_telemetry_exports_the_best_cutoff_series() {
+    let cfg = quick_config();
+    let results = scratch_results("optimize");
+    let (ok, stdout, stderr) = run_with_stdin_env(
+        &["optimize", "--telemetry", "-"],
+        &cfg,
+        &[("HYBRIDCAST_RESULTS", results.to_str().unwrap())],
+    );
+    assert!(ok, "stderr: {stderr}");
+    assert!(stderr.contains("optimal K ="), "stderr: {stderr}");
+    let sweep: serde_json::Value = serde_json::from_str(&stdout).expect("sweep JSON");
+    assert_eq!(sweep["points"].as_array().expect("points").len(), 2);
+    assert_valid_jsonl(&std::fs::read_to_string(results.join("telemetry_optimize.jsonl")).unwrap());
+    assert_valid_svg(&results.join("telemetry_optimize.svg"));
+    std::fs::remove_dir_all(&results).ok();
+}
+
+#[test]
+fn telemetry_rejects_a_non_positive_window() {
+    let cfg = quick_config();
+    let (ok, _, stderr) = run_with_stdin(&["simulate", "--telemetry", "-5", "-"], &cfg);
+    assert!(!ok);
+    assert!(
+        stderr.contains("telemetry window must be positive"),
+        "stderr: {stderr}"
+    );
 }
 
 #[test]

@@ -23,6 +23,7 @@ use serde::{Deserialize, Serialize};
 use hybridcast_sim::engine::Engine;
 use hybridcast_sim::rng::RngFactory;
 use hybridcast_sim::time::SimTime;
+use hybridcast_telemetry::{emit, NullSink, ServiceKind, Sink, TelemetryEvent};
 use hybridcast_workload::classes::ClassId;
 use hybridcast_workload::clients::{ClientId, ClientPool};
 use hybridcast_workload::requests::RequestGenerator;
@@ -95,7 +96,7 @@ enum Event {
     Complete(Transmission),
 }
 
-struct ChurnDriver {
+struct ChurnDriver<'s, S: Sink> {
     scheduler: HybridScheduler,
     metrics: MetricsCollector,
     gen: RequestGenerator,
@@ -114,10 +115,11 @@ struct ChurnDriver {
     server_busy: bool,
     departures: u64,
     lost_demand: u64,
+    sink: &'s mut S,
 }
 
-impl ChurnDriver {
-    fn observe_delay(&mut self, client: ClientId, class: ClassId, delay: f64) {
+impl<S: Sink> ChurnDriver<'_, S> {
+    fn observe_delay(&mut self, now: SimTime, client: ClientId, class: ClassId, delay: f64) {
         let ema = self.pool.record_delay(client, delay, self.cfg.ema_alpha);
         let c = self.pool.client(client);
         if !c.departed
@@ -126,7 +128,23 @@ impl ChurnDriver {
         {
             self.pool.depart(client);
             self.departures += 1;
+            emit(self.sink, || TelemetryEvent::ChurnEvent {
+                time: now,
+                class,
+                client: client.0,
+            });
         }
+    }
+
+    fn record_queue(&mut self, now: SimTime) {
+        let items = self.scheduler.queue().len();
+        let requests = self.scheduler.queue().total_requests();
+        self.metrics.queue_changed(now, items, requests);
+        emit(self.sink, || TelemetryEvent::QueueGauge {
+            time: now,
+            items: items as u32,
+            requests: requests as u32,
+        });
     }
 
     fn dispatch(&mut self, eng: &mut Engine<Event>, now: SimTime) {
@@ -137,16 +155,17 @@ impl ChurnDriver {
             debug_assert_eq!(clients.len(), entry.requesters.len());
             for (&(arrival, class), client) in entry.requesters.iter().zip(clients) {
                 self.metrics.record_blocked(class, arrival);
+                emit(self.sink, || TelemetryEvent::RequestBlocked {
+                    time: now,
+                    item: entry.item,
+                    class,
+                });
                 let penalty = self.cfg.blocked_penalty * self.cfg.tolerance[class.index()];
-                self.observe_delay(client, class, penalty);
+                self.observe_delay(now, client, class, penalty);
             }
             self.scheduler.recycle(entry);
         }
-        self.metrics.queue_changed(
-            now,
-            self.scheduler.queue().len(),
-            self.scheduler.queue().total_requests(),
-        );
+        self.record_queue(now);
         match tx {
             Some(tx) => {
                 if tx.kind == TxKind::Pull {
@@ -178,6 +197,11 @@ impl ChurnDriver {
                 match self.pool.sample_alive(req.class, &mut self.client_rng) {
                     Some(client) => {
                         self.metrics.on_request(req.class, req.arrival);
+                        emit(self.sink, || TelemetryEvent::RequestArrival {
+                            time: req.arrival,
+                            item: req.item,
+                            class: req.class,
+                        });
                         match self.scheduler.on_request(&req) {
                             Disposition::PushIgnored => {
                                 self.push_waiters[req.item.index()].push((
@@ -188,11 +212,7 @@ impl ChurnDriver {
                             }
                             Disposition::Queued => {
                                 self.pull_clients[req.item.index()].push(client);
-                                self.metrics.queue_changed(
-                                    now,
-                                    self.scheduler.queue().len(),
-                                    self.scheduler.queue().total_requests(),
-                                );
+                                self.record_queue(now);
                             }
                         }
                         if !self.server_busy {
@@ -207,9 +227,15 @@ impl ChurnDriver {
             }
             Event::Complete(tx) => {
                 let start = tx.start;
+                let duration = tx.duration;
                 match tx.kind {
                     TxKind::Push => {
                         let item = tx.item;
+                        emit(self.sink, || TelemetryEvent::PushTx {
+                            time: now,
+                            item,
+                            duration,
+                        });
                         let waiters = std::mem::take(&mut self.push_waiters[item.index()]);
                         let mut kept = Vec::new();
                         for (arrival, class, client) in waiters {
@@ -217,8 +243,15 @@ impl ChurnDriver {
                                 let delay = (now - arrival).as_f64();
                                 self.metrics
                                     .record_served(class, TxKind::Push, arrival, now);
+                                emit(self.sink, || TelemetryEvent::RequestServed {
+                                    time: now,
+                                    item,
+                                    class,
+                                    kind: ServiceKind::Push,
+                                    arrival,
+                                });
                                 if self.cfg.observe_push {
-                                    self.observe_delay(client, class, delay);
+                                    self.observe_delay(now, client, class, delay);
                                 }
                             } else {
                                 kept.push((arrival, class, client));
@@ -227,6 +260,7 @@ impl ChurnDriver {
                         self.push_waiters[item.index()] = kept;
                     }
                     TxKind::Pull => {
+                        let item = tx.item;
                         if let Some(batch) = self.scheduler.complete_transmission(tx) {
                             let clients = std::mem::take(&mut self.in_flight_clients);
                             debug_assert_eq!(clients.len(), batch.requesters.len());
@@ -235,8 +269,22 @@ impl ChurnDriver {
                                 let delay = (now - arrival).as_f64();
                                 self.metrics
                                     .record_served(class, TxKind::Pull, arrival, now);
-                                self.observe_delay(client, class, delay);
+                                emit(self.sink, || TelemetryEvent::RequestServed {
+                                    time: now,
+                                    item,
+                                    class,
+                                    kind: ServiceKind::Pull,
+                                    arrival,
+                                });
+                                self.observe_delay(now, client, class, delay);
                             }
+                            emit(self.sink, || TelemetryEvent::PullTx {
+                                time: now,
+                                item,
+                                duration,
+                                requests: batch.count() as u32,
+                                class: batch.dominant_class().unwrap_or(ClassId(0)),
+                            });
                             self.scheduler.recycle(batch);
                         }
                         self.dispatch(eng, now);
@@ -259,6 +307,18 @@ pub fn simulate_with_churn(
     hybrid: &HybridConfig,
     params: &SimParams,
     churn: &ChurnConfig,
+) -> ChurnReport {
+    simulate_with_churn_sink(scenario, hybrid, params, churn, &mut NullSink)
+}
+
+/// [`simulate_with_churn`] with telemetry delivered to `sink` — departures
+/// show up as [`TelemetryEvent::ChurnEvent`].
+pub fn simulate_with_churn_sink<S: Sink>(
+    scenario: &Scenario,
+    hybrid: &HybridConfig,
+    params: &SimParams,
+    churn: &ChurnConfig,
+    sink: &mut S,
 ) -> ChurnReport {
     assert_eq!(
         churn.tolerance.len(),
@@ -297,6 +357,7 @@ pub fn simulate_with_churn(
         server_busy: false,
         departures: 0,
         lost_demand: 0,
+        sink,
     };
 
     let mut engine: Engine<Event> = Engine::new();

@@ -44,11 +44,12 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use hybridcast_sim::stats::{SummaryStats, Welford};
+use hybridcast_telemetry::{AggregatedSeries, TelemetryConfig, TimeSeries};
 use hybridcast_workload::scenario::Scenario;
 
 use crate::config::HybridConfig;
 use crate::metrics::SimReport;
-use crate::sim_driver::{simulate, SimParams};
+use crate::sim_driver::{simulate, simulate_telemetry, SimParams};
 
 /// Across-replication and pooled statistics for one service class.
 ///
@@ -244,6 +245,53 @@ pub fn run_replicated(
     ReplicatedReport::from_reports(&replicate(scenario, hybrid, params, r))
 }
 
+/// [`replicate`] with the windowed telemetry recorder attached to every
+/// replication: returns the per-replication `(report, series)` pairs in
+/// replication order. Recording is purely observational, so the reports
+/// are bit-identical to [`replicate`]'s.
+pub fn replicate_with_telemetry(
+    scenario: &Scenario,
+    hybrid: &HybridConfig,
+    params: &SimParams,
+    r: u64,
+    telemetry: TelemetryConfig,
+) -> Vec<(SimReport, TimeSeries)> {
+    (0..r)
+        .into_par_iter()
+        .map(|i| {
+            simulate_telemetry(
+                scenario,
+                hybrid,
+                &params.with_replication(params.replication + i),
+                telemetry,
+            )
+        })
+        .collect()
+}
+
+/// [`run_replicated`] plus a window-aligned [`AggregatedSeries`]: every
+/// replication records the same fixed windows, and each per-window QoS
+/// value becomes an across-replication summary with a 95% CI.
+///
+/// # Panics
+/// Panics if `r == 0`.
+pub fn run_replicated_with_telemetry(
+    scenario: &Scenario,
+    hybrid: &HybridConfig,
+    params: &SimParams,
+    r: u64,
+    telemetry: TelemetryConfig,
+) -> (ReplicatedReport, AggregatedSeries) {
+    assert!(r >= 1, "need at least one replication");
+    let runs = replicate_with_telemetry(scenario, hybrid, params, r, telemetry);
+    let reports: Vec<SimReport> = runs.iter().map(|(rep, _)| rep.clone()).collect();
+    let series: Vec<TimeSeries> = runs.into_iter().map(|(_, s)| s).collect();
+    (
+        ReplicatedReport::from_reports(&reports),
+        AggregatedSeries::from_series(&series),
+    )
+}
+
 /// Single-threaded reference reduction, for speedup baselines and
 /// equivalence checks.
 ///
@@ -344,6 +392,24 @@ mod tests {
         let js = serde_json::to_string(&rep).unwrap();
         let back: ReplicatedReport = serde_json::from_str(&js).unwrap();
         assert_eq!(back, rep);
+    }
+
+    #[test]
+    fn telemetry_replication_leaves_reports_untouched() {
+        let (scenario, cfg, params) = setup();
+        let plain = run_replicated(&scenario, &cfg, &params, 3);
+        let (instrumented, series) =
+            run_replicated_with_telemetry(&scenario, &cfg, &params, 3, TelemetryConfig::new(250.0));
+        assert_eq!(plain, instrumented, "recording must be observational");
+        assert_eq!(series.replications, 3);
+        assert_eq!(series.window, 250.0);
+        assert!(!series.windows.is_empty());
+        // every window's across-replication arrival summary saw 3 values
+        for w in &series.windows {
+            for c in &w.per_class {
+                assert_eq!(c.arrivals.count, 3);
+            }
+        }
     }
 
     #[test]

@@ -118,6 +118,23 @@ impl HybridScheduler {
         config: &HybridConfig,
         factory: &RngFactory,
     ) -> Self {
+        let policy = config.pull.build();
+        Self::with_policy(catalog, classes, config, factory, policy)
+    }
+
+    /// Like [`HybridScheduler::new`] but with a caller-supplied pull policy
+    /// instead of one built from `config.pull` — for custom policies and for
+    /// tests that need to inject a misbehaving one.
+    ///
+    /// # Panics
+    /// Panics if `config.cutoff > catalog.len()`.
+    pub fn with_policy(
+        catalog: Catalog,
+        classes: ClassSet,
+        config: &HybridConfig,
+        factory: &RngFactory,
+        policy: Box<dyn PullPolicy>,
+    ) -> Self {
         assert!(
             config.cutoff <= catalog.len(),
             "cutoff {} exceeds catalog size {}",
@@ -125,7 +142,6 @@ impl HybridScheduler {
             catalog.len()
         );
         let push = config.push.build(&catalog, config.cutoff);
-        let policy = config.pull.build();
         let bandwidth = BandwidthManager::new(
             &config.bandwidth,
             &classes,
@@ -260,7 +276,12 @@ impl HybridScheduler {
             classes: &self.classes,
         };
         let entry = self.queue.get(item).expect("item was just inserted");
-        let score = self.policy.rescore(entry, &ictx);
+        let Some(score) = self.policy.rescore(entry, &ictx) else {
+            // The policy advertised `score_is_local` but kept the default
+            // `rescore`: degrade permanently to the scan rather than panic.
+            self.indexed = false;
+            return;
+        };
         self.queue.reindex(item, score);
     }
 
@@ -575,5 +596,48 @@ mod tests {
         // queue held 0 items for 2u, then 1 item for 2u → avg 0.5
         let avg = s.mean_queue_len(SimTime::new(4.0));
         assert!((avg - 0.5).abs() < 1e-12, "avg {avg}");
+    }
+
+    /// MRF by `score`, but claims an index without overriding `rescore` —
+    /// exactly the misadvertising bug the `Option` signature defends
+    /// against (the old default panicked with `unimplemented!` here).
+    #[derive(Debug)]
+    struct MisadvertisingMrf;
+
+    impl PullPolicy for MisadvertisingMrf {
+        fn name(&self) -> &'static str {
+            "misadvertising-mrf"
+        }
+
+        fn score(&self, entry: &PendingItem, _ctx: &PullContext<'_>) -> f64 {
+            entry.count() as f64
+        }
+
+        fn score_is_local(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn misadvertised_index_degrades_to_the_scan_instead_of_panicking() {
+        let cfg = HybridConfig::paper(5, 0.5);
+        let mut s = HybridScheduler::with_policy(
+            catalog(),
+            ClassSet::paper_default(),
+            &cfg,
+            &RngFactory::new(4),
+            Box::new(MisadvertisingMrf),
+        );
+        // Each insert triggers a reindex attempt; with the old panicking
+        // default the first one aborted the run.
+        s.on_request(&req(0.1, 7, 0));
+        s.on_request(&req(0.2, 8, 1));
+        s.on_request(&req(0.3, 8, 2));
+        let (push, _) = s.next_transmission(SimTime::new(1.0));
+        s.complete_transmission(push.unwrap());
+        // Selection fell back to the scan and still follows the score: item
+        // 8 holds two pending requests vs. one on item 7.
+        let (pull, _) = s.next_transmission(SimTime::new(3.0));
+        assert_eq!(pull.unwrap().item, ItemId(8));
     }
 }

@@ -61,11 +61,14 @@ pub mod uplink;
 /// One-stop imports for scheduler users.
 pub mod prelude {
     pub use crate::bandwidth::{BandwidthConfig, BandwidthManager, BandwidthPolicy, Grant};
-    pub use crate::churn::{simulate_with_churn, ChurnConfig, ChurnReport};
+    pub use crate::churn::{
+        simulate_with_churn, simulate_with_churn_sink, ChurnConfig, ChurnReport,
+    };
     pub use crate::config::{ChannelLayout, HybridConfig};
     pub use crate::cutoff::{CutoffOptimizer, CutoffPoint, CutoffSweep, Objective};
     pub use crate::experiment::{
-        run_replicated, run_replicated_serial, ReplicatedClassReport, ReplicatedReport,
+        run_replicated, run_replicated_serial, run_replicated_with_telemetry,
+        ReplicatedClassReport, ReplicatedReport,
     };
     pub use crate::hybrid::{Disposition, HybridScheduler, Transmission};
     pub use crate::metrics::{ClassReport, MetricsCollector, SimReport, TxKind};
@@ -73,8 +76,13 @@ pub mod prelude {
     pub use crate::push::{PushKind, PushScheduler};
     pub use crate::queue::{PendingItem, PullQueue};
     pub use crate::sim_driver::{
-        simulate, simulate_adaptive, simulate_replicated, simulate_with_source, AdaptiveConfig,
-        AdaptiveReport, RetuneRecord, SimParams,
+        simulate, simulate_adaptive, simulate_adaptive_telemetry, simulate_adaptive_with_sink,
+        simulate_replicated, simulate_telemetry, simulate_with_sink, simulate_with_source,
+        AdaptiveConfig, AdaptiveReport, RetuneRecord, SimParams,
     };
     pub use crate::uplink::{UplinkChannel, UplinkConfig, UplinkOutcome};
+    pub use hybridcast_telemetry::{
+        AggregatedSeries, NullSink, Sink, TelemetryConfig, TelemetryEvent, TimeSeries, VecSink,
+        WindowRecorder,
+    };
 }

@@ -71,6 +71,7 @@ pub struct MetricsCollector {
     push_transmissions: u64,
     pull_transmissions: u64,
     blocked_items: u64,
+    uplink_lost: Vec<u64>,
 }
 
 impl MetricsCollector {
@@ -85,6 +86,7 @@ impl MetricsCollector {
             push_transmissions: 0,
             pull_transmissions: 0,
             blocked_items: 0,
+            uplink_lost: vec![0; num_classes],
         }
     }
 
@@ -156,6 +158,14 @@ impl MetricsCollector {
         self.blocked_items += 1;
     }
 
+    /// A pull request of `class` was lost on the contended uplink. Losses
+    /// are channel statistics, not delay samples, so they are counted over
+    /// the whole run (no warmup gating) — matching the run-wide
+    /// [`SimReport::uplink_lost`] totals.
+    pub fn record_uplink_lost(&mut self, class: ClassId) {
+        self.uplink_lost[class.index()] += 1;
+    }
+
     /// The pull queue now holds `items` distinct items / `requests` pending
     /// requests.
     pub fn queue_changed(&mut self, now: SimTime, items: usize, requests: usize) {
@@ -203,6 +213,7 @@ impl MetricsCollector {
                     push_delay: acc.push_delay.summary(),
                     pull_delay: acc.pull_delay.summary(),
                     prioritized_cost: c.priority * mean_delay,
+                    uplink_lost: self.uplink_lost[id.index()],
                 }
             })
             .collect();
@@ -222,7 +233,7 @@ impl MetricsCollector {
             push_transmissions: self.push_transmissions,
             pull_transmissions: self.pull_transmissions,
             blocked_items: self.blocked_items,
-            uplink_lost: vec![0; self.per_class.len()],
+            uplink_lost: self.uplink_lost.clone(),
             end_time: end.as_f64(),
         }
     }
@@ -257,6 +268,10 @@ pub struct ClassReport {
     pub pull_delay: SummaryStats,
     /// `q_c × E[delay_c]` (§4.2.2).
     pub prioritized_cost: f64,
+    /// Requests of this class lost on the contended uplink over the whole
+    /// run (0 when the back-channel model is disabled).
+    #[serde(default)]
+    pub uplink_lost: u64,
 }
 
 /// Final system-wide figures for one simulation run.

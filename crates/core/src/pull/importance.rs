@@ -136,8 +136,8 @@ impl PullPolicy for ImportanceFactor {
         true
     }
 
-    fn rescore(&self, entry: &PendingItem, ctx: &IndexContext<'_>) -> f64 {
-        self.local_score(entry, ctx.catalog)
+    fn rescore(&self, entry: &PendingItem, ctx: &IndexContext<'_>) -> Option<f64> {
+        Some(self.local_score(entry, ctx.catalog))
     }
 
     fn index_usable(&self, ctx: &PullContext<'_>) -> bool {

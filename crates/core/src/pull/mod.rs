@@ -99,10 +99,13 @@ pub trait PullPolicy: std::fmt::Debug + Send {
     }
 
     /// Recomputes `entry`'s index score after a queue event. Only
-    /// meaningful when [`PullPolicy::score_is_local`] is `true`.
-    fn rescore(&self, entry: &PendingItem, ctx: &IndexContext<'_>) -> f64 {
+    /// meaningful when [`PullPolicy::score_is_local`] is `true`; the default
+    /// `None` declares the policy non-indexable, and a policy that
+    /// misadvertises `score_is_local` without overriding this degrades the
+    /// scheduler to the linear scan instead of panicking.
+    fn rescore(&self, entry: &PendingItem, ctx: &IndexContext<'_>) -> Option<f64> {
         let _ = (entry, ctx);
-        unimplemented!("{} has no incremental score index", self.name())
+        None
     }
 
     /// Whether the maintained index orders items exactly like `score`

@@ -23,8 +23,8 @@ impl PullPolicy for Mrf {
         true
     }
 
-    fn rescore(&self, entry: &PendingItem, _ctx: &IndexContext<'_>) -> f64 {
-        entry.count() as f64
+    fn rescore(&self, entry: &PendingItem, _ctx: &IndexContext<'_>) -> Option<f64> {
+        Some(entry.count() as f64)
     }
 }
 

@@ -27,8 +27,8 @@ impl PullPolicy for PriorityOnly {
         true
     }
 
-    fn rescore(&self, entry: &PendingItem, _ctx: &IndexContext<'_>) -> f64 {
-        entry.total_priority
+    fn rescore(&self, entry: &PendingItem, _ctx: &IndexContext<'_>) -> Option<f64> {
+        Some(entry.total_priority)
     }
 }
 

@@ -55,9 +55,9 @@ impl PullPolicy for StretchOptimal {
         true
     }
 
-    fn rescore(&self, entry: &PendingItem, ctx: &IndexContext<'_>) -> f64 {
+    fn rescore(&self, entry: &PendingItem, ctx: &IndexContext<'_>) -> Option<f64> {
         let len = ctx.catalog.length(entry.item) as f64;
-        entry.count() as f64 / len.powf(self.exponent)
+        Some(entry.count() as f64 / len.powf(self.exponent))
     }
 }
 

@@ -34,6 +34,9 @@ use crate::metrics::{MetricsCollector, SimReport, TxKind};
 use crate::pull::PullPolicyKind;
 use crate::uplink::{UplinkChannel, UplinkOutcome};
 use hybridcast_analysis::hybrid_model::HybridDelayModel;
+use hybridcast_telemetry::{
+    emit, NullSink, ServiceKind, Sink, TelemetryConfig, TelemetryEvent, TimeSeries, WindowRecorder,
+};
 use hybridcast_workload::catalog::ItemId;
 use hybridcast_workload::requests::Request;
 
@@ -159,7 +162,7 @@ const UPLINK_STREAM: u64 = 7;
 /// Boots the downlink at t = 0: the interleaved channel (or, in the split
 /// layout, the dedicated broadcast channel) starts transmitting
 /// immediately; pull channels wait for demand.
-fn start_channels(driver: &mut Driver, engine: &mut Engine<Event>) {
+fn start_channels<S: Sink>(driver: &mut Driver<'_, S>, engine: &mut Engine<Event>) {
     match driver.layout {
         ChannelLayout::Interleaved => driver.dispatch(engine, SimTime::ZERO),
         ChannelLayout::Split { .. } => driver.dispatch_push_channel(engine, SimTime::ZERO),
@@ -176,7 +179,7 @@ fn policy_alpha(kind: &PullPolicyKind) -> f64 {
     }
 }
 
-struct Driver {
+struct Driver<'s, S: Sink> {
     scheduler: HybridScheduler,
     metrics: MetricsCollector,
     gen: Box<dyn RequestSource>,
@@ -188,26 +191,30 @@ struct Driver {
     adaptive: Option<AdaptiveState>,
     /// Present when the back-channel contention model is enabled.
     uplink: Option<UplinkChannel>,
-    /// Pull requests lost on the uplink, per class.
-    uplink_lost: Vec<u64>,
     /// Downlink organization.
     layout: ChannelLayout,
     /// Split layout only: pull channels currently idle.
     idle_pull_channels: u32,
     /// Scratch buffer for per-class counts of dropped entries.
     class_counts_buf: Vec<usize>,
+    /// Telemetry destination; `NullSink` monomorphizes every guarded
+    /// emission away.
+    sink: &'s mut S,
 }
 
-impl Driver {
+impl<S: Sink> Driver<'_, S> {
     fn record_queue(&mut self, now: SimTime) {
-        self.metrics.queue_changed(
-            now,
-            self.scheduler.queue().len(),
-            self.scheduler.queue().total_requests(),
-        );
+        let items = self.scheduler.queue().len();
+        let requests = self.scheduler.queue().total_requests();
+        self.metrics.queue_changed(now, items, requests);
+        emit(self.sink, || TelemetryEvent::QueueGauge {
+            time: now,
+            items: items as u32,
+            requests: requests as u32,
+        });
     }
 
-    fn record_dropped(&mut self, dropped: Vec<crate::queue::PendingItem>) {
+    fn record_dropped(&mut self, dropped: Vec<crate::queue::PendingItem>, now: SimTime) {
         if dropped.is_empty() {
             return;
         }
@@ -226,6 +233,16 @@ impl Driver {
                     self.metrics.record_blocked(class, arrival);
                 }
             }
+            if self.sink.enabled() {
+                // Drops are rare; one event per rejected request is fine.
+                for &(_, class) in &entry.requesters {
+                    self.sink.record(&TelemetryEvent::RequestBlocked {
+                        time: now,
+                        item: entry.item,
+                        class,
+                    });
+                }
+            }
             self.scheduler.recycle(entry);
         }
     }
@@ -234,7 +251,7 @@ impl Driver {
     fn dispatch(&mut self, eng: &mut Engine<Event>, now: SimTime) {
         debug_assert_eq!(self.layout, ChannelLayout::Interleaved);
         let (tx, dropped) = self.scheduler.next_transmission(now);
-        self.record_dropped(dropped);
+        self.record_dropped(dropped, now);
         self.record_queue(now);
         match tx {
             Some(tx) => {
@@ -260,7 +277,7 @@ impl Driver {
     fn dispatch_pull_channel(&mut self, eng: &mut Engine<Event>, now: SimTime) {
         debug_assert!(self.idle_pull_channels > 0);
         let (tx, dropped) = self.scheduler.next_pull_transmission(now);
-        self.record_dropped(dropped);
+        self.record_dropped(dropped, now);
         self.record_queue(now);
         if let Some(tx) = tx {
             self.metrics.on_transmission(tx.kind);
@@ -299,6 +316,11 @@ impl Driver {
                     state.window_counts[req.item.index()] += 1;
                 }
                 self.metrics.on_request(req.class, req.arrival);
+                emit(self.sink, || TelemetryEvent::RequestArrival {
+                    time: now,
+                    item: req.item,
+                    class: req.class,
+                });
                 if self.scheduler.is_push_item(req.item) {
                     // Push requests never need the uplink: the client just
                     // keeps listening and catches the cyclic broadcast.
@@ -306,12 +328,17 @@ impl Driver {
                     self.kick(eng, now);
                 } else {
                     match &mut self.uplink {
-                        Some(channel) => match channel.transmit() {
+                        Some(channel) => match channel.transmit(req.class) {
                             UplinkOutcome::Delivered(latency) => {
                                 eng.schedule_in(latency, Event::Deliver(req));
                             }
                             UplinkOutcome::Lost => {
-                                self.uplink_lost[req.class.index()] += 1;
+                                self.metrics.record_uplink_lost(req.class);
+                                emit(self.sink, || TelemetryEvent::UplinkLoss {
+                                    time: now,
+                                    item: req.item,
+                                    class: req.class,
+                                });
                             }
                         },
                         None => self.deliver(eng, now, &req),
@@ -334,8 +361,14 @@ impl Driver {
                 let kind = tx.kind;
                 let start = tx.start;
                 let item = tx.item;
+                let duration = tx.duration;
                 match kind {
                     TxKind::Push => {
+                        emit(self.sink, || TelemetryEvent::PushTx {
+                            time: now,
+                            item,
+                            duration,
+                        });
                         // satisfy waiters who arrived before the slot began
                         let waiters = &mut self.push_waiters[item.index()];
                         let mut kept = Vec::new();
@@ -343,6 +376,13 @@ impl Driver {
                             if arrival <= start {
                                 self.metrics
                                     .record_served(class, TxKind::Push, arrival, now);
+                                emit(self.sink, || TelemetryEvent::RequestServed {
+                                    time: now,
+                                    item,
+                                    class,
+                                    kind: ServiceKind::Push,
+                                    arrival,
+                                });
                             } else {
                                 kept.push((arrival, class));
                             }
@@ -354,7 +394,21 @@ impl Driver {
                             for &(arrival, class) in &batch.requesters {
                                 self.metrics
                                     .record_served(class, TxKind::Pull, arrival, now);
+                                emit(self.sink, || TelemetryEvent::RequestServed {
+                                    time: now,
+                                    item,
+                                    class,
+                                    kind: ServiceKind::Pull,
+                                    arrival,
+                                });
                             }
+                            emit(self.sink, || TelemetryEvent::PullTx {
+                                time: now,
+                                item,
+                                duration,
+                                requests: batch.count() as u32,
+                                class: batch.dominant_class().unwrap_or(ClassId(0)),
+                            });
                             self.scheduler.recycle(batch);
                         }
                         match self.layout {
@@ -479,6 +533,11 @@ impl Driver {
         if unchanged {
             return;
         }
+        emit(self.sink, || TelemetryEvent::CutoffChange {
+            time: now,
+            from_k: from_k as u32,
+            to_k: best_k as u32,
+        });
         // Apply the move and migrate state across the boundary.
         let moved_to_push = self.scheduler.set_push_set(&target, now);
         for entry in moved_to_push {
@@ -506,78 +565,38 @@ impl Driver {
     }
 }
 
-/// Runs one full simulation of `hybrid` over `scenario` and returns the
-/// measured report.
-pub fn simulate(scenario: &Scenario, hybrid: &HybridConfig, params: &SimParams) -> SimReport {
-    assert!(
-        params.horizon > params.warmup,
-        "horizon {} must exceed warmup {}",
-        params.horizon,
-        params.warmup
-    );
-    let factory = scenario.factory.replication(params.replication);
-    let scheduler = HybridScheduler::new(
-        scenario.catalog.clone(),
-        scenario.classes.clone(),
-        hybrid,
-        &factory,
-    );
-    let gen = scenario.request_stream_replication(params.replication);
-    let num_items = scenario.catalog.len();
-    let mut driver = Driver {
-        scheduler,
-        metrics: MetricsCollector::new(scenario.classes.len(), SimTime::new(params.warmup)),
-        gen: Box::new(gen),
-        push_waiters: vec![Vec::new(); num_items],
-        server_busy: false,
-        adaptive: None,
-        uplink: hybrid
-            .uplink
-            .map(|cfg| UplinkChannel::new(cfg, factory.stream(UPLINK_STREAM))),
-        uplink_lost: vec![0; scenario.classes.len()],
-        layout: hybrid.channels,
-        idle_pull_channels: match hybrid.channels {
-            ChannelLayout::Interleaved => 0,
-            ChannelLayout::Split { pull_channels } => {
-                assert!(pull_channels >= 1, "split layout needs ≥ 1 pull channel");
-                pull_channels
-            }
-        },
-        class_counts_buf: Vec::new(),
-    };
-
-    let mut engine: Engine<Event> = Engine::new();
-    if let Some(t) = driver.gen.peek() {
-        engine.schedule_at(t, Event::Arrival);
-    }
-    // The broadcast starts immediately (unless in pure-pull mode, where the
-    // server waits for the first request).
-    start_channels(&mut driver, &mut engine);
-
-    let horizon = SimTime::new(params.horizon);
-    engine.run_until(horizon, |eng, ev| driver.handle(eng, ev));
-
-    let mut report = driver.metrics.report(&scenario.classes, horizon);
-    report.uplink_lost = driver.uplink_lost;
-    report
+/// Everything a single run produces, before the public wrappers slice it.
+struct RunOutcome {
+    report: SimReport,
+    retunes: Vec<RetuneRecord>,
+    final_k: usize,
 }
 
-/// Runs one simulation driven by an arbitrary [`RequestSource`] — e.g. a
-/// recorded [`hybridcast_workload::requests::ReplaySource`] trace instead
-/// of the live Poisson generator. Everything else (scheduler, bandwidth,
-/// uplink, metrics) behaves exactly as in [`simulate`].
-pub fn simulate_with_source(
+/// The one place a run is assembled and executed: every public `simulate*`
+/// entry point delegates here, so static, replayed, adaptive, instrumented
+/// and plain runs share the exact same machinery (telemetry differs only in
+/// the `S: Sink` monomorphization).
+fn run<S: Sink>(
     scenario: &Scenario,
     hybrid: &HybridConfig,
     params: &SimParams,
     source: Box<dyn RequestSource>,
-) -> SimReport {
+    adaptive: Option<&AdaptiveConfig>,
+    sink: &mut S,
+) -> RunOutcome {
     assert!(
         params.horizon > params.warmup,
         "horizon {} must exceed warmup {}",
         params.horizon,
         params.warmup
     );
+    if let Some(adaptive) = adaptive {
+        assert!(adaptive.period > 0.0, "retune period must be positive");
+        assert!(
+            !adaptive.candidate_ks.is_empty(),
+            "need at least one candidate cutoff"
+        );
+    }
     let factory = scenario.factory.replication(params.replication);
     let scheduler = HybridScheduler::new(
         scenario.catalog.clone(),
@@ -592,11 +611,15 @@ pub fn simulate_with_source(
         gen: source,
         push_waiters: vec![Vec::new(); num_items],
         server_busy: false,
-        adaptive: None,
-        uplink: hybrid
-            .uplink
-            .map(|cfg| UplinkChannel::new(cfg, factory.stream(UPLINK_STREAM))),
-        uplink_lost: vec![0; scenario.classes.len()],
+        adaptive: adaptive.map(|cfg| AdaptiveState {
+            config: cfg.clone(),
+            alpha: policy_alpha(&hybrid.pull),
+            window_counts: vec![0; num_items],
+            retunes: Vec::new(),
+        }),
+        uplink: hybrid.uplink.map(|cfg| {
+            UplinkChannel::new(cfg, factory.stream(UPLINK_STREAM), scenario.classes.len())
+        }),
         layout: hybrid.channels,
         idle_pull_channels: match hybrid.channels {
             ChannelLayout::Interleaved => 0,
@@ -606,17 +629,63 @@ pub fn simulate_with_source(
             }
         },
         class_counts_buf: Vec::new(),
+        sink,
     };
+
     let mut engine: Engine<Event> = Engine::new();
     if let Some(t) = driver.gen.peek() {
         engine.schedule_at(t, Event::Arrival);
     }
+    if let Some(adaptive) = adaptive {
+        engine.schedule_at(SimTime::new(adaptive.period), Event::Retune);
+    }
+    // The broadcast starts immediately (unless in pure-pull mode, where the
+    // server waits for the first request).
     start_channels(&mut driver, &mut engine);
+
     let horizon = SimTime::new(params.horizon);
     engine.run_until(horizon, |eng, ev| driver.handle(eng, ev));
-    let mut report = driver.metrics.report(&scenario.classes, horizon);
-    report.uplink_lost = driver.uplink_lost;
-    report
+
+    let report = driver.metrics.report(&scenario.classes, horizon);
+    let final_k = driver.scheduler.cutoff();
+    let retunes = driver.adaptive.map(|s| s.retunes).unwrap_or_default();
+    RunOutcome {
+        report,
+        retunes,
+        final_k,
+    }
+}
+
+/// Runs one full simulation of `hybrid` over `scenario` and returns the
+/// measured report.
+pub fn simulate(scenario: &Scenario, hybrid: &HybridConfig, params: &SimParams) -> SimReport {
+    simulate_with_sink(scenario, hybrid, params, &mut NullSink)
+}
+
+/// [`simulate`] with telemetry delivered to `sink`. With `&mut NullSink`
+/// this compiles to exactly the uninstrumented run; recording is purely
+/// observational either way (bit-identical reports, property-tested).
+pub fn simulate_with_sink<S: Sink>(
+    scenario: &Scenario,
+    hybrid: &HybridConfig,
+    params: &SimParams,
+    sink: &mut S,
+) -> SimReport {
+    let source = Box::new(scenario.request_stream_replication(params.replication));
+    run(scenario, hybrid, params, source, None, sink).report
+}
+
+/// Runs one simulation driven by an arbitrary [`RequestSource`] — e.g. a
+/// recorded [`hybridcast_workload::requests::ReplaySource`] trace instead
+/// of the live Poisson generator. Everything else (scheduler, bandwidth,
+/// uplink, metrics) behaves exactly as in [`simulate`].
+pub fn simulate_with_source(
+    scenario: &Scenario,
+    hybrid: &HybridConfig,
+    params: &SimParams,
+    source: Box<dyn RequestSource>,
+) -> SimReport {
+    run(scenario, hybrid, params, source, None, &mut NullSink).report
 }
 
 /// Runs one simulation with the paper's periodic cutoff re-optimization
@@ -631,72 +700,63 @@ pub fn simulate_adaptive(
     params: &SimParams,
     adaptive: &AdaptiveConfig,
 ) -> AdaptiveReport {
-    assert!(
-        params.horizon > params.warmup,
-        "horizon {} must exceed warmup {}",
-        params.horizon,
-        params.warmup
-    );
-    assert!(adaptive.period > 0.0, "retune period must be positive");
-    assert!(
-        !adaptive.candidate_ks.is_empty(),
-        "need at least one candidate cutoff"
-    );
-    let factory = scenario.factory.replication(params.replication);
-    let scheduler = HybridScheduler::new(
-        scenario.catalog.clone(),
-        scenario.classes.clone(),
-        hybrid,
-        &factory,
-    );
-    let gen = scenario.request_stream_replication(params.replication);
-    let num_items = scenario.catalog.len();
-    let mut driver = Driver {
-        scheduler,
-        metrics: MetricsCollector::new(scenario.classes.len(), SimTime::new(params.warmup)),
-        gen: Box::new(gen),
-        push_waiters: vec![Vec::new(); num_items],
-        server_busy: false,
-        adaptive: Some(AdaptiveState {
-            config: adaptive.clone(),
-            alpha: policy_alpha(&hybrid.pull),
-            window_counts: vec![0; num_items],
-            retunes: Vec::new(),
-        }),
-        uplink: hybrid
-            .uplink
-            .map(|cfg| UplinkChannel::new(cfg, factory.stream(UPLINK_STREAM))),
-        uplink_lost: vec![0; scenario.classes.len()],
-        layout: hybrid.channels,
-        idle_pull_channels: match hybrid.channels {
-            ChannelLayout::Interleaved => 0,
-            ChannelLayout::Split { pull_channels } => {
-                assert!(pull_channels >= 1, "split layout needs ≥ 1 pull channel");
-                pull_channels
-            }
-        },
-        class_counts_buf: Vec::new(),
-    };
+    simulate_adaptive_with_sink(scenario, hybrid, params, adaptive, &mut NullSink)
+}
 
-    let mut engine: Engine<Event> = Engine::new();
-    if let Some(t) = driver.gen.peek() {
-        engine.schedule_at(t, Event::Arrival);
-    }
-    engine.schedule_at(SimTime::new(adaptive.period), Event::Retune);
-    start_channels(&mut driver, &mut engine);
-
-    let horizon = SimTime::new(params.horizon);
-    engine.run_until(horizon, |eng, ev| driver.handle(eng, ev));
-
-    let mut report = driver.metrics.report(&scenario.classes, horizon);
-    report.uplink_lost = driver.uplink_lost.clone();
-    let final_k = driver.scheduler.cutoff();
-    let state = driver.adaptive.expect("adaptive state present");
+/// [`simulate_adaptive`] with telemetry delivered to `sink` (cutoff moves
+/// show up as [`TelemetryEvent::CutoffChange`]).
+pub fn simulate_adaptive_with_sink<S: Sink>(
+    scenario: &Scenario,
+    hybrid: &HybridConfig,
+    params: &SimParams,
+    adaptive: &AdaptiveConfig,
+    sink: &mut S,
+) -> AdaptiveReport {
+    let source = Box::new(scenario.request_stream_replication(params.replication));
+    let out = run(scenario, hybrid, params, source, Some(adaptive), sink);
     AdaptiveReport {
-        report,
-        retunes: state.retunes,
-        final_k,
+        report: out.report,
+        retunes: out.retunes,
+        final_k: out.final_k,
     }
+}
+
+/// Runs one simulation with the windowed recorder attached and returns the
+/// report together with the per-class QoS [`TimeSeries`].
+pub fn simulate_telemetry(
+    scenario: &Scenario,
+    hybrid: &HybridConfig,
+    params: &SimParams,
+    telemetry: TelemetryConfig,
+) -> (SimReport, TimeSeries) {
+    let mut recorder = WindowRecorder::new(
+        telemetry,
+        &scenario.classes,
+        &scenario.catalog,
+        hybrid.cutoff,
+    );
+    let report = simulate_with_sink(scenario, hybrid, params, &mut recorder);
+    let series = recorder.finish(SimTime::new(params.horizon));
+    (report, series)
+}
+
+/// Adaptive twin of [`simulate_telemetry`].
+pub fn simulate_adaptive_telemetry(
+    scenario: &Scenario,
+    hybrid: &HybridConfig,
+    params: &SimParams,
+    adaptive: &AdaptiveConfig,
+    telemetry: TelemetryConfig,
+) -> (AdaptiveReport, TimeSeries) {
+    let mut recorder = WindowRecorder::new(
+        telemetry,
+        &scenario.classes,
+        &scenario.catalog,
+        hybrid.cutoff,
+    );
+    let report = simulate_adaptive_with_sink(scenario, hybrid, params, adaptive, &mut recorder);
+    let series = recorder.finish(SimTime::new(params.horizon));
+    (report, series)
 }
 
 /// Runs `replications` independent simulations (in parallel, fanned across

@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 use hybridcast_sim::rng::Xoshiro256;
 use hybridcast_sim::stats::Welford;
 use hybridcast_sim::time::SimDuration;
+use hybridcast_workload::classes::ClassId;
 
 /// Back-channel parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -58,16 +59,18 @@ pub struct UplinkChannel {
     rng: Xoshiro256,
     delivered: u64,
     lost: u64,
+    lost_per_class: Vec<u64>,
     latency: Welford,
 }
 
 impl UplinkChannel {
-    /// Builds the channel.
+    /// Builds the channel for a population of `num_classes` service
+    /// classes (losses are attributed per class).
     ///
     /// # Panics
     /// Panics on non-positive slot time, a success probability outside
     /// `(0, 1]`, or zero attempts.
-    pub fn new(cfg: UplinkConfig, rng: Xoshiro256) -> Self {
+    pub fn new(cfg: UplinkConfig, rng: Xoshiro256, num_classes: usize) -> Self {
         assert!(
             cfg.slot_time > 0.0 && cfg.slot_time.is_finite(),
             "slot time must be positive"
@@ -86,12 +89,13 @@ impl UplinkChannel {
             rng,
             delivered: 0,
             lost: 0,
+            lost_per_class: vec![0; num_classes],
             latency: Welford::new(),
         }
     }
 
-    /// Attempts to deliver one request.
-    pub fn transmit(&mut self) -> UplinkOutcome {
+    /// Attempts to deliver one request from a client of `class`.
+    pub fn transmit(&mut self, class: ClassId) -> UplinkOutcome {
         for attempt in 1..=self.cfg.max_attempts {
             if self.rng.next_f64() < self.cfg.success_prob {
                 let latency = self.cfg.slot_time
@@ -102,6 +106,7 @@ impl UplinkChannel {
             }
         }
         self.lost += 1;
+        self.lost_per_class[class.index()] += 1;
         UplinkOutcome::Lost
     }
 
@@ -113,6 +118,16 @@ impl UplinkChannel {
     /// Requests lost on the uplink so far.
     pub fn lost(&self) -> u64 {
         self.lost
+    }
+
+    /// Requests of `class` lost on the uplink so far.
+    pub fn lost_for(&self, class: ClassId) -> u64 {
+        self.lost_per_class[class.index()]
+    }
+
+    /// Per-class loss counts, indexed by class.
+    pub fn lost_per_class(&self) -> &[u64] {
+        &self.lost_per_class
     }
 
     /// Empirical loss probability (`None` before any attempt).
@@ -144,14 +159,14 @@ mod tests {
             max_attempts: attempts,
             backoff_slots: 2.0,
         };
-        UplinkChannel::new(cfg, RngFactory::new(31).stream(77))
+        UplinkChannel::new(cfg, RngFactory::new(31).stream(77), 2)
     }
 
     #[test]
     fn perfect_channel_is_one_slot() {
         let mut ch = channel(1.0, 3);
         for _ in 0..100 {
-            match ch.transmit() {
+            match ch.transmit(ClassId(0)) {
                 UplinkOutcome::Delivered(d) => assert!((d.as_f64() - 0.1).abs() < 1e-12),
                 UplinkOutcome::Lost => panic!("perfect channel lost a request"),
             }
@@ -165,7 +180,7 @@ mod tests {
         let mut ch = channel(0.5, 3);
         let n = 100_000;
         for _ in 0..n {
-            let _ = ch.transmit();
+            let _ = ch.transmit(ClassId(0));
         }
         let got = ch.loss_probability().unwrap();
         let want = ch.theoretical_loss(); // 0.125
@@ -179,7 +194,7 @@ mod tests {
         // truncated geometric distribution.
         let mut ch = channel(0.5, 5);
         for _ in 0..100_000 {
-            let _ = ch.transmit();
+            let _ = ch.transmit(ClassId(0));
         }
         // E[latency | delivered]: attempts k w.p. 0.5^k / (1−0.5^5)
         let norm = 1.0 - 0.5f64.powi(5);
@@ -197,10 +212,22 @@ mod tests {
     fn single_attempt_channel() {
         let mut ch = channel(0.3, 1);
         for _ in 0..50_000 {
-            let _ = ch.transmit();
+            let _ = ch.transmit(ClassId(0));
         }
         let got = ch.loss_probability().unwrap();
         assert!((got - 0.7).abs() < 0.01);
+    }
+
+    #[test]
+    fn losses_are_attributed_to_the_transmitting_class() {
+        let mut ch = channel(0.5, 1);
+        for i in 0..10_000u32 {
+            let _ = ch.transmit(ClassId((i % 2) as u8));
+        }
+        assert_eq!(ch.lost_for(ClassId(0)) + ch.lost_for(ClassId(1)), ch.lost());
+        assert!(ch.lost_for(ClassId(0)) > 1_000);
+        assert!(ch.lost_for(ClassId(1)) > 1_000);
+        assert_eq!(ch.lost_per_class().len(), 2);
     }
 
     #[test]

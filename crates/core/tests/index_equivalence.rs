@@ -98,7 +98,9 @@ fn check_kind(kind: PullPolicyKind, ops: &[Op], cat: &Catalog, classes: &ClassSe
                 };
                 q.insert(&req, classes.priority(req.class));
                 if policy.score_is_local() {
-                    let s = policy.rescore(q.get(req.item).unwrap(), &ictx);
+                    let s = policy
+                        .rescore(q.get(req.item).unwrap(), &ictx)
+                        .expect("policy advertises an index");
                     q.reindex(req.item, s);
                 }
             }
@@ -184,7 +186,9 @@ fn tie_storm_resolves_identically() {
             };
             q.insert(&req, classes.priority(req.class));
             if policy.score_is_local() {
-                let s = policy.rescore(q.get(req.item).unwrap(), &ictx);
+                let s = policy
+                    .rescore(q.get(req.item).unwrap(), &ictx)
+                    .expect("policy advertises an index");
                 q.reindex(req.item, s);
             }
         }

@@ -85,5 +85,6 @@ pub mod prelude {
         mser_truncation, BatchMeans, Histogram, SummaryStats, TimeWeighted, Welford,
     };
     pub use crate::time::{SimDuration, SimTime};
+    #[allow(deprecated)]
     pub use crate::trace::Trace;
 }

@@ -3,6 +3,13 @@
 //! Keeps the most recent `capacity` entries in a ring buffer. Tracing is a
 //! diagnostic aid — production experiment runs construct a [`Trace`] with
 //! capacity 0, which makes every record call a no-op.
+//!
+//! **Deprecated:** new instrumentation should use the typed event layer in
+//! `hybridcast-telemetry` (`TelemetryEvent` + the `Sink` trait). `Trace`
+//! remains as a string-rendering adapter — the telemetry crate implements
+//! `Sink` for it, so legacy dumps keep working.
+
+#![allow(deprecated)]
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -25,6 +32,11 @@ impl fmt::Display for TraceEntry {
 }
 
 /// Ring buffer of the most recent simulation events.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the typed event layer in `hybridcast-telemetry` (a `Sink` \
+            impl for `Trace` keeps string dumps working)"
+)]
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
     entries: VecDeque<TraceEntry>,

@@ -71,8 +71,7 @@ fn churn_end_to_end_and_revenue_ordering() {
     assert_eq!(c0.departures, 1, "α=0 churns exactly one client");
     assert_eq!(c_half.departures, 0, "α=0.5 retains everyone");
     assert_eq!(
-        c1.departures,
-        churn_cfg.total_clients as u64,
+        c1.departures, churn_cfg.total_clients as u64,
         "α=1 loses everyone"
     );
     assert!(

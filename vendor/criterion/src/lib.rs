@@ -9,7 +9,6 @@
 //! reporting mean ns/iteration to stdout. No statistical analysis, HTML
 //! reports, or CLI argument parsing.
 
-
 #![allow(clippy::all, clippy::pedantic)]
 use std::time::{Duration, Instant};
 

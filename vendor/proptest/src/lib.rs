@@ -9,7 +9,6 @@
 //! run-to-run. There is **no shrinking**: a failing case panics through the
 //! normal assertion message on the exact generated inputs.
 
-
 #![allow(clippy::all, clippy::pedantic)]
 pub mod strategy;
 pub mod test_runner;

@@ -14,7 +14,6 @@
 //! which is acceptable here because every reproducibility guarantee in the
 //! workspace is pinned to this implementation, not upstream.
 
-
 #![allow(clippy::all, clippy::pedantic)]
 /// Error type carried by [`RngCore::try_fill_bytes`]. Infallible for every
 /// generator in this workspace; exists for signature compatibility.

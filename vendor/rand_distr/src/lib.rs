@@ -2,7 +2,6 @@
 //! exact [`Poisson`] sampler (Knuth's product-of-uniforms method, chunked
 //! so large means do not underflow). See `vendor/rand` for why this exists.
 
-
 #![allow(clippy::all, clippy::pedantic)]
 use rand::Rng;
 

@@ -3,7 +3,6 @@
 //! `std::thread` chunks (contiguous chunks, results re-assembled in input
 //! order). See `vendor/rand` for why the workspace vendors its deps.
 
-
 #![allow(clippy::all, clippy::pedantic)]
 /// The adapters re-exported by `rayon::prelude`.
 pub mod prelude {

@@ -11,7 +11,6 @@
 //! streaming through Serializer/Deserializer visitors. `serde_json` is then
 //! a thin text layer over [`Value`].
 
-
 #![allow(clippy::all, clippy::pedantic)]
 pub use serde_derive::{Deserialize, Serialize};
 
@@ -314,7 +313,9 @@ impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
     }
 }
 
-impl<V: Serialize, S: std::hash::BuildHasher> Serialize for std::collections::HashMap<String, V, S> {
+impl<V: Serialize, S: std::hash::BuildHasher> Serialize
+    for std::collections::HashMap<String, V, S>
+{
     fn serialize_value(&self) -> Value {
         // Sort keys so output is deterministic, like a BTreeMap would be.
         let mut entries: Vec<_> = self
@@ -360,7 +361,10 @@ mod tests {
 
     #[test]
     fn primitives_round_trip() {
-        assert_eq!(u64::deserialize_value(&42u64.serialize_value()).unwrap(), 42);
+        assert_eq!(
+            u64::deserialize_value(&42u64.serialize_value()).unwrap(),
+            42
+        );
         assert_eq!(
             i32::deserialize_value(&(-7i32).serialize_value()).unwrap(),
             -7
@@ -378,7 +382,10 @@ mod tests {
 
     #[test]
     fn option_null_is_none() {
-        assert_eq!(Option::<u32>::deserialize_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<u32>::deserialize_value(&Value::Null).unwrap(),
+            None
+        );
         assert_eq!(
             Option::<u32>::deserialize_value(&3u32.serialize_value()).unwrap(),
             Some(3)

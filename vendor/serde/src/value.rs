@@ -59,9 +59,7 @@ impl PartialEq for Number {
             (PosInt(a), PosInt(b)) => a == b,
             (NegInt(a), NegInt(b)) => a == b,
             (Float(a), Float(b)) => a == b,
-            (PosInt(a), NegInt(b)) | (NegInt(b), PosInt(a)) => {
-                b >= 0 && a == b as u64
-            }
+            (PosInt(a), NegInt(b)) | (NegInt(b), PosInt(a)) => b >= 0 && a == b as u64,
             (Float(f), PosInt(u)) | (PosInt(u), Float(f)) => f == u as f64,
             (Float(f), NegInt(i)) | (NegInt(i), Float(f)) => f == i as f64,
         }

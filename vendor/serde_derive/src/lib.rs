@@ -22,7 +22,6 @@
 //! Anything else panics with a descriptive message at expansion time, which
 //! surfaces as a compile error pointing at the derive.
 
-
 #![allow(clippy::all, clippy::pedantic)]
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -30,14 +29,18 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_serialize(&item).parse().expect("generated Serialize impl must parse")
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
 }
 
 /// Derives `serde::Deserialize` (value-tree flavour).
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_deserialize(&item).parse().expect("generated Deserialize impl must parse")
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
 }
 
 // ---------------------------------------------------------------------------
@@ -128,7 +131,10 @@ struct Cursor {
 
 impl Cursor {
     fn new(stream: TokenStream) -> Self {
-        Cursor { tokens: stream.into_iter().collect(), pos: 0 }
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
     }
 
     fn peek(&self) -> Option<&TokenTree> {
@@ -208,15 +214,16 @@ fn parse_serde_attr(attr_body: TokenStream) -> Vec<SerdeAttr> {
                 match inner.next() {
                     Some(TokenTree::Literal(l)) => {
                         let text = l.to_string();
-                        value = Some(
-                            text.trim_matches('"').to_string(),
-                        );
+                        value = Some(text.trim_matches('"').to_string());
                     }
                     other => panic!("expected string literal in #[serde(..)], got {other:?}"),
                 }
             }
         }
-        entries.push(SerdeAttr { key: key.to_string(), value });
+        entries.push(SerdeAttr {
+            key: key.to_string(),
+            value,
+        });
         if let Some(TokenTree::Punct(p)) = inner.peek() {
             if p.as_char() == ',' {
                 inner.pos += 1;
@@ -283,7 +290,10 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
             other => panic!("expected ':' after field {fname}, got {other:?}"),
         }
         skip_type(&mut c);
-        fields.push(Field { name: fname.to_string(), attrs });
+        fields.push(Field {
+            name: fname.to_string(),
+            attrs,
+        });
     }
     fields
 }
@@ -347,7 +357,10 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
                 c.pos += 1;
             }
         }
-        variants.push(Variant { name: vname.to_string(), fields });
+        variants.push(Variant {
+            name: vname.to_string(),
+            fields,
+        });
     }
     variants
 }
@@ -403,8 +416,7 @@ fn gen_serialize(item: &Item) -> String {
                         v.name
                     )),
                     (Fields::Named(fields), Some(tag)) => {
-                        let binds: Vec<&str> =
-                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
                         arms.push_str(&format!(
                             "{name}::{} {{ {} }} => {{\n\
                              let mut members: Vec<(String, ::serde::Value)> = Vec::new();\n\
@@ -418,8 +430,7 @@ fn gen_serialize(item: &Item) -> String {
                         ));
                     }
                     (Fields::Named(fields), None) => {
-                        let binds: Vec<&str> =
-                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
                         arms.push_str(&format!(
                             "{name}::{} {{ {} }} => {{\n\
                              let mut members: Vec<(String, ::serde::Value)> = Vec::new();\n\
@@ -454,10 +465,10 @@ fn gen_serialize(item: &Item) -> String {
 /// (a `&Vec<(String, Value)>` binding in the generated scope).
 fn de_named_field(f: &Field) -> String {
     let missing = match f.attrs.iter().find(|a| a.key == "default") {
-        Some(SerdeAttr { value: Some(path), .. }) => format!("{path}()"),
-        Some(SerdeAttr { value: None, .. }) => {
-            "::std::default::Default::default()".to_string()
-        }
+        Some(SerdeAttr {
+            value: Some(path), ..
+        }) => format!("{path}()"),
+        Some(SerdeAttr { value: None, .. }) => "::std::default::Default::default()".to_string(),
         // No default: hand the impl a Null so `Option` fields come out as
         // `None` and everything else reports the missing field.
         None => format!(
@@ -508,10 +519,9 @@ fn gen_deserialize(item: &Item) -> String {
                     for v in variants {
                         let wire = item.rename_variant(&v.name);
                         match &v.fields {
-                            Fields::Unit => arms.push_str(&format!(
-                                "{wire:?} => Ok({name}::{}),\n",
-                                v.name
-                            )),
+                            Fields::Unit => {
+                                arms.push_str(&format!("{wire:?} => Ok({name}::{}),\n", v.name))
+                            }
                             Fields::Named(fields) => arms.push_str(&format!(
                                 "{wire:?} => Ok({}),\n",
                                 de_named_body(&format!("{name}::{}", v.name), fields)
@@ -541,10 +551,8 @@ fn gen_deserialize(item: &Item) -> String {
                     for v in variants {
                         let wire = item.rename_variant(&v.name);
                         match &v.fields {
-                            Fields::Unit => str_arms.push_str(&format!(
-                                "{wire:?} => return Ok({name}::{}),\n",
-                                v.name
-                            )),
+                            Fields::Unit => str_arms
+                                .push_str(&format!("{wire:?} => return Ok({name}::{}),\n", v.name)),
                             Fields::Named(fields) => obj_arms.push_str(&format!(
                                 "{wire:?} => {{\n\
                                  let obj = inner.as_object().ok_or_else(|| \

@@ -8,7 +8,6 @@
 //! shortest-roundtrip `{}` formatting (with a forced `.0` on integral
 //! values, matching serde_json's output).
 
-
 #![allow(clippy::all, clippy::pedantic)]
 pub use serde::value::{Number, Value};
 pub use serde::Error;
@@ -21,8 +20,7 @@ pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
 
 /// Parses `T` from JSON bytes (must be UTF-8).
 pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T, Error> {
-    let text =
-        std::str::from_utf8(bytes).map_err(|e| Error::msg(format!("invalid UTF-8: {e}")))?;
+    let text = std::str::from_utf8(bytes).map_err(|e| Error::msg(format!("invalid UTF-8: {e}")))?;
     from_str(text)
 }
 
@@ -155,7 +153,10 @@ mod tests {
         });
         assert_eq!(v["name"].as_str(), Some("run"));
         assert_eq!(v["ks"][1].as_u64(), Some(60));
-        assert_eq!(to_string(&v).unwrap(), r#"{"name":"run","ks":[30,60],"rate":2.0}"#);
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"name":"run","ks":[30,60],"rate":2.0}"#
+        );
     }
 
     #[test]
