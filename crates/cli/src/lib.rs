@@ -34,6 +34,10 @@ use hybridcast_telemetry::{AggregatedSeries, TelemetryConfig, TimeSeries};
 use hybridcast_workload::scenario::ScenarioConfig;
 
 /// The complete, serializable description of one experiment.
+///
+/// Unknown top-level keys are rejected at parse time: a typo like
+/// `"replicatons"` silently reverting to the default would corrupt an
+/// experiment, so the config surface is closed.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentConfig {
     /// Workload: catalog, classes, arrival process, seed.
@@ -82,10 +86,37 @@ impl Default for ExperimentConfig {
     }
 }
 
+/// Every key `ExperimentConfig` understands, for typo detection.
+const KNOWN_KEYS: &[&str] = &[
+    "scenario",
+    "hybrid",
+    "params",
+    "adaptive",
+    "optimize_ks",
+    "objective",
+    "churn",
+    "replications",
+    "telemetry",
+];
+
 impl ExperimentConfig {
-    /// Parses a config from JSON text.
+    /// Parses a config from JSON text. Unknown top-level keys are an
+    /// error: a typo'd key silently falling back to a default would
+    /// corrupt an experiment without a trace.
     pub fn from_json(text: &str) -> Result<Self, String> {
-        serde_json::from_str(text).map_err(|e| format!("invalid config: {e}"))
+        let value: serde_json::Value =
+            serde_json::from_str(text).map_err(|e| format!("invalid config: {e}"))?;
+        if let Some(map) = value.as_object() {
+            for (key, _) in map {
+                if !KNOWN_KEYS.contains(&key.as_str()) {
+                    return Err(format!(
+                        "invalid config: unknown key `{key}` (expected one of {})",
+                        KNOWN_KEYS.join(", ")
+                    ));
+                }
+            }
+        }
+        serde_json::from_value(value).map_err(|e| format!("invalid config: {e}"))
     }
 
     /// Renders the config as pretty JSON.
@@ -214,6 +245,53 @@ pub fn run_model(cfg: &ExperimentConfig) -> Vec<ModelDelays> {
             .delays()
         })
         .collect()
+}
+
+/// `fuzz`: run `count` seeded scenarios under full oracle supervision,
+/// stopping at the first failure (minimized before reporting) or when the
+/// optional wall-clock budget runs out.
+pub fn run_fuzz(
+    start_seed: u64,
+    count: u64,
+    budget_secs: Option<f64>,
+) -> hybridcast_testkit::FuzzReport {
+    let budget = budget_secs.map(std::time::Duration::from_secs_f64);
+    hybridcast_testkit::fuzz(start_seed, count, budget)
+}
+
+/// `fuzz --replay <dir|file>`: re-run committed corpus cases (a directory
+/// of `*.json` entries, or one case file) and return each verdict in
+/// file-name order.
+pub fn run_replay(
+    path: &std::path::Path,
+) -> Result<Vec<(String, hybridcast_testkit::CaseOutcome)>, String> {
+    if path.is_dir() {
+        return hybridcast_testkit::replay_corpus(path);
+    }
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let case = hybridcast_testkit::FuzzCase::from_json(&text)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or_default()
+        .to_string();
+    Ok(vec![(name, hybridcast_testkit::run_case(&case))])
+}
+
+/// Writes a minimized failing fuzz configuration under `results/` (or
+/// `$HYBRIDCAST_RESULTS`) so CI can upload it as an artifact; returns the
+/// path written.
+pub fn export_fuzz_failure(
+    failure: &hybridcast_testkit::FuzzFailure,
+) -> Result<std::path::PathBuf, String> {
+    let dir = hybridcast_bench::results_dir();
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let path = dir.join("fuzz-failure.json");
+    let text = serde_json::to_string_pretty(failure).expect("failure serializes");
+    std::fs::write(&path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(path)
 }
 
 /// Writes a single-run telemetry series under `results/` (or
@@ -357,6 +435,42 @@ mod tests {
     fn invalid_json_is_reported() {
         let err = ExperimentConfig::from_json("{ not json").unwrap_err();
         assert!(err.contains("invalid config"));
+    }
+
+    #[test]
+    fn unknown_top_level_key_is_rejected_with_its_name() {
+        let mut value: serde_json::Value =
+            serde_json::from_str(&ExperimentConfig::default().to_json()).unwrap();
+        value["replicatons"] = serde_json::json!(4); // typo'd "replications"
+        let err = ExperimentConfig::from_json(&value.to_string()).unwrap_err();
+        assert!(err.contains("replicatons"), "{err}");
+        assert!(err.contains("invalid config"), "{err}");
+    }
+
+    #[test]
+    fn fuzz_campaign_runs_clean_over_the_first_seeds() {
+        let report = run_fuzz(0, 5, None);
+        assert_eq!(report.cases_run, 5);
+        assert!(report.failure.is_none());
+    }
+
+    #[test]
+    fn replay_accepts_a_single_case_file() {
+        let dir = std::env::temp_dir().join(format!("hybridcast-replay-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("one.json");
+        std::fs::write(&path, hybridcast_testkit::generate_case(3).to_json()).unwrap();
+        let verdicts = run_replay(&path).unwrap();
+        assert_eq!(verdicts.len(), 1);
+        assert_eq!(verdicts[0].0, "one");
+        assert!(verdicts[0].1.passed());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_reports_unreadable_paths() {
+        let err = run_replay(std::path::Path::new("/nonexistent/case.json")).unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
     }
 
     #[test]

@@ -5,10 +5,10 @@ use std::io::Read as _;
 use std::process::ExitCode;
 
 use hybridcast_cli::{
-    export_aggregated_series, export_series, run_adaptive, run_churn, run_model, run_optimize,
-    run_optimize_telemetry, run_simulate, run_simulate_replicated,
-    run_simulate_replicated_telemetry, run_simulate_telemetry, summarize, summarize_replicated,
-    ExperimentConfig,
+    export_aggregated_series, export_fuzz_failure, export_series, run_adaptive, run_churn,
+    run_fuzz, run_model, run_optimize, run_optimize_telemetry, run_replay, run_simulate,
+    run_simulate_replicated, run_simulate_replicated_telemetry, run_simulate_telemetry, summarize,
+    summarize_replicated, ExperimentConfig,
 };
 use hybridcast_telemetry::DEFAULT_WINDOW;
 
@@ -25,6 +25,13 @@ USAGE:
     hybridcast summary   <config.json>    static run, human-readable table
     hybridcast dashboard <config.json>    telemetry run → JSONL on stdout +
                                           results/dashboard.{jsonl,svg}
+    hybridcast fuzz [--count N] [--seed S] [--budget-secs T]
+                                          seeded scenario fuzzing under the
+                                          invariant oracles; a failure is
+                                          minimized and written to
+                                          results/fuzz-failure.json
+    hybridcast fuzz --replay <dir|file>   replay corpus case(s) under the
+                                          same oracles
 
 OPTIONS:
     --replications <N>    run N independent replications in parallel and
@@ -87,8 +94,96 @@ fn take_telemetry(args: &mut Vec<String>) -> Result<Option<f64>, String> {
     }
 }
 
+/// Pulls `--flag <value>` out of `args`, parsing the value as `T`.
+fn take_value<T: std::str::FromStr>(
+    args: &mut Vec<String>,
+    flag: &str,
+) -> Result<Option<T>, String> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        return Err(format!("{flag} needs a value"));
+    }
+    let value = args[i + 1]
+        .parse()
+        .map_err(|_| format!("invalid {flag} value `{}`", args[i + 1]))?;
+    args.drain(i..=i + 1);
+    Ok(Some(value))
+}
+
+/// The `fuzz` subcommand: seeded campaigns and corpus replay.
+fn run_fuzz_cmd(mut args: Vec<String>) -> Result<(), String> {
+    if let Some(path) = take_value::<String>(&mut args, "--replay")? {
+        if !args.is_empty() {
+            return Err(format!("unexpected arguments: {args:?}"));
+        }
+        let verdicts = run_replay(std::path::Path::new(&path))?;
+        let mut failed = 0;
+        for (name, outcome) in &verdicts {
+            if outcome.passed() {
+                eprintln!("{name}: ok");
+            } else {
+                failed += 1;
+                eprintln!("{name}: FAILED");
+                println!("{}", outcome.to_json());
+            }
+        }
+        if failed > 0 {
+            return Err(format!("{failed}/{} corpus case(s) failed", verdicts.len()));
+        }
+        eprintln!("{} corpus case(s) replayed clean", verdicts.len());
+        return Ok(());
+    }
+    let count = take_value::<u64>(&mut args, "--count")?.unwrap_or(200);
+    let seed = take_value::<u64>(&mut args, "--seed")?.unwrap_or(0);
+    let budget = take_value::<f64>(&mut args, "--budget-secs")?;
+    if !args.is_empty() {
+        return Err(format!("unexpected arguments: {args:?}"));
+    }
+    if let Some(b) = budget {
+        if !(b.is_finite() && b > 0.0) {
+            return Err(format!("--budget-secs must be positive, got `{b}`"));
+        }
+    }
+    let report = run_fuzz(seed, count, budget);
+    match &report.failure {
+        Some(failure) => {
+            let path = export_fuzz_failure(failure)?;
+            eprintln!("[minimized failing config saved to {}]", path.display());
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&report).expect("report serializes")
+            );
+            Err(format!(
+                "fuzzing found a failure at seed {} after {} case(s)",
+                failure.seed, report.cases_run
+            ))
+        }
+        None => {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&report).expect("report serializes")
+            );
+            eprintln!(
+                "{} case(s) fuzzed clean{}",
+                report.cases_run,
+                if report.budget_exhausted {
+                    " (budget exhausted)"
+                } else {
+                    ""
+                }
+            );
+            Ok(())
+        }
+    }
+}
+
 fn run() -> Result<(), String> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("fuzz") {
+        return run_fuzz_cmd(args.split_off(1));
+    }
     let replications = take_replications(&mut args)?;
     let telemetry = take_telemetry(&mut args)?;
     let (cmd, path) = match args.as_slice() {

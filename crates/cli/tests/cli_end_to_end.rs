@@ -229,6 +229,103 @@ fn malformed_config_is_rejected_cleanly() {
 }
 
 #[test]
+fn unknown_config_key_is_rejected_with_its_name() {
+    let mut cfg: serde_json::Value = serde_json::from_str(&quick_config()).unwrap();
+    cfg["replicatons"] = serde_json::json!(4); // typo'd "replications"
+    let (ok, _, stderr) = run_with_stdin(&["simulate", "-"], &cfg.to_string());
+    assert!(!ok);
+    assert!(stderr.contains("invalid config"), "stderr: {stderr}");
+    assert!(stderr.contains("replicatons"), "stderr: {stderr}");
+}
+
+#[test]
+fn telemetry_rejects_a_zero_window() {
+    let cfg = quick_config();
+    let (ok, _, stderr) = run_with_stdin(&["simulate", "--telemetry", "0", "-"], &cfg);
+    assert!(!ok);
+    assert!(
+        stderr.contains("telemetry window must be positive"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn replications_zero_is_rejected() {
+    let cfg = quick_config();
+    let (ok, _, stderr) = run_with_stdin(&["simulate", "--replications", "0", "-"], &cfg);
+    assert!(!ok);
+    assert!(
+        stderr.contains("--replications must be at least 1"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn dashboard_with_uncreatable_results_dir_fails_cleanly() {
+    let cfg = quick_config();
+    // /dev/null is a file, so a results dir beneath it cannot be created
+    let (ok, _, stderr) = run_with_stdin_env(
+        &["dashboard", "-"],
+        &cfg,
+        &[("HYBRIDCAST_RESULTS", "/dev/null/results")],
+    );
+    assert!(!ok);
+    assert!(stderr.contains("cannot create"), "stderr: {stderr}");
+}
+
+#[test]
+fn fuzz_subcommand_runs_a_clean_campaign() {
+    let out = bin()
+        .args(["fuzz", "--count", "5"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let report: serde_json::Value = serde_json::from_slice(&out.stdout).expect("fuzz report JSON");
+    assert_eq!(report["cases_run"].as_u64(), Some(5));
+    assert!(report["failure"].is_null());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("5 case(s) fuzzed clean"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn fuzz_replay_covers_the_committed_corpus() {
+    let corpus = concat!(env!("CARGO_MANIFEST_DIR"), "/../testkit/corpus");
+    let out = bin()
+        .args(["fuzz", "--replay", corpus])
+        .output()
+        .expect("binary runs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stderr: {stderr}");
+    assert!(stderr.contains("replayed clean"), "stderr: {stderr}");
+    assert!(stderr.contains("paper-midpoint: ok"), "stderr: {stderr}");
+}
+
+#[test]
+fn fuzz_rejects_bad_flags() {
+    let out = bin()
+        .args(["fuzz", "--count", "three"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("invalid --count value"), "stderr: {stderr}");
+
+    let out = bin()
+        .args(["fuzz", "--budget-secs", "-1"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--budget-secs must be positive"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
 fn missing_file_is_reported() {
     let out = bin()
         .args(["simulate", "/nonexistent/path.json"])

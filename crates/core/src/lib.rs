@@ -77,8 +77,9 @@ pub mod prelude {
     pub use crate::queue::{PendingItem, PullQueue};
     pub use crate::sim_driver::{
         simulate, simulate_adaptive, simulate_adaptive_telemetry, simulate_adaptive_with_sink,
-        simulate_replicated, simulate_telemetry, simulate_with_sink, simulate_with_source,
-        AdaptiveConfig, AdaptiveReport, RetuneRecord, SimParams,
+        simulate_harness, simulate_replicated, simulate_telemetry, simulate_with_sink,
+        simulate_with_source, AdaptiveConfig, AdaptiveReport, FaultSpec, HarnessReport,
+        PendingCensus, RetuneRecord, SimParams,
     };
     pub use crate::uplink::{UplinkChannel, UplinkConfig, UplinkOutcome};
     pub use hybridcast_telemetry::{

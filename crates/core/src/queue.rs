@@ -461,6 +461,11 @@ impl PullQueue {
                 self.index.invalidate(idx);
                 self.active -= 1;
                 self.total_requests -= entry.count();
+                // Migration is an extraction too: without this credit the
+                // lifetime ledger `inserted = extracted + pending` breaks
+                // after every cutoff move.
+                self.served_items += 1;
+                self.served_requests += entry.count() as u64;
                 out.push(entry);
             }
         }
@@ -482,6 +487,9 @@ impl PullQueue {
                 self.index.invalidate(idx);
                 self.active -= 1;
                 self.total_requests -= entry.count();
+                // Same ledger credit as in `drain_below`.
+                self.served_items += 1;
+                self.served_requests += entry.count() as u64;
                 out.push(entry);
             }
         }
@@ -501,6 +509,121 @@ impl PullQueue {
     /// Lifetime count of requests cleared by extractions.
     pub fn extracted_requests(&self) -> u64 {
         self.served_requests
+    }
+
+    /// Shadow recount of every incrementally-maintained aggregate: walks
+    /// all entries and recomputes `R_i` (count), `Q_i` (total priority),
+    /// the per-class counts/arrival sums, the queue-wide request total and
+    /// the lifetime conservation identity
+    /// `inserted = extracted_requests + total_requests` from scratch,
+    /// comparing each against its cached counterpart. `priority_of` maps a
+    /// requester's class to its priority weight `q_j` (normally
+    /// `|q| ClassSet::priority(q)`).
+    ///
+    /// O(total requests) — this is the testing harness's queue oracle, run
+    /// at audit points (faults, retunes, horizon), not on the hot path.
+    /// Returns every discrepancy found, empty when the queue is
+    /// consistent.
+    pub fn verify_shadow(&self, priority_of: impl Fn(ClassId) -> f64) -> Vec<String> {
+        let mut bad = Vec::new();
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-6 * a.abs().max(b.abs()).max(1.0);
+        let mut active = 0usize;
+        let mut total = 0usize;
+        for (idx, slot) in self.slots.iter().enumerate() {
+            let Some(e) = slot else { continue };
+            active += 1;
+            total += e.requesters.len();
+            if e.item.index() != idx {
+                bad.push(format!("slot {idx} holds entry for item {}", e.item));
+            }
+            if e.requesters.is_empty() {
+                bad.push(format!("item {idx}: active entry with no requesters"));
+                continue;
+            }
+            let n = e.requesters.len();
+            let first = e
+                .requesters
+                .iter()
+                .map(|r| r.0)
+                .fold(e.requesters[0].0, SimTime::min);
+            let last = e
+                .requesters
+                .iter()
+                .map(|r| r.0)
+                .fold(e.requesters[0].0, SimTime::max);
+            if e.first_arrival != first || e.last_arrival != last {
+                bad.push(format!(
+                    "item {idx}: arrival extremes ({}, {}) vs recount ({first}, {last})",
+                    e.first_arrival, e.last_arrival
+                ));
+            }
+            let arrival_sum: f64 = e.requesters.iter().map(|r| r.0.as_f64()).sum();
+            if !close(e.arrival_sum, arrival_sum) {
+                bad.push(format!(
+                    "item {idx}: arrival_sum {} vs recount {arrival_sum}",
+                    e.arrival_sum
+                ));
+            }
+            let q_i: f64 = e.requesters.iter().map(|r| priority_of(r.1)).sum();
+            if !close(e.total_priority, q_i) {
+                bad.push(format!(
+                    "item {idx}: Q_i {} vs recount {q_i}",
+                    e.total_priority
+                ));
+            }
+            let width = e.class_counts.len();
+            let mut counts = vec![0u32; width];
+            let mut sums = vec![0.0f64; width];
+            for &(t, c) in &e.requesters {
+                if c.index() >= width {
+                    bad.push(format!("item {idx}: class {c} beyond aggregate width"));
+                    continue;
+                }
+                counts[c.index()] += 1;
+                sums[c.index()] += t.as_f64();
+            }
+            if counts != e.class_counts {
+                bad.push(format!(
+                    "item {idx}: class_counts {:?} vs recount {counts:?}",
+                    e.class_counts
+                ));
+            }
+            if !sums
+                .iter()
+                .zip(&e.class_arrival_sums)
+                .all(|(a, b)| close(*a, *b))
+            {
+                bad.push(format!(
+                    "item {idx}: class_arrival_sums {:?} vs recount {sums:?}",
+                    e.class_arrival_sums
+                ));
+            }
+            let count_sum: u32 = e.class_counts.iter().sum();
+            if count_sum as usize != n {
+                bad.push(format!(
+                    "item {idx}: class_counts sum {count_sum} vs R_i {n}"
+                ));
+            }
+        }
+        if active != self.active {
+            bad.push(format!(
+                "active entries {} vs recount {active}",
+                self.active
+            ));
+        }
+        if total != self.total_requests {
+            bad.push(format!(
+                "total_requests {} vs recount {total}",
+                self.total_requests
+            ));
+        }
+        if self.inserted != self.served_requests + self.total_requests as u64 {
+            bad.push(format!(
+                "conservation: inserted {} ≠ extracted {} + pending {}",
+                self.inserted, self.served_requests, self.total_requests
+            ));
+        }
+        bad
     }
 }
 
@@ -776,5 +899,56 @@ mod tests {
             let walked: f64 = e.requesters.iter().map(|&(a, _)| a.as_f64()).sum();
             assert!((e.arrival_sum() - walked).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn shadow_recount_passes_on_a_consistent_queue() {
+        let mut q = PullQueue::new(20);
+        let mut t = 0.0;
+        for i in 0..200u32 {
+            t += 0.1;
+            q.insert(&req(t, i % 20, (i % 3) as u8), 1.0 + (i % 3) as f64);
+            if i % 7 == 0 {
+                if let Some(sel) = q.select_max(|e| e.total_priority) {
+                    let served = q.remove(sel);
+                    q.recycle(served);
+                }
+            }
+        }
+        assert_eq!(
+            q.verify_shadow(|c| 1.0 + c.index() as f64),
+            Vec::<String>::new()
+        );
+    }
+
+    #[test]
+    fn shadow_recount_flags_corrupted_aggregates() {
+        let mut q = PullQueue::new(5);
+        q.insert(&req(1.0, 2, 0), 3.0);
+        q.insert(&req(2.0, 2, 1), 2.0);
+        assert!(q.verify_shadow(|c| 3.0 - c.index() as f64).is_empty());
+        // hand-corrupt each cached aggregate and confirm detection
+        {
+            let e = q.slots[2].as_mut().unwrap();
+            e.total_priority += 1.0;
+        }
+        let bad = q.verify_shadow(|c| 3.0 - c.index() as f64);
+        assert!(bad.iter().any(|m| m.contains("Q_i")), "{bad:?}");
+        {
+            let e = q.slots[2].as_mut().unwrap();
+            e.total_priority -= 1.0;
+            e.class_counts[0] += 1; // phantom request
+        }
+        let bad = q.verify_shadow(|c| 3.0 - c.index() as f64);
+        assert!(bad.iter().any(|m| m.contains("class_counts")), "{bad:?}");
+        {
+            let e = q.slots[2].as_mut().unwrap();
+            e.class_counts[0] -= 1;
+        }
+        // a dropped decrement on the queue-wide total
+        q.total_requests += 1;
+        let bad = q.verify_shadow(|c| 3.0 - c.index() as f64);
+        assert!(bad.iter().any(|m| m.contains("total_requests")), "{bad:?}");
+        assert!(bad.iter().any(|m| m.contains("conservation")), "{bad:?}");
     }
 }

@@ -31,7 +31,7 @@ use hybridcast_workload::scenario::Scenario;
 use crate::config::{ChannelLayout, HybridConfig};
 use crate::hybrid::{HybridScheduler, Transmission};
 use crate::metrics::{MetricsCollector, SimReport, TxKind};
-use crate::pull::PullPolicyKind;
+use crate::pull::{PullPolicy, PullPolicyKind};
 use crate::uplink::{UplinkChannel, UplinkOutcome};
 use hybridcast_analysis::hybrid_model::HybridDelayModel;
 use hybridcast_telemetry::{
@@ -39,6 +39,7 @@ use hybridcast_telemetry::{
 };
 use hybridcast_workload::catalog::ItemId;
 use hybridcast_workload::requests::Request;
+use hybridcast_workload::requests::{SurgeSource, SurgeWindow};
 
 /// Run-length parameters of one simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -91,6 +92,182 @@ enum Event {
     Complete(Transmission),
     /// Periodic cutoff re-optimization (adaptive mode only).
     Retune,
+    /// An injected fault fires (testing harness only).
+    Fault(FaultAction),
+}
+
+/// One mid-run perturbation injected by the simulation-testing harness
+/// (see [`simulate_harness`]). Faults model environmental stress — the
+/// scheduler is expected to keep every accounting invariant and degrade
+/// gracefully, never panic.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "fault", rename_all = "snake_case")]
+pub enum FaultSpec {
+    /// The back-channel success probability drops to `success_prob` over
+    /// `[start, start + duration)`, then reverts (a collision storm).
+    /// Ignored when the run has no uplink model.
+    UplinkBurst {
+        /// Burst start, broadcast units.
+        start: f64,
+        /// Burst length, broadcast units.
+        duration: f64,
+        /// Degraded per-attempt success probability, in `(0, 1]`.
+        success_prob: f64,
+    },
+    /// The aggregate arrival rate is multiplied by `factor` over
+    /// `[start, start + duration)` — `> 1` is a flash crowd, `< 1` is
+    /// mass client churn thinning the demand.
+    ArrivalSurge {
+        /// Window start, broadcast units.
+        start: f64,
+        /// Window length, broadcast units.
+        duration: f64,
+        /// Rate multiplier, positive and finite.
+        factor: f64,
+    },
+    /// At `time`, `fraction` of every item's parked broadcast listeners
+    /// walk away (oldest first); they are never served and show up in the
+    /// census as departed.
+    MassDeparture {
+        /// Departure instant, broadcast units.
+        time: f64,
+        /// Fraction of waiters leaving, in `[0, 1]`.
+        fraction: f64,
+    },
+    /// At `time`, the cutoff is forced to `k` (clamped to the catalog
+    /// size), exercising the migration path outside the adaptive
+    /// controller's control loop.
+    ForceCutoff {
+        /// Move instant, broadcast units.
+        time: f64,
+        /// Forced cutoff.
+        k: usize,
+    },
+}
+
+impl FaultSpec {
+    fn validate(&self) {
+        let finite_time = |t: f64| t.is_finite() && t >= 0.0;
+        match *self {
+            FaultSpec::UplinkBurst {
+                start,
+                duration,
+                success_prob,
+            } => {
+                assert!(finite_time(start), "uplink burst start must be ≥ 0");
+                assert!(
+                    duration.is_finite() && duration > 0.0,
+                    "uplink burst duration must be positive"
+                );
+                assert!(
+                    success_prob > 0.0 && success_prob <= 1.0,
+                    "degraded success probability must lie in (0, 1]"
+                );
+            }
+            FaultSpec::ArrivalSurge {
+                start,
+                duration,
+                factor,
+            } => {
+                assert!(finite_time(start), "surge start must be ≥ 0");
+                assert!(
+                    duration.is_finite() && duration > 0.0,
+                    "surge duration must be positive"
+                );
+                assert!(
+                    factor > 0.0 && factor.is_finite(),
+                    "surge factor must be positive and finite"
+                );
+            }
+            FaultSpec::MassDeparture { time, fraction } => {
+                assert!(finite_time(time), "departure time must be ≥ 0");
+                assert!(
+                    (0.0..=1.0).contains(&fraction),
+                    "departure fraction must lie in [0, 1]"
+                );
+            }
+            FaultSpec::ForceCutoff { time, .. } => {
+                assert!(finite_time(time), "cutoff-force time must be ≥ 0");
+            }
+        }
+    }
+}
+
+/// The driver-side action a [`FaultSpec`] expands to (surges act on the
+/// request source instead and never reach the event loop).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum FaultAction {
+    SetUplink(f64),
+    RestoreUplink,
+    MassDeparture(f64),
+    ForceCutoff(usize),
+}
+
+/// Per-class head-count of every request the system still holds at the
+/// horizon, split by where it is parked. Together with the served /
+/// blocked / uplink-lost tallies this closes the conservation identity
+///
+/// `arrivals = served + blocked + uplink_lost + pending + departed`
+///
+/// exactly (no "± in-flight slack"), which is what the testkit's
+/// conservation oracle checks. All vectors are indexed by class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PendingCensus {
+    /// Requests waiting in the pull queue.
+    pub queued: Vec<u64>,
+    /// Clients parked in a push item's waiting room.
+    pub waiting_push: Vec<u64>,
+    /// Requests still crossing the contended uplink.
+    pub uplink_in_flight: Vec<u64>,
+    /// Requests captured by a transmission still on the air.
+    pub in_service: Vec<u64>,
+    /// Listeners removed by an injected [`FaultSpec::MassDeparture`].
+    pub departed: Vec<u64>,
+}
+
+impl PendingCensus {
+    fn new(classes: usize) -> Self {
+        PendingCensus {
+            queued: vec![0; classes],
+            waiting_push: vec![0; classes],
+            uplink_in_flight: vec![0; classes],
+            in_service: vec![0; classes],
+            departed: vec![0; classes],
+        }
+    }
+
+    /// Requests of class `c` the system still holds (or dropped via
+    /// departure faults) at the horizon.
+    pub fn per_class(&self, c: usize) -> u64 {
+        self.queued[c]
+            + self.waiting_push[c]
+            + self.uplink_in_flight[c]
+            + self.in_service[c]
+            + self.departed[c]
+    }
+
+    /// Total outstanding requests across all classes.
+    pub fn total(&self) -> u64 {
+        (0..self.queued.len()).map(|c| self.per_class(c)).sum()
+    }
+}
+
+/// Everything [`simulate_harness`] returns: the ordinary report plus the
+/// horizon census and the queue shadow-recount audit trail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarnessReport {
+    /// The standard per-class/system report.
+    pub report: SimReport,
+    /// Where every still-pending request was parked at the horizon.
+    pub census: PendingCensus,
+    /// Cutoff moves (adaptive runs only).
+    pub retunes: Vec<RetuneRecord>,
+    /// The cutoff in force at the horizon.
+    pub final_k: usize,
+    /// Discrepancies found by [`crate::queue::PullQueue::verify_shadow`]
+    /// at audit points (fault applications, retunes, horizon). Empty on a
+    /// healthy run.
+    pub queue_audit: Vec<String>,
 }
 
 /// Configuration of the paper's periodic cutoff re-optimization ("the
@@ -197,6 +374,16 @@ struct Driver<'s, S: Sink> {
     idle_pull_channels: u32,
     /// Scratch buffer for per-class counts of dropped entries.
     class_counts_buf: Vec<usize>,
+    /// The configured uplink success probability, restored when an
+    /// injected loss burst ends.
+    base_uplink_prob: Option<f64>,
+    /// Per-class listeners removed by injected mass-departure faults.
+    departed: Vec<u64>,
+    /// Shadow-recount discrepancies collected at audit points.
+    audit: Vec<String>,
+    /// When `true`, the pull queue's aggregates are shadow-recounted at
+    /// every fault application, retune, and at the horizon.
+    audit_queue: bool,
     /// Telemetry destination; `NullSink` monomorphizes every guarded
     /// emission away.
     sink: &'s mut S,
@@ -439,7 +626,58 @@ impl<S: Sink> Driver<'_, S> {
                     Event::Retune,
                 );
             }
+            Event::Fault(action) => self.apply_fault(eng, now, action),
         }
+    }
+
+    /// Executes one injected fault, then audits the queue aggregates.
+    fn apply_fault(&mut self, eng: &mut Engine<Event>, now: SimTime, action: FaultAction) {
+        match action {
+            FaultAction::SetUplink(p) => {
+                if let Some(channel) = &mut self.uplink {
+                    channel.set_success_prob(p);
+                }
+            }
+            FaultAction::RestoreUplink => {
+                if let (Some(channel), Some(base)) = (&mut self.uplink, self.base_uplink_prob) {
+                    channel.set_success_prob(base);
+                }
+            }
+            FaultAction::MassDeparture(fraction) => {
+                // Oldest listeners leave first (they have waited longest).
+                for waiters in &mut self.push_waiters {
+                    let leaving = (waiters.len() as f64 * fraction).floor() as usize;
+                    for (_, class) in waiters.drain(..leaving) {
+                        self.departed[class.index()] += 1;
+                    }
+                }
+            }
+            FaultAction::ForceCutoff(k) => {
+                let k = k.min(self.scheduler.catalog().len());
+                let target: Vec<ItemId> = (0..k).map(|i| ItemId(i as u32)).collect();
+                self.apply_push_target(&target, now);
+                self.kick(eng, now);
+            }
+        }
+        self.audit_now(now);
+    }
+
+    /// Shadow-recounts the pull queue's aggregates when auditing is on,
+    /// appending any discrepancy to the audit trail.
+    fn audit_now(&mut self, now: SimTime) {
+        if !self.audit_queue {
+            return;
+        }
+        let classes = self.scheduler.classes();
+        let findings = self
+            .scheduler
+            .queue()
+            .verify_shadow(|c| classes.priority(c));
+        self.audit.extend(
+            findings
+                .into_iter()
+                .map(|m| format!("t={:.3}: {m}", now.as_f64())),
+        );
     }
 
     /// Hands a (delivered) pull request to the scheduler. The request may
@@ -528,18 +766,27 @@ impl<S: Sink> Driver<'_, S> {
             *c = 0;
         }
         let target: Vec<ItemId> = order[..best_k].iter().map(|&i| ItemId(i as u32)).collect();
+        self.apply_push_target(&target, now);
+        self.audit_now(now);
+    }
+
+    /// Moves the push set to exactly `target` and migrates server state
+    /// across the new boundary (shared by the adaptive controller and the
+    /// fault injector's forced cutoff). No-op when the set is unchanged.
+    fn apply_push_target(&mut self, target: &[ItemId], now: SimTime) {
+        let from_k = self.scheduler.cutoff();
         let was_member: Vec<bool> = self.scheduler.push_membership().to_vec();
-        let unchanged = best_k == from_k && target.iter().all(|it| was_member[it.index()]);
+        let unchanged = target.len() == from_k && target.iter().all(|it| was_member[it.index()]);
         if unchanged {
             return;
         }
         emit(self.sink, || TelemetryEvent::CutoffChange {
             time: now,
             from_k: from_k as u32,
-            to_k: best_k as u32,
+            to_k: target.len() as u32,
         });
         // Apply the move and migrate state across the boundary.
-        let moved_to_push = self.scheduler.set_push_set(&target, now);
+        let moved_to_push = self.scheduler.set_push_set(target, now);
         for entry in moved_to_push {
             // These items are broadcast now; their requesters wait for the
             // next cycle like any other push listener.
@@ -570,18 +817,24 @@ struct RunOutcome {
     report: SimReport,
     retunes: Vec<RetuneRecord>,
     final_k: usize,
+    census: PendingCensus,
+    audit: Vec<String>,
 }
 
 /// The one place a run is assembled and executed: every public `simulate*`
-/// entry point delegates here, so static, replayed, adaptive, instrumented
-/// and plain runs share the exact same machinery (telemetry differs only in
-/// the `S: Sink` monomorphization).
+/// entry point delegates here, so static, replayed, adaptive, instrumented,
+/// fault-injected and plain runs share the exact same machinery (telemetry
+/// differs only in the `S: Sink` monomorphization).
+#[allow(clippy::too_many_arguments)]
 fn run<S: Sink>(
     scenario: &Scenario,
     hybrid: &HybridConfig,
     params: &SimParams,
     source: Box<dyn RequestSource>,
     adaptive: Option<&AdaptiveConfig>,
+    faults: &[FaultSpec],
+    policy: Option<Box<dyn PullPolicy>>,
+    audit_queue: bool,
     sink: &mut S,
 ) -> RunOutcome {
     assert!(
@@ -597,17 +850,52 @@ fn run<S: Sink>(
             "need at least one candidate cutoff"
         );
     }
+    for fault in faults {
+        fault.validate();
+    }
+    // Arrival surges act on the request stream itself: wrap the source once
+    // with every surge window instead of touching the event loop.
+    let surge_windows: Vec<SurgeWindow> = faults
+        .iter()
+        .filter_map(|f| match *f {
+            FaultSpec::ArrivalSurge {
+                start,
+                duration,
+                factor,
+            } => Some(SurgeWindow {
+                start,
+                end: start + duration,
+                factor,
+            }),
+            _ => None,
+        })
+        .collect();
+    let source: Box<dyn RequestSource> = if surge_windows.is_empty() {
+        source
+    } else {
+        Box::new(SurgeSource::new(source, surge_windows))
+    };
     let factory = scenario.factory.replication(params.replication);
-    let scheduler = HybridScheduler::new(
-        scenario.catalog.clone(),
-        scenario.classes.clone(),
-        hybrid,
-        &factory,
-    );
+    let scheduler = match policy {
+        Some(policy) => HybridScheduler::with_policy(
+            scenario.catalog.clone(),
+            scenario.classes.clone(),
+            hybrid,
+            &factory,
+            policy,
+        ),
+        None => HybridScheduler::new(
+            scenario.catalog.clone(),
+            scenario.classes.clone(),
+            hybrid,
+            &factory,
+        ),
+    };
     let num_items = scenario.catalog.len();
+    let num_classes = scenario.classes.len();
     let mut driver = Driver {
         scheduler,
-        metrics: MetricsCollector::new(scenario.classes.len(), SimTime::new(params.warmup)),
+        metrics: MetricsCollector::new(num_classes, SimTime::new(params.warmup)),
         gen: source,
         push_waiters: vec![Vec::new(); num_items],
         server_busy: false,
@@ -617,9 +905,9 @@ fn run<S: Sink>(
             window_counts: vec![0; num_items],
             retunes: Vec::new(),
         }),
-        uplink: hybrid.uplink.map(|cfg| {
-            UplinkChannel::new(cfg, factory.stream(UPLINK_STREAM), scenario.classes.len())
-        }),
+        uplink: hybrid
+            .uplink
+            .map(|cfg| UplinkChannel::new(cfg, factory.stream(UPLINK_STREAM), num_classes)),
         layout: hybrid.channels,
         idle_pull_channels: match hybrid.channels {
             ChannelLayout::Interleaved => 0,
@@ -629,6 +917,10 @@ fn run<S: Sink>(
             }
         },
         class_counts_buf: Vec::new(),
+        base_uplink_prob: hybrid.uplink.map(|cfg| cfg.success_prob),
+        departed: vec![0; num_classes],
+        audit: Vec::new(),
+        audit_queue,
         sink,
     };
 
@@ -639,12 +931,72 @@ fn run<S: Sink>(
     if let Some(adaptive) = adaptive {
         engine.schedule_at(SimTime::new(adaptive.period), Event::Retune);
     }
+    for fault in faults {
+        match *fault {
+            FaultSpec::UplinkBurst {
+                start,
+                duration,
+                success_prob,
+            } => {
+                engine.schedule_at(
+                    SimTime::new(start),
+                    Event::Fault(FaultAction::SetUplink(success_prob)),
+                );
+                engine.schedule_at(
+                    SimTime::new(start + duration),
+                    Event::Fault(FaultAction::RestoreUplink),
+                );
+            }
+            FaultSpec::ArrivalSurge { .. } => {} // folded into the source above
+            FaultSpec::MassDeparture { time, fraction } => {
+                engine.schedule_at(
+                    SimTime::new(time),
+                    Event::Fault(FaultAction::MassDeparture(fraction)),
+                );
+            }
+            FaultSpec::ForceCutoff { time, k } => {
+                engine.schedule_at(
+                    SimTime::new(time),
+                    Event::Fault(FaultAction::ForceCutoff(k)),
+                );
+            }
+        }
+    }
     // The broadcast starts immediately (unless in pure-pull mode, where the
     // server waits for the first request).
     start_channels(&mut driver, &mut engine);
 
     let horizon = SimTime::new(params.horizon);
     engine.run_until(horizon, |eng, ev| driver.handle(eng, ev));
+    driver.audit_now(horizon);
+
+    // Horizon census: park every still-outstanding request somewhere so the
+    // conservation identity closes exactly (see [`PendingCensus`]).
+    let mut census = PendingCensus::new(num_classes);
+    for (_, ev) in engine.drain_pending() {
+        match ev {
+            Event::Deliver(req) => census.uplink_in_flight[req.class.index()] += 1,
+            Event::Complete(tx) => {
+                if let Some(batch) = &tx.served {
+                    for &(_, class) in &batch.requesters {
+                        census.in_service[class.index()] += 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    for waiters in &driver.push_waiters {
+        for &(_, class) in waiters {
+            census.waiting_push[class.index()] += 1;
+        }
+    }
+    for entry in driver.scheduler.queue().iter() {
+        for &(_, class) in &entry.requesters {
+            census.queued[class.index()] += 1;
+        }
+    }
+    census.departed = driver.departed.clone();
 
     let report = driver.metrics.report(&scenario.classes, horizon);
     let final_k = driver.scheduler.cutoff();
@@ -653,6 +1005,8 @@ fn run<S: Sink>(
         report,
         retunes,
         final_k,
+        census,
+        audit: driver.audit,
     }
 }
 
@@ -672,7 +1026,18 @@ pub fn simulate_with_sink<S: Sink>(
     sink: &mut S,
 ) -> SimReport {
     let source = Box::new(scenario.request_stream_replication(params.replication));
-    run(scenario, hybrid, params, source, None, sink).report
+    run(
+        scenario,
+        hybrid,
+        params,
+        source,
+        None,
+        &[],
+        None,
+        false,
+        sink,
+    )
+    .report
 }
 
 /// Runs one simulation driven by an arbitrary [`RequestSource`] — e.g. a
@@ -685,7 +1050,18 @@ pub fn simulate_with_source(
     params: &SimParams,
     source: Box<dyn RequestSource>,
 ) -> SimReport {
-    run(scenario, hybrid, params, source, None, &mut NullSink).report
+    run(
+        scenario,
+        hybrid,
+        params,
+        source,
+        None,
+        &[],
+        None,
+        false,
+        &mut NullSink,
+    )
+    .report
 }
 
 /// Runs one simulation with the paper's periodic cutoff re-optimization
@@ -713,11 +1089,52 @@ pub fn simulate_adaptive_with_sink<S: Sink>(
     sink: &mut S,
 ) -> AdaptiveReport {
     let source = Box::new(scenario.request_stream_replication(params.replication));
-    let out = run(scenario, hybrid, params, source, Some(adaptive), sink);
+    let out = run(
+        scenario,
+        hybrid,
+        params,
+        source,
+        Some(adaptive),
+        &[],
+        None,
+        false,
+        sink,
+    );
     AdaptiveReport {
         report: out.report,
         retunes: out.retunes,
         final_k: out.final_k,
+    }
+}
+
+/// The simulation-testing harness entry point: one run with optional fault
+/// injection, an optional pull-policy override (used to plant "mutant"
+/// policies the invariant oracles must catch), queue shadow-recount
+/// auditing always on, and the horizon [`PendingCensus`] that lets a
+/// conservation oracle balance the books exactly.
+///
+/// `adaptive` enables the periodic cutoff controller exactly as in
+/// [`simulate_adaptive`]; faults are applied on top of whichever mode runs.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_harness<S: Sink>(
+    scenario: &Scenario,
+    hybrid: &HybridConfig,
+    params: &SimParams,
+    adaptive: Option<&AdaptiveConfig>,
+    faults: &[FaultSpec],
+    policy: Option<Box<dyn PullPolicy>>,
+    sink: &mut S,
+) -> HarnessReport {
+    let source = Box::new(scenario.request_stream_replication(params.replication));
+    let out = run(
+        scenario, hybrid, params, source, adaptive, faults, policy, true, sink,
+    );
+    HarnessReport {
+        report: out.report,
+        census: out.census,
+        retunes: out.retunes,
+        final_k: out.final_k,
+        queue_audit: out.audit,
     }
 }
 
@@ -1220,6 +1637,162 @@ mod tests {
         let r = simulate_with_source(&scenario, &cfg, &params, Box::new(replay));
         // every traced request is eventually served (no new demand arrives)
         assert_eq!(r.total_served(), n);
+    }
+
+    fn harness(cfg: &HybridConfig, params: &SimParams, faults: &[FaultSpec]) -> HarnessReport {
+        let scenario = ScenarioConfig::icpp2005(0.6).build();
+        simulate_harness(&scenario, cfg, params, None, faults, None, &mut NullSink)
+    }
+
+    fn no_warmup() -> SimParams {
+        SimParams {
+            horizon: 3_000.0,
+            warmup: 0.0,
+            replication: 0,
+        }
+    }
+
+    /// Per-class books must balance exactly:
+    /// generated = served + blocked + uplink_lost + still-pending.
+    fn assert_conserved(out: &HarnessReport) {
+        for (c, pc) in out.report.per_class.iter().enumerate() {
+            let lost = out.report.uplink_lost[c];
+            assert_eq!(
+                pc.generated,
+                pc.served + pc.blocked + lost + out.census.per_class(c),
+                "class {c}: {} generated vs {} served + {} blocked + {lost} lost \
+                 + {} pending",
+                pc.generated,
+                pc.served,
+                pc.blocked,
+                out.census.per_class(c)
+            );
+        }
+    }
+
+    #[test]
+    fn harness_census_closes_the_conservation_identity() {
+        use crate::uplink::UplinkConfig;
+        let cfg = HybridConfig {
+            uplink: Some(UplinkConfig {
+                slot_time: 1.0,
+                success_prob: 0.5,
+                max_attempts: 2,
+                backoff_slots: 3.0,
+            }),
+            ..HybridConfig::paper(40, 0.5)
+        };
+        let out = harness(&cfg, &no_warmup(), &[]);
+        assert_conserved(&out);
+        assert!(out.census.total() > 0, "someone must still be waiting");
+        assert!(
+            out.queue_audit.is_empty(),
+            "healthy run flagged: {:?}",
+            out.queue_audit
+        );
+    }
+
+    #[test]
+    fn uplink_burst_fault_degrades_then_recovers() {
+        use crate::uplink::UplinkConfig;
+        let cfg = HybridConfig {
+            uplink: Some(UplinkConfig {
+                slot_time: 0.1,
+                success_prob: 0.95,
+                max_attempts: 1,
+                backoff_slots: 0.0,
+            }),
+            ..HybridConfig::paper(40, 0.5)
+        };
+        let calm = harness(&cfg, &no_warmup(), &[]);
+        let burst = harness(
+            &cfg,
+            &no_warmup(),
+            &[FaultSpec::UplinkBurst {
+                start: 500.0,
+                duration: 1_000.0,
+                success_prob: 0.05,
+            }],
+        );
+        let lost = |r: &HarnessReport| r.report.uplink_lost.iter().sum::<u64>();
+        assert!(
+            lost(&burst) > lost(&calm) * 2,
+            "burst {} vs calm {}",
+            lost(&burst),
+            lost(&calm)
+        );
+        assert_conserved(&burst);
+    }
+
+    #[test]
+    fn forced_cutoff_fault_moves_the_push_set() {
+        let cfg = HybridConfig::paper(40, 0.5);
+        let out = harness(
+            &cfg,
+            &no_warmup(),
+            &[FaultSpec::ForceCutoff {
+                time: 1_000.0,
+                k: 10,
+            }],
+        );
+        assert_eq!(out.final_k, 10);
+        assert_conserved(&out);
+        assert!(out.queue_audit.is_empty(), "{:?}", out.queue_audit);
+    }
+
+    #[test]
+    fn mass_departure_fault_removes_waiters_without_losing_the_books() {
+        let cfg = HybridConfig::paper(60, 0.5);
+        let out = harness(
+            &cfg,
+            &no_warmup(),
+            &[FaultSpec::MassDeparture {
+                time: 1_500.0,
+                fraction: 1.0,
+            }],
+        );
+        let departed: u64 = out.census.departed.iter().sum();
+        assert!(departed > 0, "someone must have been parked at t=1500");
+        assert_conserved(&out);
+    }
+
+    #[test]
+    fn arrival_surge_fault_multiplies_demand_inside_the_window() {
+        let cfg = HybridConfig::paper(40, 0.5);
+        let calm = harness(&cfg, &no_warmup(), &[]);
+        let surged = harness(
+            &cfg,
+            &no_warmup(),
+            &[FaultSpec::ArrivalSurge {
+                start: 500.0,
+                duration: 1_000.0,
+                factor: 3.0,
+            }],
+        );
+        let gen = |r: &HarnessReport| r.report.per_class.iter().map(|c| c.generated).sum::<u64>();
+        assert!(
+            gen(&surged) as f64 > gen(&calm) as f64 * 1.3,
+            "surged {} vs calm {}",
+            gen(&surged),
+            gen(&calm)
+        );
+        assert_conserved(&surged);
+    }
+
+    #[test]
+    fn harness_runs_are_deterministic() {
+        let cfg = HybridConfig::paper(40, 0.5);
+        let faults = [
+            FaultSpec::UplinkBurst {
+                start: 400.0,
+                duration: 300.0,
+                success_prob: 0.2,
+            },
+            FaultSpec::ForceCutoff { time: 900.0, k: 70 },
+        ];
+        let a = harness(&cfg, &no_warmup(), &faults);
+        let b = harness(&cfg, &no_warmup(), &faults);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -110,6 +110,25 @@ impl UplinkChannel {
         UplinkOutcome::Lost
     }
 
+    /// Current per-attempt success probability.
+    pub fn success_prob(&self) -> f64 {
+        self.cfg.success_prob
+    }
+
+    /// Overrides the per-attempt success probability mid-run — the fault
+    /// injector's "loss burst" lever (a congested or jammed back-channel).
+    /// Statistics keep accumulating across the change.
+    ///
+    /// # Panics
+    /// Panics unless `p` lies in `(0, 1]`.
+    pub fn set_success_prob(&mut self, p: f64) {
+        assert!(
+            p > 0.0 && p <= 1.0,
+            "success probability must lie in (0, 1], got {p}"
+        );
+        self.cfg.success_prob = p;
+    }
+
     /// Requests delivered so far.
     pub fn delivered(&self) -> u64 {
         self.delivered

@@ -1,0 +1,215 @@
+//! Model-based test of [`BandwidthManager`]: drive it with long randomized
+//! admit/release sequences and balance every per-class figure against a
+//! brute-force shadow recount of the same history.
+//!
+//! With `mean_demand = 1` the demand draw is deterministic, so the shadow
+//! can predict every admission decision and the mirror is *exact*. With a
+//! Poisson demand the draw is internal to the manager, so the shadow
+//! follows the observed grants instead and checks the structural
+//! invariants that must hold regardless of what was drawn.
+
+use hybridcast_core::bandwidth::{BandwidthConfig, BandwidthManager, BandwidthPolicy, Grant};
+use hybridcast_sim::rng::Xoshiro256;
+use hybridcast_workload::classes::{ClassId, ClassSet};
+
+const EPS: f64 = 1e-9;
+
+/// Brute-force recount of the manager's observable state, rebuilt from
+/// the operation history instead of incremental counters.
+struct Shadow {
+    capacity: Vec<f64>,
+    shared: bool,
+    attempts: Vec<u64>,
+    blocked: Vec<u64>,
+    /// Every outstanding grant, never aggregated — `in_use` is recounted
+    /// by summation on demand.
+    outstanding: Vec<Grant>,
+}
+
+impl Shadow {
+    fn new(config: &BandwidthConfig, classes: &ClassSet) -> Self {
+        let capacity = match config.policy {
+            BandwidthPolicy::PerClass => classes
+                .ids()
+                .map(|id| classes.bandwidth_share(id) * config.total_capacity)
+                .collect(),
+            _ => vec![config.total_capacity; classes.len()],
+        };
+        Shadow {
+            capacity,
+            shared: config.policy == BandwidthPolicy::Shared,
+            attempts: vec![0; classes.len()],
+            blocked: vec![0; classes.len()],
+            outstanding: Vec::new(),
+        }
+    }
+
+    fn in_use(&self, class: ClassId) -> f64 {
+        self.outstanding
+            .iter()
+            .filter(|g| g.class() == class)
+            .map(Grant::amount)
+            .sum()
+    }
+
+    fn total_in_use(&self) -> f64 {
+        self.outstanding.iter().map(Grant::amount).sum()
+    }
+
+    /// Whether a demand of `amount` charged to `class` fits right now —
+    /// the same admission rule the manager implements, recomputed from
+    /// raw grants.
+    fn admits(&self, class: ClassId, amount: f64) -> bool {
+        if self.shared {
+            self.total_in_use() + amount <= self.capacity[0] + 1e-12
+        } else {
+            self.in_use(class) + amount <= self.capacity[class.index()] + 1e-12
+        }
+    }
+
+    /// Balances every observable figure of `m` against the recount.
+    fn check(&self, m: &BandwidthManager, classes: &ClassSet) {
+        for id in classes.ids() {
+            assert_eq!(m.attempts(id), self.attempts[id.index()], "attempts {id}");
+            assert_eq!(m.blocked(id), self.blocked[id.index()], "blocked {id}");
+            let in_use = self.in_use(id);
+            assert!(
+                (m.in_use(id) - in_use).abs() < EPS,
+                "in_use {id}: manager {} vs recount {in_use}",
+                m.in_use(id)
+            );
+            assert!(in_use >= -EPS, "negative in_use {id}");
+            if !self.shared {
+                assert!(
+                    in_use <= self.capacity[id.index()] + 1e-12 + EPS,
+                    "class {id} over its partition: {in_use} > {}",
+                    self.capacity[id.index()]
+                );
+            }
+            let expected = (self.attempts[id.index()] > 0)
+                .then(|| self.blocked[id.index()] as f64 / self.attempts[id.index()] as f64);
+            assert_eq!(m.blocking_probability(id), expected, "p_block {id}");
+        }
+        if self.shared {
+            assert!(
+                self.total_in_use() <= self.capacity[0] + 1e-12 + EPS,
+                "shared pool overcommitted"
+            );
+        }
+    }
+}
+
+/// Drives `ops` random admit/release operations and cross-checks after
+/// every single one. When `exact` (unit demands), the shadow also
+/// predicts each admission decision before the manager makes it.
+fn drive(policy: BandwidthPolicy, mean_demand: f64, seed: u64, ops: usize, exact: bool) {
+    let classes = ClassSet::paper_default();
+    let config = BandwidthConfig {
+        policy,
+        total_capacity: 9.0,
+        mean_demand,
+    };
+    let mut manager = BandwidthManager::new(&config, &classes, Xoshiro256::new(seed));
+    let mut shadow = Shadow::new(&config, &classes);
+    let mut rng = Xoshiro256::new(seed ^ 0xDEAD_BEEF);
+    let mut admitted = 0u64;
+    for _ in 0..ops {
+        let release = !shadow.outstanding.is_empty() && rng.next_f64() < 0.4;
+        if release {
+            let i = (rng.next_f64() * shadow.outstanding.len() as f64) as usize;
+            let grant = shadow
+                .outstanding
+                .swap_remove(i.min(shadow.outstanding.len() - 1));
+            manager.release(grant);
+        } else {
+            let class =
+                ClassId(((rng.next_f64() * classes.len() as f64) as usize % classes.len()) as u8);
+            let predicted = exact.then(|| shadow.admits(class, 1.0));
+            let grant = manager.try_admit(class);
+            if let Some(want) = predicted {
+                assert_eq!(
+                    grant.is_some(),
+                    want,
+                    "admission decision diverged for {class} after {admitted} admits"
+                );
+            }
+            shadow.attempts[class.index()] += 1;
+            match grant {
+                Some(g) => {
+                    assert_eq!(g.class(), class);
+                    assert!(
+                        g.amount() >= 1.0 - EPS,
+                        "demand below one unit: {}",
+                        g.amount()
+                    );
+                    assert!(
+                        shadow.admits(class, g.amount()),
+                        "manager granted {} to {class} but the recount has no room",
+                        g.amount()
+                    );
+                    shadow.outstanding.push(g);
+                    admitted += 1;
+                }
+                None => shadow.blocked[class.index()] += 1,
+            }
+        }
+        shadow.check(&manager, &classes);
+    }
+    assert!(admitted > 0, "sequence never admitted anything");
+    let total_blocked: u64 = shadow.blocked.iter().sum();
+    assert!(total_blocked > 0, "sequence never blocked anything");
+}
+
+#[test]
+fn per_class_exactly_mirrors_brute_force_recount_with_unit_demands() {
+    for seed in [1, 7, 23] {
+        drive(BandwidthPolicy::PerClass, 1.0, seed, 3_000, true);
+    }
+}
+
+#[test]
+fn shared_pool_exactly_mirrors_brute_force_recount_with_unit_demands() {
+    for seed in [2, 11, 31] {
+        drive(BandwidthPolicy::Shared, 1.0, seed, 3_000, true);
+    }
+}
+
+#[test]
+fn per_class_poisson_demands_keep_every_structural_invariant() {
+    for seed in [3, 13, 37] {
+        drive(BandwidthPolicy::PerClass, 2.5, seed, 3_000, false);
+    }
+}
+
+#[test]
+fn shared_pool_poisson_demands_keep_every_structural_invariant() {
+    for seed in [5, 17, 41] {
+        drive(BandwidthPolicy::Shared, 2.5, seed, 3_000, false);
+    }
+}
+
+#[test]
+fn blocked_attempts_never_change_reserved_bandwidth() {
+    // Saturate class C's 1.5-unit partition, then hammer it: attempts and
+    // blocked must climb together while in_use stays frozen.
+    let classes = ClassSet::paper_default();
+    let config = BandwidthConfig::per_class(9.0, 1.0);
+    let mut m = BandwidthManager::new(&config, &classes, Xoshiro256::new(4));
+    let c = ClassId(2);
+    let mut grants = Vec::new();
+    while let Some(g) = m.try_admit(c) {
+        grants.push(g);
+        assert!(grants.len() < 100, "partition never filled");
+    }
+    let frozen = m.in_use(c);
+    let blocked_before = m.blocked(c);
+    for _ in 0..500 {
+        assert!(m.try_admit(c).is_none());
+        assert_eq!(m.in_use(c), frozen);
+    }
+    assert_eq!(m.blocked(c), blocked_before + 500);
+    for g in grants {
+        m.release(g);
+    }
+    assert!(m.in_use(c).abs() < EPS);
+}

@@ -146,14 +146,19 @@ impl P2Quantile {
         self.count
     }
 
-    /// Folds one observation in.
+    /// Folds one observation in. Non-finite samples (NaN, ±∞) are
+    /// rejected — dropped without counting — because a single NaN would
+    /// otherwise poison the marker heights permanently (every comparison
+    /// against it is false) or panic the seed-phase sort.
     ///
     /// `#[inline]`: pushed several times per served request by the
     /// metrics collector, invoked cross-crate — without the hint it stays
     /// an outlined call and dominates the per-completion cost.
     #[inline]
     pub fn push(&mut self, x: f64) {
-        debug_assert!(x.is_finite(), "observation must be finite");
+        if !x.is_finite() {
+            return;
+        }
         if self.count < 5 {
             self.heights[self.count as usize] = x;
             self.count += 1;
@@ -178,12 +183,15 @@ impl P2Quantile {
         );
     }
 
-    /// Current estimate; `None` before any observation. With fewer than 5
-    /// samples, falls back to the exact order statistic.
+    /// Current estimate; `None` before any observation. With 5 samples or
+    /// fewer, falls back to the exact order statistic — at exactly 5 the
+    /// heights are still the sorted raw samples, and handing over to the
+    /// untrained middle marker there would jump discontinuously (e.g. a
+    /// p95 snapping from the max to the median-ish marker 2).
     pub fn estimate(&self) -> Option<f64> {
         match self.count {
             0 => None,
-            n if n < 5 => Some(exact_prefix(&self.heights, n as usize, self.q)),
+            n if n <= 5 => Some(exact_prefix(&self.heights, n as usize, self.q)),
             _ => Some(self.heights[2]),
         }
     }
@@ -249,10 +257,12 @@ impl P2Dual {
     }
 
     /// Folds one observation in (see [`P2Quantile::push`] for why this is
-    /// `#[inline]`).
+    /// `#[inline]` and why non-finite samples are rejected).
     #[inline]
     pub fn push(&mut self, x: f64) {
-        debug_assert!(x.is_finite(), "observation must be finite");
+        if !x.is_finite() {
+            return;
+        }
         if self.count < 7 {
             self.heights[self.count as usize] = x;
             self.count += 1;
@@ -280,19 +290,22 @@ impl P2Dual {
     fn estimate_at(&self, marker: usize, q: f64) -> Option<f64> {
         match self.count {
             0 => None,
-            n if n < 7 => Some(exact_prefix(&self.heights, n as usize, q)),
+            // ≤ 7: the heights are still the (sorted) raw samples, so the
+            // exact order statistic is available; see P2Quantile::estimate
+            // for why the boundary is inclusive.
+            n if n <= 7 => Some(exact_prefix(&self.heights, n as usize, q)),
             _ => Some(self.heights[marker]),
         }
     }
 
-    /// Current `q_lo` estimate; `None` before any observation. With fewer
-    /// than 7 samples, falls back to the exact order statistic.
+    /// Current `q_lo` estimate; `None` before any observation. With 7
+    /// samples or fewer, falls back to the exact order statistic.
     pub fn estimate_lo(&self) -> Option<f64> {
         self.estimate_at(2, self.q_lo)
     }
 
-    /// Current `q_hi` estimate; `None` before any observation. With fewer
-    /// than 7 samples, falls back to the exact order statistic.
+    /// Current `q_hi` estimate; `None` before any observation. With 7
+    /// samples or fewer, falls back to the exact order statistic.
     pub fn estimate_hi(&self) -> Option<f64> {
         self.estimate_at(4, self.q_hi)
     }
@@ -468,6 +481,88 @@ mod tests {
     #[should_panic(expected = "q_lo < q_hi")]
     fn dual_rejects_misordered_quantiles() {
         let _ = P2Dual::new(0.95, 0.5);
+    }
+
+    #[test]
+    fn zero_and_one_sample_edge_cases() {
+        let p = P2Quantile::new(0.95);
+        assert_eq!(p.estimate(), None);
+        let d = P2Dual::new(0.5, 0.95);
+        assert_eq!(d.estimate_lo(), None);
+        assert_eq!(d.estimate_hi(), None);
+
+        let mut p = P2Quantile::new(0.95);
+        p.push(42.0);
+        assert_eq!(p.estimate(), Some(42.0));
+        let mut d = P2Dual::new(0.5, 0.95);
+        d.push(42.0);
+        assert_eq!(d.estimate_lo(), Some(42.0));
+        assert_eq!(d.estimate_hi(), Some(42.0));
+    }
+
+    #[test]
+    fn estimates_stay_exact_through_the_seed_boundary() {
+        // 5 samples into a 5-marker estimator / 7 into a 7-marker one:
+        // the heights are still the sorted raw samples, so the estimate
+        // must be the exact order statistic — not an untrained marker.
+        let mut p = P2Quantile::new(0.95);
+        for x in [10.0, 30.0, 20.0, 50.0, 40.0] {
+            p.push(x);
+        }
+        assert_eq!(p.count(), 5);
+        // exact p95 of 5 samples: ceil(0.95·5) = 5th smallest = 50
+        assert_eq!(p.estimate(), Some(50.0));
+
+        let mut d = P2Dual::new(0.5, 0.95);
+        for x in [7.0, 1.0, 6.0, 2.0, 5.0, 3.0] {
+            d.push(x);
+        }
+        // 6 samples: exact p50 rank ceil(3) = 3rd → 3.0, p95 rank 6 → 7.0
+        assert_eq!(d.estimate_lo(), Some(3.0));
+        assert_eq!(d.estimate_hi(), Some(7.0));
+        d.push(4.0);
+        assert_eq!(d.count(), 7);
+        // 7 samples: exact p50 rank ceil(3.5) = 4th → 4.0, p95 rank 7 → 7.0
+        assert_eq!(d.estimate_lo(), Some(4.0));
+        assert_eq!(d.estimate_hi(), Some(7.0));
+    }
+
+    #[test]
+    fn all_equal_values_collapse_to_that_value() {
+        let mut p = P2Quantile::new(0.9);
+        let mut d = P2Dual::new(0.5, 0.95);
+        for _ in 0..1_000 {
+            p.push(3.25);
+            d.push(3.25);
+        }
+        assert_eq!(p.estimate(), Some(3.25));
+        assert_eq!(d.estimate_lo(), Some(3.25));
+        assert_eq!(d.estimate_hi(), Some(3.25));
+    }
+
+    #[test]
+    fn non_finite_samples_are_rejected() {
+        let mut p = P2Quantile::new(0.5);
+        let mut d = P2Dual::new(0.5, 0.95);
+        // NaN before the seed phase completes must not poison the sort…
+        p.push(f64::NAN);
+        d.push(f64::NAN);
+        assert_eq!(p.count(), 0);
+        assert_eq!(p.estimate(), None);
+        for i in 0..100 {
+            p.push(i as f64);
+            d.push(i as f64);
+            // …nor mid-stream, interleaved with good samples
+            p.push(f64::NAN);
+            d.push(f64::INFINITY);
+            p.push(f64::NEG_INFINITY);
+        }
+        assert_eq!(p.count(), 100);
+        assert_eq!(d.count(), 100);
+        let m = p.estimate().unwrap();
+        assert!(m.is_finite() && m > 0.0 && m < 99.0, "median {m}");
+        let (lo, hi) = (d.estimate_lo().unwrap(), d.estimate_hi().unwrap());
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi);
     }
 
     #[test]

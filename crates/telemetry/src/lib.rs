@@ -34,7 +34,7 @@ pub mod window;
 
 pub use aggregate::{AggregatedClassWindow, AggregatedSeries, AggregatedWindow};
 pub use event::{ServiceKind, TelemetryEvent};
-pub use sink::{emit, NullSink, Sink, VecSink};
+pub use sink::{emit, NullSink, Sink, Tee, VecSink};
 pub use window::{
     ClassWindow, TelemetryConfig, TimeSeries, WindowRecorder, WindowStats, DEFAULT_WINDOW,
 };

@@ -1,0 +1,19 @@
+//! Command-line fuzz sweep used by the CI soak job and for local
+//! exploration: `cargo run --release -p hybridcast-testkit --example
+//! fuzz_sweep -- <count> [start_seed]`. Exits non-zero on the first
+//! oracle failure, printing the minimized reproducing case.
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let count: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(200);
+    let start: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0);
+    let report = hybridcast_testkit::fuzz(start, count, None);
+    println!(
+        "fuzz: {} cases from seed {start}, all oracles",
+        report.cases_run
+    );
+    if let Some(f) = report.failure {
+        eprintln!("FAILURE at seed {}: {}", f.seed, f.outcome.to_json());
+        eprintln!("minimized case:\n{}", f.minimized.to_json());
+        std::process::exit(1);
+    }
+}

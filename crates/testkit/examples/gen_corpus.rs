@@ -1,0 +1,114 @@
+//! Regenerates the committed corpus under `crates/testkit/corpus/`.
+//!
+//! Run with `cargo run -p hybridcast-testkit --example gen_corpus` after
+//! changing the generator or the config schema; corpus entries are
+//! ordinary [`hybridcast_testkit::FuzzCase`] JSON, so hand-editing is
+//! fine too. Every entry must pass the oracles — `corpus_replay` in the
+//! test suite enforces that.
+
+use std::fs;
+use std::path::Path;
+
+use hybridcast_core::prelude::{AdaptiveConfig, FaultSpec, HybridConfig};
+use hybridcast_testkit::{generate_case, run_case, FuzzCase};
+use hybridcast_workload::scenario::ScenarioConfig;
+
+fn main() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    fs::create_dir_all(&dir).expect("create corpus dir");
+
+    let mut entries: Vec<(&str, FuzzCase)> = vec![
+        (
+            "paper-midpoint",
+            FuzzCase {
+                seed: 0,
+                scenario: ScenarioConfig::icpp2005(0.6),
+                hybrid: HybridConfig::paper(40, 0.5),
+                horizon: 1_500.0,
+                adaptive: None,
+                faults: Vec::new(),
+            },
+        ),
+        (
+            "pure-pull-corner",
+            FuzzCase {
+                seed: 0,
+                scenario: ScenarioConfig::icpp2005(1.0),
+                hybrid: HybridConfig::paper(0, 0.25),
+                horizon: 1_000.0,
+                adaptive: None,
+                faults: Vec::new(),
+            },
+        ),
+        (
+            "pure-push-corner",
+            FuzzCase {
+                seed: 0,
+                scenario: ScenarioConfig::icpp2005(0.2),
+                hybrid: HybridConfig::paper(100, 0.75),
+                horizon: 1_000.0,
+                adaptive: None,
+                faults: Vec::new(),
+            },
+        ),
+        (
+            "fault-storm",
+            FuzzCase {
+                seed: 0,
+                scenario: ScenarioConfig::icpp2005(0.6),
+                hybrid: HybridConfig {
+                    uplink: Some(hybridcast_core::uplink::UplinkConfig::default()),
+                    ..HybridConfig::paper(40, 0.5)
+                },
+                horizon: 2_000.0,
+                adaptive: Some(AdaptiveConfig {
+                    period: 400.0,
+                    candidate_ks: vec![10, 40, 70],
+                    smoothing: 0.5,
+                    rerank: false,
+                }),
+                faults: vec![
+                    FaultSpec::UplinkBurst {
+                        start: 300.0,
+                        duration: 400.0,
+                        success_prob: 0.05,
+                    },
+                    FaultSpec::ArrivalSurge {
+                        start: 800.0,
+                        duration: 400.0,
+                        factor: 3.0,
+                    },
+                    FaultSpec::MassDeparture {
+                        time: 1_400.0,
+                        fraction: 0.5,
+                    },
+                    FaultSpec::ForceCutoff {
+                        time: 1_600.0,
+                        k: 15,
+                    },
+                ],
+            },
+        ),
+    ];
+    // Plus a band of generator-grown cases pinning today's generator.
+    for seed in [3u64, 17, 42, 101] {
+        entries.push(("", generate_case(seed)));
+    }
+
+    for (name, case) in entries {
+        let outcome = run_case(&case);
+        assert!(
+            outcome.passed(),
+            "corpus entry must pass the oracles: {}",
+            outcome.to_json()
+        );
+        let file = if name.is_empty() {
+            format!("seed-{:04}.json", case.seed)
+        } else {
+            format!("{name}.json")
+        };
+        let path = dir.join(file);
+        fs::write(&path, case.to_json()).expect("write corpus entry");
+        println!("wrote {}", path.display());
+    }
+}

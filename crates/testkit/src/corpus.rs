@@ -1,0 +1,156 @@
+//! The fuzz loop and the on-disk corpus.
+//!
+//! A corpus entry is one [`FuzzCase`] serialized as JSON. The committed
+//! corpus (`crates/testkit/corpus/`) pins regression configurations —
+//! previously-minimized failures and hand-picked corners — and the replay
+//! path re-runs them under full oracle supervision. Replays are
+//! deterministic: the same corpus file must produce a byte-identical
+//! serialized verdict on every run, which CI checks by replaying twice.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use crate::case::FuzzCase;
+use crate::generate::generate_case;
+use crate::oracle::{run_case, CaseOutcome};
+use crate::shrink::shrink;
+
+/// One fuzzing campaign's result.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FuzzReport {
+    /// Seeds actually executed (may stop early on failure or budget).
+    pub cases_run: u64,
+    /// Whether the loop stopped because the time budget ran out.
+    pub budget_exhausted: bool,
+    /// The first failure found, if any, already minimized.
+    pub failure: Option<FuzzFailure>,
+}
+
+/// A failing configuration, before and after shrinking.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FuzzFailure {
+    /// The seed that grew the failing case.
+    pub seed: u64,
+    /// The case exactly as generated.
+    pub original: FuzzCase,
+    /// The greedily minimized case that still fails.
+    pub minimized: FuzzCase,
+    /// The minimized case's verdict (what went wrong).
+    pub outcome: CaseOutcome,
+}
+
+/// Runs up to `count` seeded scenarios starting at `start_seed`, stopping
+/// early on the first oracle failure (after shrinking it) or when the
+/// optional wall-clock `budget` runs out.
+pub fn fuzz(start_seed: u64, count: u64, budget: Option<Duration>) -> FuzzReport {
+    let t0 = Instant::now();
+    let mut cases_run = 0;
+    for seed in start_seed..start_seed.saturating_add(count) {
+        if let Some(budget) = budget {
+            if t0.elapsed() >= budget {
+                return FuzzReport {
+                    cases_run,
+                    budget_exhausted: true,
+                    failure: None,
+                };
+            }
+        }
+        let case = generate_case(seed);
+        let outcome = run_case(&case);
+        cases_run += 1;
+        if !outcome.passed() {
+            let minimized = shrink(&case, |c| !run_case(c).passed());
+            let outcome = run_case(&minimized);
+            return FuzzReport {
+                cases_run,
+                budget_exhausted: false,
+                failure: Some(FuzzFailure {
+                    seed,
+                    original: case,
+                    minimized,
+                    outcome,
+                }),
+            };
+        }
+    }
+    FuzzReport {
+        cases_run,
+        budget_exhausted: false,
+        failure: None,
+    }
+}
+
+/// The committed corpus directory (`crates/testkit/corpus/`).
+pub fn committed_corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+/// Loads every `*.json` case under `dir`, sorted by file name for a
+/// stable replay order.
+pub fn load_corpus(dir: &Path) -> Result<Vec<(String, FuzzCase)>, String> {
+    let entries =
+        fs::read_dir(dir).map_err(|e| format!("cannot read corpus dir {}: {e}", dir.display()))?;
+    let mut cases = Vec::new();
+    for entry in entries {
+        let path = entry.map_err(|e| format!("corpus dir error: {e}"))?.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or_default()
+            .to_string();
+        let text = fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let case = FuzzCase::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        cases.push((name, case));
+    }
+    if cases.is_empty() {
+        return Err(format!("no *.json cases under {}", dir.display()));
+    }
+    cases.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(cases)
+}
+
+/// Replays every corpus case under full oracle supervision, returning
+/// `(name, verdict)` pairs in file-name order.
+pub fn replay_corpus(dir: &Path) -> Result<Vec<(String, CaseOutcome)>, String> {
+    Ok(load_corpus(dir)?
+        .into_iter()
+        .map(|(name, case)| {
+            let outcome = run_case(&case);
+            (name, outcome)
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fuzz_reports_how_many_cases_ran() {
+        let report = fuzz(0, 3, None);
+        assert_eq!(report.cases_run, 3);
+        assert!(
+            report.failure.is_none(),
+            "seeds 0..3 must pass: {:?}",
+            report.failure
+        );
+    }
+
+    #[test]
+    fn zero_budget_stops_immediately() {
+        let report = fuzz(0, 100, Some(Duration::ZERO));
+        assert_eq!(report.cases_run, 0);
+        assert!(report.budget_exhausted);
+    }
+
+    #[test]
+    fn missing_corpus_dir_is_an_error_not_a_panic() {
+        let err = load_corpus(Path::new("/nonexistent/corpus")).unwrap_err();
+        assert!(err.contains("cannot read corpus dir"), "{err}");
+    }
+}

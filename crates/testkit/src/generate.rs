@@ -1,0 +1,256 @@
+//! Seeded scenario fuzzing: grow a valid [`FuzzCase`] from a `u64`.
+//!
+//! The generator is deliberately biased toward the degenerate corners the
+//! paper's operating points never visit — `K = 0` (pure pull), `K = D`
+//! (pure push), a single class, one-item catalogs, tiny horizons — because
+//! that is where accounting bugs hide. Every case it produces must be
+//! *constructible*: validation panics inside the scheduler are findings
+//! only when the configuration was legal, so the generator stays strictly
+//! inside the documented parameter domains.
+
+use hybridcast_core::bandwidth::{BandwidthConfig, BandwidthPolicy};
+use hybridcast_core::prelude::{AdaptiveConfig, ChannelLayout, FaultSpec, HybridConfig};
+use hybridcast_core::pull::PullPolicyKind;
+use hybridcast_core::push::PushKind;
+use hybridcast_core::uplink::UplinkConfig;
+use hybridcast_sim::rng::Xoshiro256;
+use hybridcast_workload::classes::{ClassSet, ServiceClass};
+use hybridcast_workload::popularity::PopularityModel;
+use hybridcast_workload::requests::DriftConfig;
+use hybridcast_workload::scenario::ScenarioConfig;
+
+use crate::case::FuzzCase;
+
+/// Uniform pick from a slice.
+fn pick<'a, T>(rng: &mut Xoshiro256, options: &'a [T]) -> &'a T {
+    let i = (rng.next_f64() * options.len() as f64) as usize;
+    &options[i.min(options.len() - 1)]
+}
+
+/// Uniform f64 in `[lo, hi)`.
+fn uniform(rng: &mut Xoshiro256, lo: f64, hi: f64) -> f64 {
+    lo + rng.next_f64() * (hi - lo)
+}
+
+/// Uniform usize in `[lo, hi]`.
+fn uniform_usize(rng: &mut Xoshiro256, lo: usize, hi: usize) -> usize {
+    lo + ((rng.next_f64() * (hi - lo + 1) as f64) as usize).min(hi - lo)
+}
+
+/// Bernoulli draw.
+fn chance(rng: &mut Xoshiro256, p: f64) -> bool {
+    rng.next_f64() < p
+}
+
+/// A random valid class set: `n` classes with strictly decreasing
+/// priorities and share vectors that sum to one.
+fn gen_classes(rng: &mut Xoshiro256) -> ClassSet {
+    match uniform_usize(rng, 0, 3) {
+        0 => ClassSet::single(),
+        1 => ClassSet::three_tier(*pick(rng, &[0.5, 1.0, 2.0])),
+        _ => {
+            let n = uniform_usize(rng, 2, 4);
+            let mut pop: Vec<f64> = (0..n).map(|_| uniform(rng, 0.2, 1.0)).collect();
+            let pop_sum: f64 = pop.iter().sum();
+            for p in &mut pop {
+                *p /= pop_sum;
+            }
+            let mut bw: Vec<f64> = (0..n).map(|_| uniform(rng, 0.2, 1.0)).collect();
+            let bw_sum: f64 = bw.iter().sum();
+            for b in &mut bw {
+                *b /= bw_sum;
+            }
+            // Strictly decreasing priorities: start high, subtract gaps.
+            let mut next_priority = n as f64 * uniform(rng, 2.0, 4.0);
+            let classes = (0..n)
+                .map(|i| {
+                    let priority = next_priority;
+                    next_priority -= uniform(rng, 0.5, 1.5);
+                    ServiceClass {
+                        name: format!("Class-{i}"),
+                        priority,
+                        population_share: pop[i],
+                        bandwidth_share: bw[i],
+                    }
+                })
+                .collect();
+            ClassSet::new(classes)
+        }
+    }
+}
+
+/// Random fault list with times inside `[0, horizon)`.
+fn gen_faults(rng: &mut Xoshiro256, horizon: f64, num_items: usize) -> Vec<FaultSpec> {
+    let count = uniform_usize(rng, 0, 3);
+    (0..count)
+        .map(|_| {
+            let start = uniform(rng, 0.05, 0.7) * horizon;
+            match uniform_usize(rng, 0, 3) {
+                0 => FaultSpec::UplinkBurst {
+                    start,
+                    duration: uniform(rng, 0.05, 0.3) * horizon,
+                    success_prob: uniform(rng, 0.02, 0.5),
+                },
+                1 => FaultSpec::ArrivalSurge {
+                    start,
+                    duration: uniform(rng, 0.05, 0.3) * horizon,
+                    // > 1 flash crowd, < 1 mass churn
+                    factor: *pick(rng, &[0.2, 0.5, 2.0, 4.0]),
+                },
+                2 => FaultSpec::MassDeparture {
+                    time: start,
+                    fraction: *pick(rng, &[0.25, 0.5, 1.0]),
+                },
+                _ => FaultSpec::ForceCutoff {
+                    time: start,
+                    k: uniform_usize(rng, 0, num_items),
+                },
+            }
+        })
+        .collect()
+}
+
+/// Deterministically grows one valid fuzz case from `seed`.
+pub fn generate_case(seed: u64) -> FuzzCase {
+    let mut rng = Xoshiro256::new(seed ^ 0xF0FA_57C3_B00C_A5E5);
+    let num_items = *pick(&mut rng, &[1usize, 2, 3, 5, 10, 25, 60, 100, 250]);
+    // Cutoff corners get extra weight: K = 0 and K = D are where the
+    // push-only / pull-only code paths degenerate.
+    let cutoff = match uniform_usize(&mut rng, 0, 4) {
+        0 => 0,
+        1 => num_items,
+        _ => uniform_usize(&mut rng, 0, num_items),
+    };
+    let classes = gen_classes(&mut rng);
+    let theta = *pick(&mut rng, &[0.0, 0.2, 0.6, 1.0, 1.4]);
+    let horizon = uniform(&mut rng, 400.0, 2_500.0);
+    let arrival_rate = uniform(&mut rng, 0.5, 8.0);
+
+    let alpha = uniform(&mut rng, 0.0, 1.0);
+    let pull = match uniform_usize(&mut rng, 0, 5) {
+        0 => PullPolicyKind::Fcfs,
+        1 => PullPolicyKind::Mrf,
+        2 => PullPolicyKind::Rxw,
+        3 => PullPolicyKind::Priority,
+        _ => PullPolicyKind::importance(alpha),
+    };
+    let push = if cutoff >= 2 && chance(&mut rng, 0.2) {
+        PushKind::SquareRoot
+    } else {
+        PushKind::Flat
+    };
+    let bandwidth = match uniform_usize(&mut rng, 0, 3) {
+        0 => BandwidthConfig {
+            policy: BandwidthPolicy::PerClass,
+            total_capacity: uniform(&mut rng, 2.0, 30.0),
+            mean_demand: uniform(&mut rng, 1.0, 3.0),
+        },
+        1 => BandwidthConfig {
+            policy: BandwidthPolicy::Shared,
+            total_capacity: uniform(&mut rng, 2.0, 30.0),
+            mean_demand: uniform(&mut rng, 1.0, 3.0),
+        },
+        _ => BandwidthConfig::default(), // Unlimited
+    };
+    let uplink = chance(&mut rng, 0.35).then(|| UplinkConfig {
+        slot_time: uniform(&mut rng, 0.05, 1.0),
+        success_prob: uniform(&mut rng, 0.3, 1.0),
+        max_attempts: uniform_usize(&mut rng, 1, 5) as u32,
+        backoff_slots: uniform(&mut rng, 0.0, 3.0),
+    });
+    let channels = if chance(&mut rng, 0.25) {
+        ChannelLayout::Split {
+            pull_channels: uniform_usize(&mut rng, 1, 3) as u32,
+        }
+    } else {
+        ChannelLayout::Interleaved
+    };
+    let drift = chance(&mut rng, 0.15).then(|| DriftConfig {
+        period: uniform(&mut rng, 200.0, 1_000.0),
+        shift: uniform_usize(&mut rng, 1, 10),
+    });
+    let batch_mean = chance(&mut rng, 0.15).then(|| uniform(&mut rng, 1.5, 4.0));
+    let adaptive = chance(&mut rng, 0.2).then(|| {
+        let mut ks: Vec<usize> = (0..uniform_usize(&mut rng, 1, 4))
+            .map(|_| uniform_usize(&mut rng, 0, num_items))
+            .collect();
+        ks.sort_unstable();
+        ks.dedup();
+        AdaptiveConfig {
+            period: uniform(&mut rng, 0.2, 0.5) * horizon,
+            candidate_ks: ks,
+            smoothing: 0.5,
+            rerank: chance(&mut rng, 0.5),
+        }
+    });
+    let faults = gen_faults(&mut rng, horizon, num_items);
+
+    FuzzCase {
+        seed,
+        scenario: ScenarioConfig {
+            num_items,
+            arrival_rate,
+            popularity: PopularityModel::zipf(theta),
+            classes,
+            seed: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+            drift,
+            batch_mean,
+            ..ScenarioConfig::default()
+        },
+        hybrid: HybridConfig {
+            cutoff,
+            push,
+            pull,
+            bandwidth,
+            pull_per_push: uniform_usize(&mut rng, 1, 3) as u32,
+            uplink,
+            channels,
+        },
+        horizon,
+        adaptive,
+        faults,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(generate_case(7), generate_case(7));
+        assert_ne!(generate_case(7), generate_case(8));
+    }
+
+    #[test]
+    fn generated_cases_are_constructible() {
+        for seed in 0..50 {
+            let case = generate_case(seed);
+            let scenario = case.scenario.build(); // must not panic
+            assert!(case.hybrid.cutoff <= scenario.catalog.len());
+            assert!(case.horizon > 0.0);
+        }
+    }
+
+    #[test]
+    fn corners_are_actually_visited() {
+        let cases: Vec<FuzzCase> = (0..300).map(generate_case).collect();
+        assert!(cases.iter().any(|c| c.hybrid.cutoff == 0), "K = 0 corner");
+        assert!(
+            cases
+                .iter()
+                .any(|c| c.hybrid.cutoff == c.scenario.num_items),
+            "K = D corner"
+        );
+        assert!(
+            cases.iter().any(|c| c.scenario.classes.len() == 1),
+            "single-class corner"
+        );
+        assert!(
+            cases.iter().any(|c| c.scenario.num_items == 1),
+            "one-item corner"
+        );
+        assert!(cases.iter().any(|c| !c.faults.is_empty()), "faulted runs");
+        assert!(cases.iter().any(|c| c.adaptive.is_some()), "adaptive runs");
+    }
+}

@@ -1,0 +1,308 @@
+//! Invariant oracles: what must hold on *every* run, no matter the config.
+//!
+//! The [`OracleSink`] watches the telemetry stream of a single run and the
+//! finalize step balances it against the report and the horizon census:
+//!
+//! 1. **Monotone clock** — events arrive in non-decreasing time order.
+//! 2. **Non-negative delays** — no request is served before it arrived.
+//! 3. **Conservation** — per class, `arrivals = served + blocked +
+//!    uplink_lost + still-pending-at-horizon (+ departed)`, exactly.
+//! 4. **Event/report agreement** — the counts the report claims equal the
+//!    counts the event stream shows (requires zero warmup).
+//! 5. **Push round-robin fairness** — under a flat push schedule with a
+//!    static cutoff, the broadcast visits the K push items in a strict
+//!    cycle: the first K transmissions are distinct and the sequence has
+//!    period K.
+//! 6. **Queue aggregate consistency** — the driver shadow-recounts
+//!    `Q_i`/`R_i` from raw queue entries at audit points; any discrepancy
+//!    lands in [`HarnessReport::queue_audit`] and is merged here.
+//!
+//! Per-class priority dominance (Class-A beats Class-C under the
+//! importance policy) is a *statistical* oracle; it lives in
+//! [`check_dominance`] and runs over replications, not per fuzz case.
+
+use hybridcast_core::prelude::{
+    simulate_harness, HarnessReport, HybridConfig, NullSink, PullPolicy, SimParams, Sink,
+    TelemetryEvent,
+};
+use hybridcast_core::push::PushKind;
+use hybridcast_workload::catalog::ItemId;
+use hybridcast_workload::scenario::ScenarioConfig;
+
+use crate::case::FuzzCase;
+
+/// Records a run's event stream and checks stream-level invariants online;
+/// [`OracleSink::finalize`] settles the cross-cutting ones.
+#[derive(Debug, Clone)]
+pub struct OracleSink {
+    num_classes: usize,
+    last_time: f64,
+    arrivals: Vec<u64>,
+    served: Vec<u64>,
+    blocked: Vec<u64>,
+    lost: Vec<u64>,
+    push_seq: Vec<ItemId>,
+    cutoff_changes: u64,
+    violations: Vec<String>,
+}
+
+impl OracleSink {
+    /// A fresh oracle for `num_classes` service classes.
+    pub fn new(num_classes: usize) -> Self {
+        OracleSink {
+            num_classes,
+            last_time: 0.0,
+            arrivals: vec![0; num_classes],
+            served: vec![0; num_classes],
+            blocked: vec![0; num_classes],
+            lost: vec![0; num_classes],
+            push_seq: Vec::new(),
+            cutoff_changes: 0,
+            violations: Vec::new(),
+        }
+    }
+
+    fn violation(&mut self, msg: String) {
+        // Cap the list: one broken invariant can fire per event.
+        if self.violations.len() < 32 {
+            self.violations.push(msg);
+        }
+    }
+
+    /// Settles the cross-cutting invariants against the finished run and
+    /// returns every violation found (empty = the run is clean).
+    pub fn finalize(mut self, case: &FuzzCase, out: &HarnessReport) -> Vec<String> {
+        // 3. Conservation: the books must balance per class, exactly.
+        for c in 0..self.num_classes {
+            let pending = out.census.per_class(c);
+            let balance = self.served[c] + self.blocked[c] + self.lost[c] + pending;
+            if self.arrivals[c] != balance {
+                self.violations.push(format!(
+                    "conservation broken for class {c}: {} arrivals vs {} served \
+                     + {} blocked + {} lost + {pending} pending",
+                    self.arrivals[c], self.served[c], self.blocked[c], self.lost[c]
+                ));
+            }
+        }
+        // 4. Event stream vs report cross-check (zero-warmup runs only).
+        for (c, pc) in out.report.per_class.iter().enumerate() {
+            for (label, stream, report) in [
+                ("generated", self.arrivals[c], pc.generated),
+                ("served", self.served[c], pc.served),
+                ("blocked", self.blocked[c], pc.blocked),
+                ("uplink_lost", self.lost[c], out.report.uplink_lost[c]),
+            ] {
+                if stream != report {
+                    self.violations.push(format!(
+                        "report disagrees with event stream for class {c} \
+                         {label}: stream {stream} vs report {report}"
+                    ));
+                }
+            }
+        }
+        // 5. Push round-robin fairness, when the gate applies: flat push
+        // schedule and a cutoff that never moved.
+        let k = case.hybrid.cutoff;
+        if case.hybrid.push == PushKind::Flat && self.cutoff_changes == 0 && k >= 1 {
+            let seq = &self.push_seq;
+            let head: Vec<ItemId> = seq.iter().take(k).copied().collect();
+            let mut sorted = head.clone();
+            sorted.sort_unstable_by_key(|it| it.index());
+            sorted.dedup();
+            if seq.len() >= k && sorted.len() != k {
+                self.violations.push(format!(
+                    "push cycle is unfair: first {k} broadcasts were not distinct: {head:?}"
+                ));
+            }
+            if let Some(i) = (0..seq.len().saturating_sub(k)).find(|&i| seq[i + k] != seq[i]) {
+                self.violations.push(format!(
+                    "push cycle is aperiodic at slot {}: item {:?} vs {:?} one \
+                     cycle earlier (K = {k})",
+                    i + k,
+                    seq[i + k],
+                    seq[i]
+                ));
+            }
+            if let Some(stray) = seq.iter().find(|it| it.index() >= k) {
+                self.violations
+                    .push(format!("pushed an item outside the push set: {stray:?}"));
+            }
+        }
+        // 6. Merge the driver's queue shadow-recount findings.
+        self.violations
+            .extend(out.queue_audit.iter().map(|m| format!("queue audit: {m}")));
+        self.violations
+    }
+}
+
+impl Sink for OracleSink {
+    fn record(&mut self, event: &TelemetryEvent) {
+        // 1. Monotone clock.
+        let t = event.time().as_f64();
+        if t < self.last_time {
+            self.violation(format!("clock ran backwards: {t} after {}", self.last_time));
+        }
+        self.last_time = self.last_time.max(t);
+        match *event {
+            TelemetryEvent::RequestArrival { class, .. } => {
+                self.arrivals[class.index()] += 1;
+            }
+            TelemetryEvent::RequestServed {
+                time,
+                arrival,
+                class,
+                ..
+            } => {
+                self.served[class.index()] += 1;
+                // 2. Non-negative delay.
+                if arrival > time {
+                    self.violation(format!(
+                        "negative delay: served at {} but arrived at {}",
+                        time.as_f64(),
+                        arrival.as_f64()
+                    ));
+                }
+            }
+            TelemetryEvent::RequestBlocked { class, .. } => {
+                self.blocked[class.index()] += 1;
+            }
+            TelemetryEvent::UplinkLoss { class, .. } => {
+                self.lost[class.index()] += 1;
+            }
+            TelemetryEvent::PushTx { item, .. } => {
+                self.push_seq.push(item);
+            }
+            TelemetryEvent::CutoffChange { .. } => {
+                self.cutoff_changes += 1;
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Outcome of checking one fuzz case against every oracle.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CaseOutcome {
+    /// The case's generator seed.
+    pub seed: u64,
+    /// Panic payload if the run panicked (a graceful-degradation failure).
+    pub panicked: Option<String>,
+    /// Every invariant violation, in detection order.
+    pub violations: Vec<String>,
+}
+
+impl CaseOutcome {
+    /// `true` when the run completed and every oracle held.
+    pub fn passed(&self) -> bool {
+        self.panicked.is_none() && self.violations.is_empty()
+    }
+
+    /// The stable JSON form used for corpus replay comparison.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("CaseOutcome serializes")
+    }
+}
+
+/// Runs one fuzz case under full oracle supervision. Panics inside the
+/// simulator are caught and reported as failures — under fault injection
+/// the scheduler must degrade gracefully, never crash.
+pub fn run_case(case: &FuzzCase) -> CaseOutcome {
+    run_case_with_policy(case, || None)
+}
+
+/// [`run_case`] with a pull-policy override factory — the seam the
+/// mutation smoke test uses to plant sign-flipped scoring mutants.
+pub fn run_case_with_policy(
+    case: &FuzzCase,
+    policy: impl Fn() -> Option<Box<dyn PullPolicy>>,
+) -> CaseOutcome {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let scenario = case.scenario.build();
+        let mut oracle = OracleSink::new(scenario.classes.len());
+        let out = simulate_harness(
+            &scenario,
+            &case.hybrid,
+            &case.params(),
+            case.adaptive.as_ref(),
+            &case.faults,
+            policy(),
+            &mut oracle,
+        );
+        oracle.finalize(case, &out)
+    }));
+    match result {
+        Ok(violations) => CaseOutcome {
+            seed: case.seed,
+            panicked: None,
+            violations,
+        },
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            CaseOutcome {
+                seed: case.seed,
+                panicked: Some(msg),
+                violations: Vec::new(),
+            }
+        }
+    }
+}
+
+/// The statistical dominance oracle: under the importance policy with a
+/// priority-leaning blend, Class-A (highest priority) must not see a worse
+/// mean pull delay than the lowest class, beyond CI noise. Checked over
+/// `replications` independent runs; returns `Err` with the evidence when
+/// dominance is violated.
+///
+/// `policy` optionally overrides the pull policy per replication (the
+/// mutation smoke test passes a sign-flipped scorer here and expects the
+/// check to fail).
+pub fn check_dominance(
+    scenario_cfg: &ScenarioConfig,
+    hybrid: &HybridConfig,
+    params: &SimParams,
+    replications: u64,
+    policy: impl Fn() -> Option<Box<dyn PullPolicy>>,
+) -> Result<(), String> {
+    assert!(
+        replications >= 2,
+        "dominance needs at least two replications"
+    );
+    assert!(
+        scenario_cfg.classes.len() >= 2,
+        "dominance needs at least two classes"
+    );
+    let scenario = scenario_cfg.build();
+    let lowest = scenario.classes.len() - 1;
+    let mut diffs = Vec::with_capacity(replications as usize);
+    for r in 0..replications {
+        let out = simulate_harness(
+            &scenario,
+            hybrid,
+            &params.with_replication(r),
+            None,
+            &[],
+            policy(),
+            &mut NullSink,
+        );
+        let a = out.report.per_class[0].pull_delay.mean;
+        let c = out.report.per_class[lowest].pull_delay.mean;
+        diffs.push(c - a); // positive = dominance respected
+    }
+    let n = diffs.len() as f64;
+    let mean = diffs.iter().sum::<f64>() / n;
+    let var = diffs.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    let half_width = 2.0 * (var / n).sqrt(); // ~95% CI half-width
+    if mean + half_width < 0.0 {
+        return Err(format!(
+            "priority dominance violated: Class-A mean pull delay exceeds the \
+             lowest class by {:.2} ± {half_width:.2} over {replications} \
+             replications",
+            -mean
+        ));
+    }
+    Ok(())
+}

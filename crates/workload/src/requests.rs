@@ -107,6 +107,122 @@ impl RequestSource for ReplaySource {
     }
 }
 
+/// One arrival-rate perturbation window for [`SurgeSource`]: while the
+/// *output* clock lies in `[start, end)`, inter-arrival gaps of the inner
+/// stream are divided by `factor`. `factor > 1` compresses gaps (an
+/// arrival surge, e.g. a flash crowd); `factor < 1` stretches them (mass
+/// client churn — a fraction of the population walked away).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SurgeWindow {
+    /// Window start (output-clock broadcast units).
+    pub start: f64,
+    /// Window end, exclusive.
+    pub end: f64,
+    /// Rate multiplier inside the window, positive and finite.
+    pub factor: f64,
+}
+
+/// A [`RequestSource`] adaptor that applies piecewise rate perturbations
+/// to an inner source — the fault-injection harness's "arrival surge" and
+/// "mass churn" lever. Item and class choices are untouched (the same
+/// requests arrive, just denser or sparser in time), the output stream
+/// stays sorted, and everything is deterministic given the inner source.
+///
+/// Time change: each inner gap `Δ` becomes `Δ / factor(t_out)`, with the
+/// factor sampled at the gap's starting output instant — exact for gaps
+/// inside one window and a one-gap approximation at window edges.
+pub struct SurgeSource {
+    inner: Box<dyn RequestSource>,
+    windows: Vec<SurgeWindow>,
+    /// Output clock of the previous emitted request.
+    out_prev: f64,
+    /// Inner-clock arrival of the previous consumed request.
+    in_prev: f64,
+    /// The next request, already mapped to the output clock.
+    staged: Option<Request>,
+}
+
+impl std::fmt::Debug for SurgeSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SurgeSource")
+            .field("windows", &self.windows)
+            .field("out_prev", &self.out_prev)
+            .field("staged", &self.staged)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SurgeSource {
+    /// Wraps `inner` with the given perturbation windows.
+    ///
+    /// # Panics
+    /// Panics if a window is empty/inverted or its factor is not a
+    /// positive finite number.
+    pub fn new(inner: Box<dyn RequestSource>, windows: Vec<SurgeWindow>) -> Self {
+        for w in &windows {
+            assert!(
+                w.start.is_finite() && w.end.is_finite() && w.start < w.end,
+                "surge window must satisfy start < end, got [{}, {})",
+                w.start,
+                w.end
+            );
+            assert!(
+                w.factor > 0.0 && w.factor.is_finite(),
+                "surge factor must be positive and finite, got {}",
+                w.factor
+            );
+        }
+        let mut src = SurgeSource {
+            inner,
+            windows,
+            out_prev: 0.0,
+            in_prev: 0.0,
+            staged: None,
+        };
+        src.advance();
+        src
+    }
+
+    fn factor_at(&self, t: f64) -> f64 {
+        self.windows
+            .iter()
+            .find(|w| t >= w.start && t < w.end)
+            .map(|w| w.factor)
+            .unwrap_or(1.0)
+    }
+
+    /// Pulls the next inner request and maps it onto the output clock.
+    fn advance(&mut self) {
+        self.staged = match self.inner.peek() {
+            None => None,
+            Some(_) => {
+                let req = self.inner.next_request();
+                let gap = req.arrival.as_f64() - self.in_prev;
+                debug_assert!(gap >= 0.0, "inner source went backwards");
+                let out = self.out_prev + gap / self.factor_at(self.out_prev);
+                self.in_prev = req.arrival.as_f64();
+                self.out_prev = out;
+                Some(Request {
+                    arrival: SimTime::new(out),
+                    ..req
+                })
+            }
+        };
+    }
+}
+
+impl RequestSource for SurgeSource {
+    fn peek(&self) -> Option<SimTime> {
+        self.staged.map(|r| r.arrival)
+    }
+
+    fn next_request(&mut self) -> Request {
+        let out = self.staged.expect("next_request called on drained source");
+        self.advance();
+        out
+    }
+}
+
 impl RequestSource for RequestGenerator {
     fn peek(&self) -> Option<SimTime> {
         Some(self.peek_time())
@@ -525,6 +641,90 @@ mod tests {
             class: ClassId(0),
         };
         let _ = ReplaySource::new(vec![r(2.0), r(1.0)]);
+    }
+
+    #[test]
+    fn surge_source_compresses_only_the_window() {
+        let mut base = setup(5.0, 31);
+        // the ×4 window consumes 4000 inner units, so record well past that
+        let trace = base.take_until(SimTime::new(7_000.0));
+        let surged = SurgeSource::new(
+            Box::new(ReplaySource::new(trace.clone())),
+            vec![SurgeWindow {
+                start: 1_000.0,
+                end: 2_000.0,
+                factor: 4.0,
+            }],
+        );
+        let mut out = Vec::new();
+        let mut s = surged;
+        while let Some(t) = RequestSource::peek(&s) {
+            let r = s.next_request();
+            assert_eq!(r.arrival, t);
+            out.push(r);
+        }
+        // sorted output, same request count, items/classes untouched
+        assert_eq!(out.len(), trace.len());
+        assert!(out.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        for (a, b) in out.iter().zip(&trace) {
+            assert_eq!((a.item, a.class), (b.item, b.class));
+        }
+        // the in-window rate roughly quadruples
+        let count_in = |v: &[Request], lo: f64, hi: f64| {
+            v.iter()
+                .filter(|r| r.arrival.as_f64() >= lo && r.arrival.as_f64() < hi)
+                .count() as f64
+        };
+        let pre = count_in(&out, 0.0, 1_000.0) / 1_000.0;
+        let during = count_in(&out, 1_000.0, 2_000.0) / 1_000.0;
+        assert!((pre - 5.0).abs() < 0.7, "pre-window rate {pre}");
+        assert!(during > 3.0 * pre, "surge rate {during} vs base {pre}");
+    }
+
+    #[test]
+    fn surge_factor_below_one_thins_arrivals() {
+        let mut base = setup(8.0, 33);
+        let trace = base.take_until(SimTime::new(2_000.0));
+        let mut s = SurgeSource::new(
+            Box::new(ReplaySource::new(trace)),
+            vec![SurgeWindow {
+                start: 0.0,
+                end: 500.0,
+                factor: 0.25,
+            }],
+        );
+        let mut in_window = 0u64;
+        while RequestSource::peek(&s).is_some() {
+            let r = s.next_request();
+            if r.arrival.as_f64() < 500.0 {
+                in_window += 1;
+            }
+        }
+        let rate = in_window as f64 / 500.0;
+        assert!((rate - 2.0).abs() < 0.5, "thinned rate {rate} (want ≈ 2)");
+    }
+
+    #[test]
+    fn surge_source_is_deterministic_and_identity_without_windows() {
+        let mut base = setup(5.0, 35);
+        let trace = base.take_until(SimTime::new(500.0));
+        let mut id = SurgeSource::new(Box::new(ReplaySource::new(trace.clone())), vec![]);
+        for want in &trace {
+            assert_eq!(id.next_request(), *want);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "surge factor")]
+    fn surge_rejects_non_positive_factor() {
+        let _ = SurgeSource::new(
+            Box::new(ReplaySource::new(vec![])),
+            vec![SurgeWindow {
+                start: 0.0,
+                end: 1.0,
+                factor: 0.0,
+            }],
+        );
     }
 
     #[test]
