@@ -32,6 +32,17 @@ USAGE:
                                           results/fuzz-failure.json
     hybridcast fuzz --replay <dir|file>   replay corpus case(s) under the
                                           same oracles
+    hybridcast serve [--config <serve.json>] [--addr <host:port>]
+                     [--results <path|->] [--init-config]
+                                          run the wall-clock TCP daemon until
+                                          SIGTERM/SIGINT, then drain and print
+                                          the run summary as JSON
+    hybridcast loadgen [--addr <host:port>] [--rps N] [--conns N] [--secs N]
+                       [--seed S] [--items N] [--theta X]
+                       [--deadline-ms N] [--grace-ms N]
+                                          open-loop Poisson/Zipf traffic against
+                                          a running daemon; prints per-class
+                                          RTT quantiles as JSON
 
 OPTIONS:
     --replications <N>    run N independent replications in parallel and
@@ -179,10 +190,122 @@ fn run_fuzz_cmd(mut args: Vec<String>) -> Result<(), String> {
     }
 }
 
+/// The `serve` subcommand: the wall-clock daemon, in-process.
+fn run_serve_cmd(mut args: Vec<String>) -> Result<(), String> {
+    use hybridcast_server::{serve, signal, ServeConfig};
+
+    if args.iter().any(|a| a == "--init-config") {
+        println!("{}", ServeConfig::default().to_json());
+        return Ok(());
+    }
+    let config_path = take_value::<String>(&mut args, "--config")?;
+    let addr = take_value::<String>(&mut args, "--addr")?;
+    let results = take_value::<String>(&mut args, "--results")?;
+    if !args.is_empty() {
+        return Err(format!("unexpected arguments: {args:?}"));
+    }
+    let mut config = match &config_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            ServeConfig::from_json(&text).map_err(|e| format!("{path}: {e}"))?
+        }
+        None => ServeConfig::default(),
+    };
+    if let Some(addr) = addr {
+        config.serve.addr = addr;
+    }
+    match results.as_deref() {
+        Some("-") => config.serve.results_path = None,
+        Some(path) => config.serve.results_path = Some(path.to_string()),
+        None => {}
+    }
+
+    // Bridge POSIX signals onto the serve loop's shutdown flag.
+    signal::install();
+    let shutdown = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    {
+        let shutdown = std::sync::Arc::clone(&shutdown);
+        std::thread::spawn(move || loop {
+            if signal::requested() {
+                shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        });
+    }
+    eprintln!(
+        "hybridcast serve: listening on {} (1 broadcast unit = {} ms)",
+        config.serve.addr, config.serve.unit_millis
+    );
+    let summary = serve(config, shutdown).map_err(|e| format!("serve: {e}"))?;
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&summary).expect("summary serializes")
+    );
+    if summary.conservation_ok {
+        Ok(())
+    } else {
+        Err("conservation violated: some accepted frames went unanswered".to_string())
+    }
+}
+
+/// The `loadgen` subcommand: open-loop traffic against a running daemon.
+fn run_loadgen_cmd(mut args: Vec<String>) -> Result<(), String> {
+    use hybridcast_server::{run_loadgen, LoadgenConfig};
+
+    let mut cfg = LoadgenConfig::default();
+    if let Some(v) = take_value(&mut args, "--addr")? {
+        cfg.addr = v;
+    }
+    if let Some(v) = take_value(&mut args, "--rps")? {
+        cfg.rps = v;
+    }
+    if let Some(v) = take_value(&mut args, "--conns")? {
+        cfg.connections = v;
+    }
+    if let Some(v) = take_value(&mut args, "--secs")? {
+        cfg.duration_secs = v;
+    }
+    if let Some(v) = take_value(&mut args, "--seed")? {
+        cfg.seed = v;
+    }
+    if let Some(v) = take_value(&mut args, "--items")? {
+        cfg.num_items = v;
+    }
+    if let Some(v) = take_value(&mut args, "--theta")? {
+        cfg.zipf_theta = v;
+    }
+    if let Some(v) = take_value(&mut args, "--deadline-ms")? {
+        cfg.deadline_ms = v;
+    }
+    if let Some(v) = take_value(&mut args, "--grace-ms")? {
+        cfg.grace_ms = v;
+    }
+    if !args.is_empty() {
+        return Err(format!("unexpected arguments: {args:?}"));
+    }
+    let report = run_loadgen(&cfg).map_err(|e| format!("loadgen: {e}"))?;
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report).expect("report serializes")
+    );
+    if report.unanswered == 0 {
+        Ok(())
+    } else {
+        Err(format!("{} requests went unanswered", report.unanswered))
+    }
+}
+
 fn run() -> Result<(), String> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("fuzz") {
         return run_fuzz_cmd(args.split_off(1));
+    }
+    if args.first().map(String::as_str) == Some("serve") {
+        return run_serve_cmd(args.split_off(1));
+    }
+    if args.first().map(String::as_str) == Some("loadgen") {
+        return run_loadgen_cmd(args.split_off(1));
     }
     let replications = take_replications(&mut args)?;
     let telemetry = take_telemetry(&mut args)?;

@@ -1,0 +1,152 @@
+//! The clock seam: one time axis, two drivers.
+//!
+//! Every scheduler-core API ([`crate::hybrid::HybridScheduler`],
+//! [`crate::queue::PullQueue`], [`crate::bandwidth::BandwidthManager`])
+//! is *time-passive*: callers pass `now: SimTime` in, nothing inside reads
+//! a clock. That is the seam that lets the identical scheduling code run
+//! under two drivers:
+//!
+//! * the **simulator** ([`crate::sim_driver`]) advances `SimTime` from the
+//!   event engine's heap — virtual time, decoupled from the host clock;
+//! * the **serving daemon** (`hybridcast-server`) advances `SimTime` from
+//!   a [`WallClock`], which maps real elapsed time onto the broadcast-unit
+//!   axis at a configured `unit_millis` exchange rate.
+//!
+//! [`Clock`] names the seam so wall-clock components can be written
+//! against either source; [`ManualClock`] is the deterministic test stand.
+
+use std::cell::Cell;
+use std::time::{Duration, Instant};
+
+use hybridcast_sim::time::SimTime;
+
+/// A monotone source of the current instant on the broadcast-unit axis.
+pub trait Clock {
+    /// The current time, in broadcast units.
+    fn now(&self) -> SimTime;
+}
+
+/// Maps the host's monotonic clock onto the broadcast-unit axis.
+///
+/// One broadcast unit lasts `unit_millis` wall milliseconds, so a catalog
+/// item of length `L` occupies the downlink for `L × unit_millis` ms of
+/// real time. Smaller units mean a faster (higher-capacity) modeled
+/// downlink.
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    epoch: Instant,
+    unit_millis: f64,
+}
+
+impl WallClock {
+    /// Starts the clock now: wall instant `epoch` is broadcast time 0.
+    ///
+    /// # Panics
+    /// Panics unless `unit_millis` is positive and finite.
+    pub fn start(unit_millis: f64) -> Self {
+        assert!(
+            unit_millis > 0.0 && unit_millis.is_finite(),
+            "broadcast unit must last a positive finite number of milliseconds, got {unit_millis}"
+        );
+        WallClock {
+            epoch: Instant::now(),
+            unit_millis,
+        }
+    }
+
+    /// Wall milliseconds per broadcast unit.
+    pub fn unit_millis(&self) -> f64 {
+        self.unit_millis
+    }
+
+    /// Converts a span of broadcast units to wall time.
+    pub fn to_wall(&self, units: f64) -> Duration {
+        Duration::from_secs_f64((units * self.unit_millis / 1e3).max(0.0))
+    }
+
+    /// How long to wait (wall time) until broadcast instant `t`;
+    /// `Duration::ZERO` when `t` is already in the past.
+    pub fn wall_until(&self, t: SimTime) -> Duration {
+        let remaining = t.as_f64() - self.now().as_f64();
+        self.to_wall(remaining)
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> SimTime {
+        let elapsed_ms = self.epoch.elapsed().as_secs_f64() * 1e3;
+        SimTime::new(elapsed_ms / self.unit_millis)
+    }
+}
+
+/// A hand-cranked clock for deterministic tests of wall-clock components.
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock {
+    t: Cell<f64>,
+}
+
+impl ManualClock {
+    /// A clock stopped at time 0.
+    pub fn new() -> Self {
+        ManualClock { t: Cell::new(0.0) }
+    }
+
+    /// Moves the clock to `t` (must not go backwards).
+    pub fn set(&self, t: f64) {
+        assert!(t >= self.t.get(), "clock must be monotone");
+        self.t.set(t);
+    }
+
+    /// Advances the clock by `dt` broadcast units.
+    pub fn advance(&self, dt: f64) {
+        self.set(self.t.get() + dt);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> SimTime {
+        SimTime::new(self.t.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_advances_on_the_unit_axis() {
+        let clock = WallClock::start(0.5); // 1 bu = 0.5 ms
+        let t0 = clock.now();
+        std::thread::sleep(Duration::from_millis(5));
+        let t1 = clock.now();
+        // ≥ 5 ms elapsed = ≥ 10 broadcast units; allow generous slack up.
+        assert!(t1 > t0);
+        assert!(t1.as_f64() - t0.as_f64() >= 9.0, "elapsed {t1:?} - {t0:?}");
+    }
+
+    #[test]
+    fn wall_until_is_zero_for_the_past() {
+        let clock = WallClock::start(1.0);
+        assert_eq!(clock.wall_until(SimTime::ZERO), Duration::ZERO);
+        let ahead = SimTime::new(clock.now().as_f64() + 1000.0);
+        assert!(clock.wall_until(ahead) > Duration::from_millis(500));
+    }
+
+    #[test]
+    fn manual_clock_is_deterministic() {
+        let clock = ManualClock::new();
+        assert_eq!(clock.now(), SimTime::ZERO);
+        clock.advance(2.5);
+        assert_eq!(clock.now(), SimTime::new(2.5));
+        clock.set(4.0);
+        assert_eq!(clock.now(), SimTime::new(4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn manual_clock_rejects_backward_moves() {
+        let clock = ManualClock::new();
+        clock.set(3.0);
+        clock.set(2.0);
+    }
+}

@@ -16,6 +16,8 @@
 //!   and blocking;
 //! * [`hybrid`] — the Fig. 1 dispatch loop tying it all together;
 //! * [`sim_driver`] — the event-driven end-to-end simulation;
+//! * [`clock`] — the sim-time/wall-time seam the serving daemon drives the
+//!   same scheduler core through;
 //! * [`metrics`] — per-class delay/blocking/prioritized-cost reports;
 //! * [`cutoff`] — the optimal-cutoff (`K*`) grid search, parallelized
 //!   over the candidate grid;
@@ -47,6 +49,7 @@
 
 pub mod bandwidth;
 pub mod churn;
+pub mod clock;
 pub mod config;
 pub mod cutoff;
 pub mod experiment;
@@ -64,6 +67,7 @@ pub mod prelude {
     pub use crate::churn::{
         simulate_with_churn, simulate_with_churn_sink, ChurnConfig, ChurnReport,
     };
+    pub use crate::clock::{Clock, ManualClock, WallClock};
     pub use crate::config::{ChannelLayout, HybridConfig};
     pub use crate::cutoff::{CutoffOptimizer, CutoffPoint, CutoffSweep, Objective};
     pub use crate::experiment::{

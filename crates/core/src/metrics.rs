@@ -72,6 +72,8 @@ pub struct MetricsCollector {
     pull_transmissions: u64,
     blocked_items: u64,
     uplink_lost: Vec<u64>,
+    uplink_delivered: Vec<u64>,
+    uplink_latency: Vec<Welford>,
 }
 
 impl MetricsCollector {
@@ -87,6 +89,8 @@ impl MetricsCollector {
             pull_transmissions: 0,
             blocked_items: 0,
             uplink_lost: vec![0; num_classes],
+            uplink_delivered: vec![0; num_classes],
+            uplink_latency: vec![Welford::new(); num_classes],
         }
     }
 
@@ -166,6 +170,14 @@ impl MetricsCollector {
         self.uplink_lost[class.index()] += 1;
     }
 
+    /// A pull request of `class` cleared the contended uplink after
+    /// `latency` broadcast units. Like losses, deliveries are channel
+    /// statistics counted over the whole run (no warmup gating).
+    pub fn record_uplink_delivered(&mut self, class: ClassId, latency: f64) {
+        self.uplink_delivered[class.index()] += 1;
+        self.uplink_latency[class.index()].push(latency);
+    }
+
     /// The pull queue now holds `items` distinct items / `requests` pending
     /// requests.
     pub fn queue_changed(&mut self, now: SimTime, items: usize, requests: usize) {
@@ -214,6 +226,8 @@ impl MetricsCollector {
                     pull_delay: acc.pull_delay.summary(),
                     prioritized_cost: c.priority * mean_delay,
                     uplink_lost: self.uplink_lost[id.index()],
+                    uplink_delivered: self.uplink_delivered[id.index()],
+                    uplink_latency: self.uplink_latency[id.index()].summary(),
                 }
             })
             .collect();
@@ -234,6 +248,7 @@ impl MetricsCollector {
             pull_transmissions: self.pull_transmissions,
             blocked_items: self.blocked_items,
             uplink_lost: self.uplink_lost.clone(),
+            uplink_delivered: self.uplink_delivered.clone(),
             end_time: end.as_f64(),
         }
     }
@@ -272,6 +287,14 @@ pub struct ClassReport {
     /// run (0 when the back-channel model is disabled).
     #[serde(default)]
     pub uplink_lost: u64,
+    /// Requests of this class that cleared the contended uplink over the
+    /// whole run (0 when the back-channel model is disabled).
+    #[serde(default)]
+    pub uplink_delivered: u64,
+    /// Uplink latency statistics for this class's delivered requests
+    /// (empty when the back-channel model is disabled).
+    #[serde(default)]
+    pub uplink_latency: SummaryStats,
 }
 
 /// Final system-wide figures for one simulation run.
@@ -300,6 +323,10 @@ pub struct SimReport {
     /// when the back-channel model is disabled).
     #[serde(default)]
     pub uplink_lost: Vec<u64>,
+    /// Pull requests that cleared the contended uplink, per class (empty
+    /// when the back-channel model is disabled or for older reports).
+    #[serde(default)]
+    pub uplink_delivered: Vec<u64>,
     /// Simulated end time (broadcast units).
     pub end_time: f64,
 }
@@ -446,6 +473,25 @@ mod tests {
         let r = m.report(&classes, t(6.0));
         assert_eq!(r.overall_delay.count, 2);
         assert!((r.overall_delay.mean - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uplink_deliveries_and_latency_surface_per_class() {
+        let classes = ClassSet::paper_default();
+        let mut m = MetricsCollector::new(3, t(100.0));
+        // Channel statistics ignore warmup: these land before t = 100.
+        m.record_uplink_delivered(ClassId(0), 0.1);
+        m.record_uplink_delivered(ClassId(0), 0.3);
+        m.record_uplink_delivered(ClassId(2), 0.5);
+        m.record_uplink_lost(ClassId(1));
+        let r = m.report(&classes, t(200.0));
+        assert_eq!(r.class(ClassId(0)).uplink_delivered, 2);
+        assert_eq!(r.class(ClassId(1)).uplink_delivered, 0);
+        assert_eq!(r.class(ClassId(2)).uplink_delivered, 1);
+        assert!((r.class(ClassId(0)).uplink_latency.mean - 0.2).abs() < 1e-12);
+        assert_eq!(r.class(ClassId(0)).uplink_latency.count, 2);
+        assert_eq!(r.uplink_delivered, vec![2, 0, 1]);
+        assert_eq!(r.class(ClassId(1)).uplink_lost, 1);
     }
 
     #[test]

@@ -517,6 +517,14 @@ impl<S: Sink> Driver<'_, S> {
                     match &mut self.uplink {
                         Some(channel) => match channel.transmit(req.class) {
                             UplinkOutcome::Delivered(latency) => {
+                                self.metrics
+                                    .record_uplink_delivered(req.class, latency.as_f64());
+                                emit(self.sink, || TelemetryEvent::UplinkDelivered {
+                                    time: now,
+                                    item: req.item,
+                                    class: req.class,
+                                    latency,
+                                });
                                 eng.schedule_in(latency, Event::Deliver(req));
                             }
                             UplinkOutcome::Lost => {

@@ -5,11 +5,21 @@
 //! '97). The rest of the stack treats that channel as instantaneous and
 //! lossless; [`UplinkChannel`] models it as a contention channel: each
 //! request transmission succeeds with probability `success_prob` per
-//! attempt, retries up to `max_attempts` times with a fixed backoff, and
-//! is **lost** if every attempt collides. Delivered requests reach the
-//! server `attempts·slot + backoff·(attempts−1)` later; their access-time
-//! clock still starts at the original request instant, so uplink latency
-//! shows up in the measured QoS.
+//! attempt, retries up to `max_attempts` times after an exponentially
+//! distributed random backoff (mean `backoff_slots` slots per gap, as in
+//! ALOHA-style randomized retransmission), and is **lost** if every
+//! attempt collides. A request delivered on attempt `k` reaches the
+//! server `slot·(k + Σ gaps)` later, where the `k−1` gaps are i.i.d.
+//! `Exp(mean = backoff_slots)` draws from the channel's own RNG stream;
+//! the mean delivered latency is therefore
+//! `slot·E[attempts] + slot·backoff·E[attempts−1 | delivered]`. The
+//! requester's access-time clock still starts at the original request
+//! instant, so uplink latency shows up in the measured QoS.
+//!
+//! Delivery counts and latency statistics are kept both globally and per
+//! service class, mirroring the per-class loss attribution, so
+//! `ClassReport` and the telemetry windows can break uplink QoS down by
+//! class.
 
 use serde::{Deserialize, Serialize};
 
@@ -59,8 +69,10 @@ pub struct UplinkChannel {
     rng: Xoshiro256,
     delivered: u64,
     lost: u64,
+    delivered_per_class: Vec<u64>,
     lost_per_class: Vec<u64>,
     latency: Welford,
+    latency_per_class: Vec<Welford>,
 }
 
 impl UplinkChannel {
@@ -89,20 +101,34 @@ impl UplinkChannel {
             rng,
             delivered: 0,
             lost: 0,
+            delivered_per_class: vec![0; num_classes],
             lost_per_class: vec![0; num_classes],
             latency: Welford::new(),
+            latency_per_class: vec![Welford::new(); num_classes],
         }
     }
 
     /// Attempts to deliver one request from a client of `class`.
+    ///
+    /// Each retry gap is an independent `Exp(mean = backoff_slots)` draw —
+    /// `backoff_slots` is a *mean*, not a fixed spacing — so delivered
+    /// latencies are `slot·(k + Σ gaps)` for success on attempt `k`. With
+    /// `backoff_slots = 0` no backoff draws are consumed and the channel's
+    /// draw sequence is one `next_f64` per attempt, as before.
     pub fn transmit(&mut self, class: ClassId) -> UplinkOutcome {
+        let mut backoff = 0.0;
         for attempt in 1..=self.cfg.max_attempts {
             if self.rng.next_f64() < self.cfg.success_prob {
-                let latency = self.cfg.slot_time
-                    * (attempt as f64 + self.cfg.backoff_slots * (attempt - 1) as f64);
+                let latency = self.cfg.slot_time * (attempt as f64 + backoff);
                 self.delivered += 1;
+                self.delivered_per_class[class.index()] += 1;
                 self.latency.push(latency);
+                self.latency_per_class[class.index()].push(latency);
                 return UplinkOutcome::Delivered(SimDuration::new(latency));
+            }
+            if attempt < self.cfg.max_attempts && self.cfg.backoff_slots > 0.0 {
+                // Inverse-CDF exponential: u in [0,1) makes 1−u in (0,1].
+                backoff -= self.cfg.backoff_slots * (1.0 - self.rng.next_f64()).ln();
             }
         }
         self.lost += 1;
@@ -134,6 +160,16 @@ impl UplinkChannel {
         self.delivered
     }
 
+    /// Requests of `class` delivered so far.
+    pub fn delivered_for(&self, class: ClassId) -> u64 {
+        self.delivered_per_class[class.index()]
+    }
+
+    /// Per-class delivery counts, indexed by class.
+    pub fn delivered_per_class(&self) -> &[u64] {
+        &self.delivered_per_class
+    }
+
     /// Requests lost on the uplink so far.
     pub fn lost(&self) -> u64 {
         self.lost
@@ -158,6 +194,16 @@ impl UplinkChannel {
     /// Mean uplink latency of delivered requests.
     pub fn mean_latency(&self) -> f64 {
         self.latency.mean()
+    }
+
+    /// Latency accumulator for delivered requests of `class`.
+    pub fn latency_for(&self, class: ClassId) -> &Welford {
+        &self.latency_per_class[class.index()]
+    }
+
+    /// Mean uplink latency of delivered requests of `class`.
+    pub fn mean_latency_for(&self, class: ClassId) -> f64 {
+        self.latency_per_class[class.index()].mean()
     }
 
     /// Theoretical loss probability `(1 − p)^max_attempts`.
@@ -209,8 +255,9 @@ mod tests {
 
     #[test]
     fn latency_grows_with_retries() {
-        // attempt k latency = slot·(k + backoff·(k−1)); mean over the
-        // truncated geometric distribution.
+        // attempt-k latency = slot·(k + Σ Exp(mean=backoff) gaps); each gap
+        // has mean `backoff`, so the mean over the truncated geometric
+        // attempt distribution is slot·E[k] + slot·backoff·E[k−1].
         let mut ch = channel(0.5, 5);
         for _ in 0..100_000 {
             let _ = ch.transmit(ClassId(0));
@@ -225,6 +272,120 @@ mod tests {
             .sum();
         let got = ch.mean_latency();
         assert!((got - want).abs() / want < 0.03, "latency {got} vs {want}");
+    }
+
+    #[test]
+    fn mean_latency_matches_the_closed_form() {
+        // ISSUE 5 closed form: E[latency | delivered]
+        //   = slot·E[attempts | delivered] + slot·backoff·E[attempts−1 | delivered].
+        let p = 0.6;
+        let attempts = 4;
+        let cfg = UplinkConfig {
+            slot_time: 0.25,
+            success_prob: p,
+            max_attempts: attempts,
+            backoff_slots: 1.5,
+        };
+        let mut ch = UplinkChannel::new(cfg, RngFactory::new(9).stream(77), 1);
+        for _ in 0..200_000 {
+            let _ = ch.transmit(ClassId(0));
+        }
+        let norm = 1.0 - (1.0 - p).powi(attempts as i32);
+        let e_attempts: f64 = (1..=attempts)
+            .map(|k| k as f64 * p * (1.0 - p).powi(k as i32 - 1) / norm)
+            .sum();
+        let want =
+            cfg.slot_time * e_attempts + cfg.slot_time * cfg.backoff_slots * (e_attempts - 1.0);
+        let got = ch.mean_latency();
+        assert!((got - want).abs() / want < 0.02, "latency {got} vs {want}");
+    }
+
+    #[test]
+    fn backoff_is_random_with_the_documented_mean_not_deterministic() {
+        // Pre-fix, a deterministic backoff put every delivered latency on
+        // the lattice {slot·(k + backoff·(k−1))}: at most `max_attempts`
+        // distinct values and zero variance within an attempt count. With
+        // the documented *mean* backoff, retried deliveries spread over a
+        // continuum.
+        let mut ch = channel(0.5, 5);
+        let mut latencies = Vec::new();
+        for _ in 0..10_000 {
+            if let UplinkOutcome::Delivered(d) = ch.transmit(ClassId(0)) {
+                latencies.push(d.as_f64());
+            }
+        }
+        let mut distinct = latencies.clone();
+        distinct.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        distinct.dedup();
+        assert!(
+            distinct.len() > 100,
+            "retried latencies must be continuously distributed; saw only {} distinct values",
+            distinct.len()
+        );
+        // Retried deliveries (latency > one slot) carry Exp-distributed
+        // excess: their variance is strictly positive, unlike the
+        // deterministic lattice where k = 2 deliveries were all identical.
+        let mut retried = Welford::new();
+        for &l in latencies.iter().filter(|&&l| l > 0.1 + 1e-12) {
+            retried.push(l);
+        }
+        assert!(retried.count() > 1_000);
+        assert!(
+            retried.variance() > 1e-4,
+            "retry latencies must vary, got variance {}",
+            retried.variance()
+        );
+    }
+
+    #[test]
+    fn deliveries_and_latency_are_attributed_per_class() {
+        let mut ch = channel(0.5, 3);
+        for i in 0..20_000u32 {
+            let _ = ch.transmit(ClassId((i % 2) as u8));
+        }
+        assert_eq!(
+            ch.delivered_for(ClassId(0)) + ch.delivered_for(ClassId(1)),
+            ch.delivered()
+        );
+        assert_eq!(ch.delivered_per_class().len(), 2);
+        assert!(ch.delivered_for(ClassId(0)) > 5_000);
+        assert_eq!(
+            ch.latency_for(ClassId(0)).count() + ch.latency_for(ClassId(1)).count(),
+            ch.delivered()
+        );
+        // Same channel, same parameters: the two class means agree loosely.
+        let (m0, m1) = (
+            ch.mean_latency_for(ClassId(0)),
+            ch.mean_latency_for(ClassId(1)),
+        );
+        assert!(
+            (m0 - m1).abs() / m0 < 0.1,
+            "class means diverged: {m0} vs {m1}"
+        );
+    }
+
+    #[test]
+    fn zero_backoff_consumes_one_draw_per_attempt() {
+        // backoff_slots = 0 must keep the historical draw sequence: a twin
+        // RNG consuming one next_f64 per attempt predicts every outcome.
+        let cfg = UplinkConfig {
+            slot_time: 0.1,
+            success_prob: 0.5,
+            max_attempts: 3,
+            backoff_slots: 0.0,
+        };
+        let mut ch = UplinkChannel::new(cfg, RngFactory::new(5).stream(11), 1);
+        let mut twin = RngFactory::new(5).stream(11);
+        for _ in 0..1_000 {
+            let mut want = UplinkOutcome::Lost;
+            for k in 1..=3u32 {
+                if twin.next_f64() < 0.5 {
+                    want = UplinkOutcome::Delivered(SimDuration::new(0.1 * k as f64));
+                    break;
+                }
+            }
+            assert_eq!(ch.transmit(ClassId(0)), want);
+        }
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! Serializable daemon configuration.
+//!
+//! A [`ServeConfig`] is the complete description of one serving deployment:
+//! the *workload* side (catalog, classes — reusing
+//! [`ScenarioConfig`]; its arrival process is ignored because real clients
+//! provide the arrivals), the *scheduler* side ([`HybridConfig`]), and the
+//! *serving* side ([`ServeParams`]: listen addresses, wall-clock exchange
+//! rate, backpressure bounds, deadlines, telemetry). `hybridcastd
+//! --init-config` prints the default as a starting point.
+
+use serde::{Deserialize, Serialize};
+
+use hybridcast_core::config::{ChannelLayout, HybridConfig};
+use hybridcast_workload::scenario::ScenarioConfig;
+
+/// Serving-side knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct ServeParams {
+    /// TCP listen address. `127.0.0.1:0` picks an ephemeral port (tests).
+    pub addr: String,
+    /// Optional Unix-socket path to listen on in addition to TCP.
+    pub unix_socket: Option<String>,
+    /// Wall milliseconds per broadcast unit: a length-`L` item occupies the
+    /// downlink for `L × unit_millis` ms of real time.
+    pub unit_millis: f64,
+    /// Bound of the reader→scheduler ingress queue. A frame arriving while
+    /// the queue is full is *shed*: the client gets an explicit `Shed`
+    /// reply instead of silent delay — backpressure, not buffering.
+    pub ingress_capacity: usize,
+    /// Default per-request deadline in wall ms, applied when a request
+    /// frame carries `deadline_ms = 0`. `0` here means "no deadline".
+    pub default_deadline_ms: u32,
+    /// On shutdown, keep draining queued pull work for at most this many
+    /// wall ms before shedding whatever is left.
+    pub drain_timeout_ms: u64,
+    /// Telemetry window width in broadcast units.
+    pub telemetry_window: f64,
+    /// Where the windowed QoS series streams to (JSONL); `None` disables.
+    pub results_path: Option<String>,
+}
+
+impl Default for ServeParams {
+    fn default() -> Self {
+        ServeParams {
+            addr: "127.0.0.1:4650".into(),
+            unix_socket: None,
+            unit_millis: 1.0,
+            ingress_capacity: 8192,
+            default_deadline_ms: 0,
+            drain_timeout_ms: 2_000,
+            telemetry_window: 500.0,
+            results_path: Some("results/serve.jsonl".into()),
+        }
+    }
+}
+
+/// Everything `hybridcastd` needs to run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[serde(default, deny_unknown_fields)]
+pub struct ServeConfig {
+    /// Catalog/classes description. The arrival-process fields
+    /// (`arrival_rate`, `drift`, `batch_mean`) are ignored: the network
+    /// front end *is* the arrival process.
+    pub scenario: ScenarioConfig,
+    /// Scheduler configuration (cutoff, push/pull policies, bandwidth,
+    /// optional uplink contention).
+    pub hybrid: HybridConfig,
+    /// Serving-side knobs.
+    pub serve: ServeParams,
+}
+
+impl ServeConfig {
+    /// Validates the configuration, returning every problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut problems = Vec::new();
+        if !(self.serve.unit_millis > 0.0 && self.serve.unit_millis.is_finite()) {
+            problems.push(format!(
+                "serve.unit_millis must be positive and finite, got {}",
+                self.serve.unit_millis
+            ));
+        }
+        if self.serve.ingress_capacity == 0 {
+            problems.push("serve.ingress_capacity must be at least 1".into());
+        }
+        if !(self.serve.telemetry_window > 0.0 && self.serve.telemetry_window.is_finite()) {
+            problems.push(format!(
+                "serve.telemetry_window must be positive and finite, got {}",
+                self.serve.telemetry_window
+            ));
+        }
+        if matches!(self.hybrid.channels, ChannelLayout::Split { .. }) {
+            problems.push(
+                "hybrid.channels: the daemon serves the paper's single interleaved \
+                 downlink; the split layout is simulation-only"
+                    .into(),
+            );
+        }
+        if self.hybrid.cutoff > self.scenario.num_items {
+            problems.push(format!(
+                "hybrid.cutoff {} exceeds the catalog size {}",
+                self.hybrid.cutoff, self.scenario.num_items
+            ));
+        }
+        if self.scenario.classes.len() > u8::MAX as usize {
+            problems.push("at most 255 service classes fit the wire format".into());
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(problems.join("; "))
+        }
+    }
+
+    /// Parses and validates a JSON config.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let cfg: ServeConfig =
+            serde_json::from_str(json).map_err(|e| format!("config parse error: {e}"))?;
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("config serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_round_trips_and_validates() {
+        let cfg = ServeConfig::default();
+        cfg.validate().unwrap();
+        let back = ServeConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn split_layout_is_rejected() {
+        let mut cfg = ServeConfig::default();
+        cfg.hybrid.channels = ChannelLayout::Split { pull_channels: 2 };
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("interleaved"), "{err}");
+    }
+
+    #[test]
+    fn bad_bounds_are_rejected() {
+        let mut cfg = ServeConfig::default();
+        cfg.serve.ingress_capacity = 0;
+        cfg.serve.unit_millis = 0.0;
+        cfg.hybrid.cutoff = cfg.scenario.num_items + 1;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("ingress_capacity"), "{err}");
+        assert!(err.contains("unit_millis"), "{err}");
+        assert!(err.contains("cutoff"), "{err}");
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected() {
+        let err = ServeConfig::from_json(r#"{"surprise": 1}"#).unwrap_err();
+        assert!(err.contains("parse error"), "{err}");
+    }
+}

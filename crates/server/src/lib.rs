@@ -1,0 +1,38 @@
+//! # hybridcast-server — the scheduler behind a real socket
+//!
+//! Everything below `crates/core` is *time-passive*: the scheduler takes
+//! `now` as an argument and never reads a clock. The simulator drives it
+//! from an event heap; this crate drives the identical code from a
+//! [`WallClock`](hybridcast_core::clock::WallClock) behind a TCP (and
+//! Unix-socket-shaped) front end:
+//!
+//! * [`frame`] — the tiny length-prefixed wire protocol;
+//! * [`config`] — the serializable [`ServeConfig`] (scenario + scheduler +
+//!   serving knobs);
+//! * [`server`] — `hybridcastd`'s accept/read/schedule thread topology,
+//!   bounded-ingress backpressure (explicit `Shed` replies, never silent
+//!   drops), per-request deadlines, graceful drain on SIGTERM, and live
+//!   windowed-QoS JSONL streaming;
+//! * [`loadgen`] — an open-loop Poisson/Zipf traffic generator with exact
+//!   per-class latency quantiles;
+//! * [`signal`] — SIGTERM/SIGINT → shutdown flag (the crate's only unsafe
+//!   island).
+//!
+//! The hard invariant, checked at exit and recorded in the summary:
+//! **`accepted = served + shed + timed_out + uplink_lost`** — every frame
+//! read off a socket is answered exactly once.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod config;
+pub mod frame;
+pub mod loadgen;
+pub mod server;
+#[allow(unsafe_code)]
+pub mod signal;
+
+pub use config::{ServeConfig, ServeParams};
+pub use frame::{ReplyFrame, ReplyStatus, RequestFrame};
+pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
+pub use server::{serve, ClassCounters, ServeSummary, ServerHandle};

@@ -1,0 +1,413 @@
+//! Open-loop load generator for `hybridcastd`.
+//!
+//! `M` connection threads each pace an independent Poisson process at
+//! `rps / M` requests per wall second — *open loop*: send instants are
+//! scheduled from the arrival process alone, never from reply latency, so
+//! a slow server faces mounting concurrency instead of a politely
+//! backing-off client (the only honest way to measure a daemon's
+//! backpressure). Items follow a Zipf law and classes a population-share
+//! law, both drawn from seeded [`RngFactory`] streams, so two loadgen runs
+//! with one seed offer the identical request sequence.
+//!
+//! Each connection's reader thread matches replies to send timestamps by
+//! the echoed `seq` and records per-class round-trip latencies; the report
+//! carries exact order-statistic quantiles (p50/p95/p99) per class plus
+//! the status breakdown.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{Shutdown, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+
+use hybridcast_sim::dist::{Discrete, Exponential, Zipf};
+use hybridcast_sim::rng::RngFactory;
+
+use crate::frame::{read_frame, ReplyFrame, ReplyStatus, RequestFrame, OP_REPLY};
+
+/// RNG stream lanes per connection (offset by the connection index).
+const GAP_STREAM: u64 = 0x10_000;
+const ITEM_STREAM: u64 = 0x20_000;
+const CLASS_STREAM: u64 = 0x30_000;
+
+/// Load-generation parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Daemon address, e.g. `127.0.0.1:4650`.
+    pub addr: String,
+    /// Aggregate target request rate (requests per wall second).
+    pub rps: f64,
+    /// Concurrent connections sharing the load.
+    pub connections: usize,
+    /// Send-window length in wall seconds.
+    pub duration_secs: f64,
+    /// Master seed for the arrival/item/class streams.
+    pub seed: u64,
+    /// Catalog size the item law draws over (must match the server's).
+    pub num_items: usize,
+    /// Zipf skew of the item law.
+    pub zipf_theta: f64,
+    /// Class population shares (sum ≈ 1); index = class id.
+    pub class_shares: Vec<f64>,
+    /// Per-request deadline in ms sent in each frame (0 = server default).
+    pub deadline_ms: u32,
+    /// After the send window, wait at most this long for outstanding
+    /// replies before closing.
+    pub grace_ms: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:4650".into(),
+            rps: 1_000.0,
+            connections: 4,
+            duration_secs: 5.0,
+            seed: 0xC0FFEE,
+            num_items: 100,
+            zipf_theta: 0.6,
+            // The paper's three-tier population split (Zipf θ = 1 over
+            // {C,B,A}): A smallest.
+            class_shares: vec![2.0 / 11.0, 3.0 / 11.0, 6.0 / 11.0],
+            deadline_ms: 0,
+            grace_ms: 2_000,
+        }
+    }
+}
+
+impl LoadgenConfig {
+    /// Validates the parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.rps > 0.0 && self.rps.is_finite()) {
+            return Err(format!("rps must be positive, got {}", self.rps));
+        }
+        if self.connections == 0 {
+            return Err("need at least one connection".into());
+        }
+        if !(self.duration_secs > 0.0 && self.duration_secs.is_finite()) {
+            return Err(format!(
+                "duration must be positive, got {}",
+                self.duration_secs
+            ));
+        }
+        if self.num_items == 0 {
+            return Err("need at least one item".into());
+        }
+        if self.class_shares.is_empty() || self.class_shares.len() > 255 {
+            return Err("class_shares must list 1..=255 classes".into());
+        }
+        Ok(())
+    }
+}
+
+/// Per-class latency/outcome breakdown.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClassLoadReport {
+    /// Class index (0 = highest priority).
+    pub class: u8,
+    /// Requests sent.
+    pub sent: u64,
+    /// Replies by status.
+    pub served_push: u64,
+    /// Pull-served replies.
+    pub served_pull: u64,
+    /// Shed replies.
+    pub shed: u64,
+    /// Timed-out replies.
+    pub timed_out: u64,
+    /// Uplink-lost replies.
+    pub uplink_lost: u64,
+    /// Requests never answered (daemon died or grace expired).
+    pub unanswered: u64,
+    /// Round-trip latency of *served* replies, milliseconds.
+    pub rtt_ms: LatencyQuantiles,
+}
+
+/// Exact order-statistic quantiles over a latency sample.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct LatencyQuantiles {
+    /// Sample count.
+    pub count: u64,
+    /// Mean.
+    pub mean: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl LatencyQuantiles {
+    fn from_samples(mut xs: Vec<f64>) -> Self {
+        if xs.is_empty() {
+            return LatencyQuantiles::default();
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let n = xs.len();
+        let q = |p: f64| xs[((p * n as f64).ceil() as usize).clamp(1, n) - 1];
+        LatencyQuantiles {
+            count: n as u64,
+            mean: xs.iter().sum::<f64>() / n as f64,
+            p50: q(0.50),
+            p95: q(0.95),
+            p99: q(0.99),
+            max: xs[n - 1],
+        }
+    }
+}
+
+/// Aggregate loadgen result.
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadgenReport {
+    /// Requests sent across all connections.
+    pub sent: u64,
+    /// Replies received.
+    pub answered: u64,
+    /// Served (push + pull) replies.
+    pub served: u64,
+    /// Shed replies.
+    pub shed: u64,
+    /// Timed-out replies.
+    pub timed_out: u64,
+    /// Uplink-lost replies.
+    pub uplink_lost: u64,
+    /// Requests never answered within the grace window.
+    pub unanswered: u64,
+    /// Target request rate.
+    pub target_rps: f64,
+    /// Sent / elapsed — how close the client got to the target.
+    pub achieved_rps: f64,
+    /// Send-window wall seconds.
+    pub elapsed_secs: f64,
+    /// Per-class breakdown.
+    pub per_class: Vec<ClassLoadReport>,
+}
+
+/// One reply as seen by a connection's reader.
+struct Obs {
+    class: u8,
+    status: ReplyStatus,
+    rtt_ms: f64,
+}
+
+/// Runs the load, blocking for `duration_secs` + up to `grace_ms`.
+pub fn run_loadgen(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
+    cfg.validate()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+    let factory = RngFactory::new(cfg.seed);
+    let start = Instant::now();
+    let mut workers = Vec::new();
+    for c in 0..cfg.connections {
+        let cfg = cfg.clone();
+        workers.push(thread::spawn(move || connection_worker(&cfg, &factory, c)));
+    }
+    let mut sent = 0u64;
+    let mut per_class_sent = vec![0u64; cfg.class_shares.len()];
+    let mut observations: Vec<Obs> = Vec::new();
+    for w in workers {
+        let (conn_sent, conn_obs) = w
+            .join()
+            .map_err(|_| io::Error::other("loadgen worker panicked"))??;
+        for (cls, n) in conn_sent.iter().enumerate() {
+            per_class_sent[cls] += n;
+            sent += n;
+        }
+        observations.extend(conn_obs);
+    }
+    let elapsed = start
+        .elapsed()
+        .as_secs_f64()
+        .min(cfg.duration_secs.max(1e-9));
+
+    let ncls = cfg.class_shares.len();
+    let mut by_status = vec![[0u64; 5]; ncls];
+    let mut rtts: Vec<Vec<f64>> = vec![Vec::new(); ncls];
+    for obs in &observations {
+        let c = obs.class as usize;
+        if c >= ncls {
+            continue;
+        }
+        by_status[c][obs.status.as_u8() as usize] += 1;
+        if obs.status.is_served() {
+            rtts[c].push(obs.rtt_ms);
+        }
+    }
+    let per_class: Vec<ClassLoadReport> = (0..ncls)
+        .map(|c| {
+            let s = &by_status[c];
+            let answered: u64 = s.iter().sum();
+            ClassLoadReport {
+                class: c as u8,
+                sent: per_class_sent[c],
+                served_push: s[0],
+                served_pull: s[1],
+                shed: s[2],
+                timed_out: s[3],
+                uplink_lost: s[4],
+                unanswered: per_class_sent[c].saturating_sub(answered),
+                rtt_ms: LatencyQuantiles::from_samples(std::mem::take(&mut rtts[c])),
+            }
+        })
+        .collect();
+    let answered = observations.len() as u64;
+    let served = per_class
+        .iter()
+        .map(|p| p.served_push + p.served_pull)
+        .sum();
+    Ok(LoadgenReport {
+        sent,
+        answered,
+        served,
+        shed: per_class.iter().map(|p| p.shed).sum(),
+        timed_out: per_class.iter().map(|p| p.timed_out).sum(),
+        uplink_lost: per_class.iter().map(|p| p.uplink_lost).sum(),
+        unanswered: sent.saturating_sub(answered),
+        target_rps: cfg.rps,
+        achieved_rps: sent as f64 / elapsed,
+        elapsed_secs: elapsed,
+        per_class,
+    })
+}
+
+type Sent = Vec<u64>;
+
+fn connection_worker(
+    cfg: &LoadgenConfig,
+    factory: &RngFactory,
+    conn_idx: usize,
+) -> io::Result<(Sent, Vec<Obs>)> {
+    let stream = TcpStream::connect(&cfg.addr)?;
+    stream.set_nodelay(true)?;
+    let mut write_half = stream.try_clone()?;
+
+    // seq → (send instant, class); shared with the reader.
+    let pending: Arc<Mutex<HashMap<u64, (Instant, u8)>>> = Arc::new(Mutex::new(HashMap::new()));
+    let observations: Arc<Mutex<Vec<Obs>>> = Arc::new(Mutex::new(Vec::new()));
+    let reader = {
+        let pending = Arc::clone(&pending);
+        let observations = Arc::clone(&observations);
+        let mut read_half = stream;
+        thread::spawn(move || reply_reader(&mut read_half, &pending, &observations))
+    };
+
+    let mut gap_rng = factory.stream(GAP_STREAM + conn_idx as u64);
+    let mut item_rng = factory.stream(ITEM_STREAM + conn_idx as u64);
+    let mut class_rng = factory.stream(CLASS_STREAM + conn_idx as u64);
+    let gaps = Exponential::new(cfg.rps / cfg.connections as f64);
+    let items = Zipf::new(cfg.num_items, cfg.zipf_theta);
+    let classes = Discrete::new(&cfg.class_shares);
+
+    let start = Instant::now();
+    let window = Duration::from_secs_f64(cfg.duration_secs);
+    let mut sent = vec![0u64; cfg.class_shares.len()];
+    let mut next_at = 0.0f64; // seconds since start, open-loop schedule
+    let mut seq = 0u64;
+    loop {
+        next_at += gaps.sample(&mut gap_rng);
+        let target = Duration::from_secs_f64(next_at);
+        if target >= window {
+            break;
+        }
+        let elapsed = start.elapsed();
+        if target > elapsed {
+            thread::sleep(target - elapsed);
+        }
+        let class = classes.sample(&mut class_rng) as u8;
+        let item = items.sample(&mut item_rng) as u32;
+        let frame = RequestFrame {
+            seq,
+            class,
+            item,
+            deadline_ms: cfg.deadline_ms,
+        };
+        pending
+            .lock()
+            .expect("pending lock")
+            .insert(seq, (Instant::now(), class));
+        if std::io::Write::write_all(&mut write_half, &frame.encode()).is_err() {
+            break; // daemon went away; unanswered count covers the rest
+        }
+        sent[class as usize] += 1;
+        seq += 1;
+    }
+
+    // Give stragglers a bounded chance to be answered, then close.
+    let grace_deadline = Instant::now() + Duration::from_millis(cfg.grace_ms);
+    while Instant::now() < grace_deadline {
+        if pending.lock().expect("pending lock").is_empty() {
+            break;
+        }
+        thread::sleep(Duration::from_millis(10));
+    }
+    let _ = write_half.shutdown(Shutdown::Both);
+    let _ = reader.join();
+    let obs = std::mem::take(&mut *observations.lock().expect("observations lock"));
+    Ok((sent, obs))
+}
+
+fn reply_reader(
+    stream: &mut TcpStream,
+    pending: &Mutex<HashMap<u64, (Instant, u8)>>,
+    observations: &Mutex<Vec<Obs>>,
+) {
+    while let Ok(Some(body)) = read_frame(stream) {
+        if body.first() != Some(&OP_REPLY) {
+            continue;
+        }
+        let Ok(rep) = ReplyFrame::decode(&body[1..]) else {
+            continue;
+        };
+        let entry = pending.lock().expect("pending lock").remove(&rep.seq);
+        if let Some((sent_at, class)) = entry {
+            observations.lock().expect("observations lock").push(Obs {
+                class,
+                status: rep.status,
+                rtt_ms: sent_at.elapsed().as_secs_f64() * 1e3,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_are_exact_order_statistics() {
+        let q = LatencyQuantiles::from_samples((1..=100).map(|i| i as f64).collect());
+        assert_eq!(q.count, 100);
+        assert_eq!(q.p50, 50.0);
+        assert_eq!(q.p95, 95.0);
+        assert_eq!(q.p99, 99.0);
+        assert_eq!(q.max, 100.0);
+        assert!((q.mean - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sample_is_all_zero() {
+        let q = LatencyQuantiles::from_samples(Vec::new());
+        assert_eq!(q.count, 0);
+        assert_eq!(q.max, 0.0);
+    }
+
+    #[test]
+    fn config_validation_catches_nonsense() {
+        let cfg = LoadgenConfig {
+            rps: 0.0,
+            ..LoadgenConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = LoadgenConfig {
+            connections: 0,
+            ..LoadgenConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        assert!(LoadgenConfig::default().validate().is_ok());
+    }
+}

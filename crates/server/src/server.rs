@@ -1,0 +1,1134 @@
+//! `hybridcastd`: the wall-clock serving loop.
+//!
+//! Thread topology (all `std::net` + threads; no async runtime):
+//!
+//! ```text
+//!            ┌ reader (1/conn) ┐   bounded sync_channel    ┌───────────┐
+//! accept ──▶ │ parse frames    │ ────── ingress ─────────▶ │ scheduler │──▶ replies
+//!  thread    │ try_send / shed │ ── notices (unbounded) ─▶ │  thread   │    (per-conn
+//!            └─────────────────┘                           └───────────┘     writers)
+//! ```
+//!
+//! * **Readers** decode length-prefixed request frames and `try_send` them
+//!   into the bounded ingress queue. A full queue is *backpressure*: the
+//!   reader immediately writes an explicit `Shed` reply itself (the
+//!   scheduler never sees the frame) and posts a notice so the counters
+//!   and telemetry still see the arrival. No accepted frame is ever
+//!   silently dropped.
+//! * **The scheduler thread** owns the entire scheduling state — the
+//!   [`HybridScheduler`], the optional contended uplink, deadline and
+//!   uplink-delivery heaps, and the live-request table. It alternates
+//!   push/pull dispatch exactly like the simulator, but against a
+//!   [`WallClock`]: a transmission of `L` broadcast units occupies the
+//!   downlink for `L × unit_millis` wall milliseconds. Dispatch is
+//!   demand-gated — an idle daemon sleeps on the ingress channel instead
+//!   of broadcasting to nobody.
+//! * **Graceful shutdown** (SIGTERM/ctrl-c via [`crate::signal`], the
+//!   in-band shutdown frame, or [`ServerHandle::shutdown`]): stop
+//!   accepting, keep draining queued pull work for at most
+//!   `drain_timeout_ms`, shed whatever is left (every outstanding request
+//!   still gets a reply), flush the telemetry JSONL, exit 0.
+//!
+//! Conservation is a hard invariant checked at exit and recorded in the
+//! summary: `accepted = served + shed + timed_out + uplink_lost`.
+//!
+//! One deliberate asymmetry with the simulator: a request that *times out*
+//! while queued leaves its aggregated entry in the pull queue (the queue
+//! has no per-requester removal), so the scheduler may still air the item.
+//! The stale requester is skipped at completion — it already got its
+//! `TimedOut` reply — costing only that item's airtime.
+
+use std::collections::{BinaryHeap, HashMap};
+use std::io::{self, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{
+    channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError,
+};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+
+use hybridcast_core::clock::{Clock, WallClock};
+use hybridcast_core::hybrid::{Disposition, HybridScheduler, Transmission};
+use hybridcast_core::metrics::TxKind;
+use hybridcast_core::queue::PendingItem;
+use hybridcast_core::uplink::{UplinkChannel, UplinkOutcome};
+use hybridcast_sim::stats::{SummaryStats, Welford};
+use hybridcast_sim::time::{SimDuration, SimTime};
+use hybridcast_telemetry::{ServiceKind, Sink, TelemetryConfig, TelemetryEvent, WindowRecorder};
+use hybridcast_workload::catalog::ItemId;
+use hybridcast_workload::classes::ClassId;
+
+use crate::config::ServeConfig;
+use crate::frame::{ReplyFrame, ReplyStatus, RequestFrame, OP_REQUEST, OP_SHUTDOWN};
+
+/// The uplink channel's RNG stream id — the same lane the simulator uses
+/// (`sim_driver`), so a serve and a sim run over one seed draw identically.
+const UPLINK_STREAM: u64 = 7;
+
+/// How long readers and the acceptor sleep between shutdown-flag polls.
+const POLL: Duration = Duration::from_millis(25);
+
+// ---------------------------------------------------------------------------
+// Connections
+// ---------------------------------------------------------------------------
+
+/// The write half of one client connection, shared by the reader thread
+/// (ingress-overflow sheds) and the scheduler thread (everything else).
+#[derive(Clone)]
+struct Conn(Arc<ConnInner>);
+
+struct ConnInner {
+    writer: Mutex<Box<dyn Write + Send>>,
+    alive: AtomicBool,
+}
+
+impl Conn {
+    fn new(writer: Box<dyn Write + Send>) -> Self {
+        Conn(Arc::new(ConnInner {
+            writer: Mutex::new(writer),
+            alive: AtomicBool::new(true),
+        }))
+    }
+
+    /// Writes one reply; a dead peer just marks the connection and moves
+    /// on (the request is still *counted* as answered — we answered).
+    fn send(&self, rep: &ReplyFrame) {
+        if !self.0.alive.load(Ordering::Relaxed) {
+            return;
+        }
+        let bytes = rep.encode();
+        let mut w = self.0.writer.lock().expect("writer lock");
+        if w.write_all(&bytes).and_then(|_| w.flush()).is_err() {
+            self.0.alive.store(false, Ordering::Relaxed);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader → scheduler messages
+// ---------------------------------------------------------------------------
+
+/// One validated request frame on its way to the scheduler.
+struct Ingress {
+    seq: u64,
+    item: ItemId,
+    class: ClassId,
+    deadline_ms: u32,
+    ingest: SimTime,
+    conn: Conn,
+}
+
+/// A request the reader already answered (`Shed`) without the scheduler:
+/// ingress overflow or an out-of-range item/class. Carried so the counters
+/// and telemetry still account for the arrival.
+struct Notice {
+    /// `None` for malformed (out-of-range) frames.
+    class: Option<ClassId>,
+    item: Option<ItemId>,
+    ingest: SimTime,
+}
+
+/// Catalog/class bounds the readers validate against.
+#[derive(Clone, Copy)]
+struct Bounds {
+    num_items: u32,
+    num_classes: u8,
+}
+
+// ---------------------------------------------------------------------------
+// Summary
+// ---------------------------------------------------------------------------
+
+/// Per-class serving counters.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClassCounters {
+    /// Class name ("Class-A", …).
+    pub name: String,
+    /// Frames accepted (read off a socket) for this class.
+    pub accepted: u64,
+    /// Served by the broadcast channel.
+    pub served_push: u64,
+    /// Served by pull transmissions.
+    pub served_pull: u64,
+    /// Explicitly rejected (ingress overflow, admission control, drain).
+    pub shed: u64,
+    /// Deadline expired before service.
+    pub timed_out: u64,
+    /// Lost on the contended uplink.
+    pub uplink_lost: u64,
+    /// Server-side wait of served requests, in broadcast units.
+    pub wait_units: SummaryStats,
+}
+
+/// End-of-run accounting, also written as the JSONL summary line.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeSummary {
+    /// Every frame read off a socket (including reader-shed ones).
+    pub accepted: u64,
+    /// Served by the broadcast channel.
+    pub served_push: u64,
+    /// Served by pull transmissions.
+    pub served_pull: u64,
+    /// Explicit rejections.
+    pub shed: u64,
+    /// Deadline expiries.
+    pub timed_out: u64,
+    /// Uplink losses.
+    pub uplink_lost: u64,
+    /// Push transmissions aired.
+    pub push_tx: u64,
+    /// Pull transmissions aired.
+    pub pull_tx: u64,
+    /// Wall seconds from first bind to summary.
+    pub wall_seconds: f64,
+    /// `accepted == served + shed + timed_out + uplink_lost` — every
+    /// accepted frame was answered exactly once.
+    pub conservation_ok: bool,
+    /// Per-class breakdown.
+    pub per_class: Vec<ClassCounters>,
+}
+
+impl ServeSummary {
+    /// Total served over both channels.
+    pub fn served(&self) -> u64 {
+        self.served_push + self.served_pull
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public entry points
+// ---------------------------------------------------------------------------
+
+/// Runs the daemon until `shutdown` goes true (or an in-band shutdown
+/// frame arrives), then drains and returns the summary. Blocking.
+pub fn serve(config: ServeConfig, shutdown: Arc<AtomicBool>) -> io::Result<ServeSummary> {
+    config
+        .validate()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+    let listener = TcpListener::bind(&config.serve.addr)?;
+    run(config, listener, shutdown)
+}
+
+/// A daemon running on a background thread — the embedding/test harness.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    join: JoinHandle<io::Result<ServeSummary>>,
+}
+
+impl ServerHandle {
+    /// Binds (so the ephemeral port is known immediately) and starts the
+    /// serve loop on a background thread.
+    pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
+        config
+            .validate()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        let listener = TcpListener::bind(&config.serve.addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let join = thread::spawn(move || run(config, listener, flag));
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            join,
+        })
+    }
+
+    /// The actual bound address (resolves `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests graceful shutdown (idempotent, non-blocking).
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Waits for the daemon to drain and returns its summary.
+    pub fn join(self) -> io::Result<ServeSummary> {
+        self.join
+            .join()
+            .unwrap_or_else(|_| Err(io::Error::other("serve thread panicked")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Acceptor + readers
+// ---------------------------------------------------------------------------
+
+fn run(
+    config: ServeConfig,
+    listener: TcpListener,
+    shutdown: Arc<AtomicBool>,
+) -> io::Result<ServeSummary> {
+    let started = Instant::now();
+    let scenario = config.scenario.build();
+    let clock = WallClock::start(config.serve.unit_millis);
+    let bounds = Bounds {
+        num_items: scenario.catalog.len() as u32,
+        num_classes: scenario.classes.len() as u8,
+    };
+
+    let (ingress_tx, ingress_rx) = sync_channel::<Ingress>(config.serve.ingress_capacity);
+    let (notice_tx, notice_rx) = channel::<Notice>();
+    let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+    listener.set_nonblocking(true)?;
+    let acceptor = {
+        let shutdown = Arc::clone(&shutdown);
+        let readers = Arc::clone(&readers);
+        let clock = clock.clone();
+        thread::spawn(move || {
+            accept_loop(
+                listener, shutdown, readers, clock, bounds, ingress_tx, notice_tx,
+            )
+        })
+    };
+
+    let mut core = Core::new(&config, scenario, clock)?;
+    core.run(&ingress_rx, &notice_rx, &shutdown);
+    core.drain(
+        &ingress_rx,
+        &notice_rx,
+        Duration::from_millis(config.serve.drain_timeout_ms),
+    );
+
+    // `run`/`drain` only exit with the flag set; readers and the acceptor
+    // poll it, so joining terminates promptly.
+    let _ = acceptor.join();
+    for h in readers.lock().expect("reader registry").drain(..) {
+        let _ = h.join();
+    }
+    core.finish(started.elapsed())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn accept_loop(
+    listener: TcpListener,
+    shutdown: Arc<AtomicBool>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    clock: WallClock,
+    bounds: Bounds,
+    ingress: SyncSender<Ingress>,
+    notices: Sender<Notice>,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(POLL));
+                let writer = match stream.try_clone() {
+                    Ok(w) => w,
+                    Err(_) => continue,
+                };
+                let conn = Conn::new(Box::new(writer));
+                let shutdown = Arc::clone(&shutdown);
+                let clock = clock.clone();
+                let ingress = ingress.clone();
+                let notices = notices.clone();
+                let handle = thread::spawn(move || {
+                    reader_loop(stream, conn, clock, bounds, ingress, notices, shutdown)
+                });
+                readers.lock().expect("reader registry").push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+}
+
+/// Per-connection frame pump. Survives read timeouts mid-frame (partial
+/// bytes stay buffered), exits on EOF, error, or shutdown.
+fn reader_loop<S: Read>(
+    mut stream: S,
+    conn: Conn,
+    clock: WallClock,
+    bounds: Bounds,
+    ingress: SyncSender<Ingress>,
+    notices: Sender<Notice>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    let mut chunk = [0u8; 4096];
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                let mut cursor = 0usize;
+                while let Some((body_start, body_end)) = peek_frame(&buf[cursor..]) {
+                    let body = &buf[cursor + body_start..cursor + body_end];
+                    if !handle_frame(body, &conn, &clock, bounds, &ingress, &notices, &shutdown) {
+                        return;
+                    }
+                    cursor += body_end;
+                }
+                buf.drain(..cursor);
+                if buf.len() > crate::frame::MAX_FRAME as usize + 4 {
+                    return; // protocol violation (oversized frame)
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// If `buf` starts with a complete frame, returns `(body_start, body_end)`
+/// byte offsets of its payload. A hostile length is treated as "never
+/// completes" — the buffer-size guard in the caller kills the connection.
+fn peek_frame(buf: &[u8]) -> Option<(usize, usize)> {
+    if buf.len() < 4 {
+        return None;
+    }
+    let len = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes"));
+    if len == 0 || len > crate::frame::MAX_FRAME {
+        return None;
+    }
+    let end = 4 + len as usize;
+    if buf.len() < end {
+        return None;
+    }
+    Some((4, end))
+}
+
+/// Processes one frame body. Returns `false` to close the connection.
+fn handle_frame(
+    body: &[u8],
+    conn: &Conn,
+    clock: &WallClock,
+    bounds: Bounds,
+    ingress: &SyncSender<Ingress>,
+    notices: &Sender<Notice>,
+    shutdown: &AtomicBool,
+) -> bool {
+    match body.first() {
+        Some(&OP_SHUTDOWN) => {
+            shutdown.store(true, Ordering::SeqCst);
+            true
+        }
+        Some(&OP_REQUEST) => {
+            let Ok(req) = RequestFrame::decode(&body[1..]) else {
+                return false;
+            };
+            let ingest = clock.now();
+            if req.class >= bounds.num_classes || req.item >= bounds.num_items {
+                // Out-of-range request: answered (shed), counted, logged.
+                conn.send(&shed_reply(req.seq, req.item, 0.0));
+                let _ = notices.send(Notice {
+                    class: None,
+                    item: None,
+                    ingest,
+                });
+                return true;
+            }
+            let ing = Ingress {
+                seq: req.seq,
+                item: ItemId(req.item),
+                class: ClassId(req.class),
+                deadline_ms: req.deadline_ms,
+                ingest,
+                conn: conn.clone(),
+            };
+            match ingress.try_send(ing) {
+                Ok(()) => true,
+                Err(TrySendError::Full(ing)) => {
+                    // Backpressure: explicit shed, never silent delay.
+                    ing.conn.send(&shed_reply(ing.seq, ing.item.0, 0.0));
+                    let _ = notices.send(Notice {
+                        class: Some(ing.class),
+                        item: Some(ing.item),
+                        ingest: ing.ingest,
+                    });
+                    true
+                }
+                Err(TrySendError::Disconnected(ing)) => {
+                    ing.conn.send(&shed_reply(ing.seq, ing.item.0, 0.0));
+                    false
+                }
+            }
+        }
+        _ => false,
+    }
+}
+
+fn shed_reply(seq: u64, item: u32, wait_ms: f64) -> ReplyFrame {
+    ReplyFrame {
+        seq,
+        status: ReplyStatus::Shed,
+        item,
+        wait_ms,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler core
+// ---------------------------------------------------------------------------
+
+/// A request the scheduler still owes a reply.
+struct LiveReq {
+    seq: u64,
+    item: ItemId,
+    class: ClassId,
+    ingest: SimTime,
+    conn: Conn,
+}
+
+struct Inflight {
+    tx: Transmission,
+    /// Pull: the waiter ids snapshotted at dispatch (the same batch the
+    /// scheduler removed from its queue). Push: empty.
+    batch: Vec<u64>,
+}
+
+struct Counters {
+    accepted: u64,
+    shed: u64,
+    timed_out: u64,
+    uplink_lost: u64,
+    served_push: u64,
+    served_pull: u64,
+    push_tx: u64,
+    pull_tx: u64,
+}
+
+struct PerClass {
+    accepted: u64,
+    served_push: u64,
+    served_pull: u64,
+    shed: u64,
+    timed_out: u64,
+    uplink_lost: u64,
+    wait: Welford,
+}
+
+struct Core {
+    scheduler: HybridScheduler,
+    uplink: Option<UplinkChannel>,
+    clock: WallClock,
+    unit_millis: f64,
+    default_deadline_ms: u32,
+
+    live: HashMap<u64, LiveReq>,
+    next_id: u64,
+    /// `(id, scheduler_arrival)` of requests waiting for a push-set item.
+    push_waiters: Vec<(u64, SimTime)>,
+    /// Pull waiters per item; drained wholesale at dispatch (the snapshot
+    /// matches the batch the scheduler removed).
+    pull_waiters: HashMap<ItemId, Vec<u64>>,
+    /// Deadline heap: earliest due first.
+    timeouts: BinaryHeap<std::cmp::Reverse<(SimTime, u64)>>,
+    /// Uplink-delivery heap: requests in flight on the back channel.
+    deliveries: BinaryHeap<std::cmp::Reverse<(SimTime, u64)>>,
+    inflight: Option<Inflight>,
+
+    /// Monotone high-water mark for recorder timestamps. Ingest times are
+    /// stamped on reader threads and deadline/delivery events fire at
+    /// their (already past) due times, so raw timestamps can trail events
+    /// the recorder has already seen by a few milliseconds. Time-weighted
+    /// gauges require non-decreasing time, so every recorded event is
+    /// clamped up through this cursor; wait/latency figures still use the
+    /// raw stamps.
+    cursor: SimTime,
+    recorder: WindowRecorder,
+    out: Option<BufWriter<std::fs::File>>,
+    counters: Counters,
+    per_class: Vec<PerClass>,
+    class_names: Vec<String>,
+}
+
+/// One JSONL line tagging a serializable payload with its kind.
+fn jsonl_line(kind: &str, field: &str, payload: &impl Serialize) -> String {
+    let value = serde_json::Value::Object(vec![
+        (
+            "kind".to_string(),
+            serde_json::Value::String(kind.to_string()),
+        ),
+        (
+            field.to_string(),
+            serde_json::to_value(payload).expect("payload serializes"),
+        ),
+    ]);
+    serde_json::to_string(&value).expect("jsonl line serializes")
+}
+
+impl Core {
+    fn new(
+        config: &ServeConfig,
+        scenario: hybridcast_workload::scenario::Scenario,
+        clock: WallClock,
+    ) -> io::Result<Core> {
+        let num_classes = scenario.classes.len();
+        let class_names: Vec<String> = scenario
+            .classes
+            .iter()
+            .map(|(_, c)| c.name.clone())
+            .collect();
+        let recorder = WindowRecorder::new(
+            TelemetryConfig::new(config.serve.telemetry_window),
+            &scenario.classes,
+            &scenario.catalog,
+            config.hybrid.cutoff,
+        );
+        let uplink = config.hybrid.uplink.map(|cfg| {
+            UplinkChannel::new(cfg, scenario.factory.stream(UPLINK_STREAM), num_classes)
+        });
+        let scheduler = HybridScheduler::new(
+            scenario.catalog,
+            scenario.classes,
+            &config.hybrid,
+            &scenario.factory,
+        );
+        let mut out = None;
+        if let Some(path) = &config.serve.results_path {
+            if let Some(dir) = std::path::Path::new(path).parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir)?;
+                }
+            }
+            let mut w = BufWriter::new(std::fs::File::create(path)?);
+            let header = serde_json::json!({
+                "kind": "header",
+                "classes": &class_names,
+                "window": config.serve.telemetry_window,
+                "unit_millis": config.serve.unit_millis,
+            });
+            writeln!(w, "{}", serde_json::to_string(&header).expect("header"))?;
+            out = Some(w);
+        }
+        Ok(Core {
+            scheduler,
+            uplink,
+            clock,
+            unit_millis: config.serve.unit_millis,
+            default_deadline_ms: config.serve.default_deadline_ms,
+            live: HashMap::new(),
+            next_id: 0,
+            push_waiters: Vec::new(),
+            pull_waiters: HashMap::new(),
+            timeouts: BinaryHeap::new(),
+            deliveries: BinaryHeap::new(),
+            inflight: None,
+            cursor: SimTime::ZERO,
+            recorder,
+            out,
+            counters: Counters {
+                accepted: 0,
+                shed: 0,
+                timed_out: 0,
+                uplink_lost: 0,
+                served_push: 0,
+                served_pull: 0,
+                push_tx: 0,
+                pull_tx: 0,
+            },
+            per_class: (0..num_classes)
+                .map(|_| PerClass {
+                    accepted: 0,
+                    served_push: 0,
+                    served_pull: 0,
+                    shed: 0,
+                    timed_out: 0,
+                    uplink_lost: 0,
+                    wait: Welford::new(),
+                })
+                .collect(),
+            class_names,
+        })
+    }
+
+    /// The steady-state loop: wake for ingress, due deliveries/timeouts,
+    /// and transmission completions; dispatch whenever the downlink is
+    /// idle and demand exists.
+    fn run(&mut self, ingress: &Receiver<Ingress>, notices: &Receiver<Notice>, stop: &AtomicBool) {
+        loop {
+            self.drain_notices(notices);
+            let now = self.clock.now();
+            self.fire_deliveries(now);
+            self.fire_timeouts(now);
+            self.maybe_complete(now);
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            self.maybe_dispatch(self.clock.now());
+            self.stream_windows();
+
+            let wait = self
+                .next_wake()
+                .map(|t| self.clock.wall_until(t))
+                .unwrap_or(POLL)
+                .min(POLL);
+            match ingress.recv_timeout(wait) {
+                Ok(ing) => {
+                    self.ingest(ing);
+                    // Opportunistically drain the burst.
+                    for _ in 0..1024 {
+                        match ingress.try_recv() {
+                            Ok(more) => self.ingest(more),
+                            Err(_) => break,
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        }
+    }
+
+    /// Shutdown path: requests already accepted into the ingress queue
+    /// still get scheduled (they were admitted before the flag), then the
+    /// loop keeps completing and dispatching until the backlog is empty or
+    /// the drain budget runs out; whatever remains is shed explicitly.
+    fn drain(&mut self, ingress: &Receiver<Ingress>, notices: &Receiver<Notice>, budget: Duration) {
+        let deadline = Instant::now() + budget;
+        loop {
+            while let Ok(ing) = ingress.try_recv() {
+                self.ingest(ing);
+            }
+            self.drain_notices(notices);
+            let now = self.clock.now();
+            self.fire_deliveries(now);
+            self.fire_timeouts(now);
+            self.maybe_complete(now);
+            if self.live.is_empty() || Instant::now() >= deadline {
+                break;
+            }
+            self.maybe_dispatch(self.clock.now());
+            let wait = self
+                .next_wake()
+                .map(|t| self.clock.wall_until(t))
+                .unwrap_or(Duration::from_millis(1))
+                .min(Duration::from_millis(5))
+                .max(Duration::from_micros(100));
+            thread::sleep(wait);
+        }
+        // Out of budget (or nothing left): shed the remainder.
+        let now = self.clock.now();
+        let leftovers: Vec<u64> = self.live.keys().copied().collect();
+        for id in leftovers {
+            if let Some(req) = self.live.remove(&id) {
+                self.record_shed_events(now, req.item, req.class);
+                self.reply_shed_now(req.seq, req.item, req.class, req.ingest, req.conn);
+            }
+        }
+        self.push_waiters.clear();
+        self.pull_waiters.clear();
+    }
+
+    /// Closes out telemetry and builds the summary (conservation verdict
+    /// included), writing the JSONL tail + summary line.
+    fn finish(mut self, elapsed: Duration) -> io::Result<ServeSummary> {
+        self.stream_windows();
+        let end = self.tick(self.clock.now());
+        let tail = self.recorder.finish(end);
+        if let Some(out) = &mut self.out {
+            for stats in &tail.windows {
+                writeln!(out, "{}", jsonl_line("window", "stats", stats))?;
+            }
+        }
+        let c = &self.counters;
+        let answered = c.served_push + c.served_pull + c.shed + c.timed_out + c.uplink_lost;
+        let summary = ServeSummary {
+            accepted: c.accepted,
+            served_push: c.served_push,
+            served_pull: c.served_pull,
+            shed: c.shed,
+            timed_out: c.timed_out,
+            uplink_lost: c.uplink_lost,
+            push_tx: c.push_tx,
+            pull_tx: c.pull_tx,
+            wall_seconds: elapsed.as_secs_f64(),
+            conservation_ok: answered == c.accepted && self.live.is_empty(),
+            per_class: self
+                .per_class
+                .iter()
+                .zip(&self.class_names)
+                .map(|(p, name)| ClassCounters {
+                    name: name.clone(),
+                    accepted: p.accepted,
+                    served_push: p.served_push,
+                    served_pull: p.served_pull,
+                    shed: p.shed,
+                    timed_out: p.timed_out,
+                    uplink_lost: p.uplink_lost,
+                    wait_units: p.wait.summary(),
+                })
+                .collect(),
+        };
+        if let Some(out) = &mut self.out {
+            writeln!(out, "{}", jsonl_line("summary", "summary", &summary))?;
+            out.flush()?;
+        }
+        Ok(summary)
+    }
+
+    // -- ingest & routing ---------------------------------------------------
+
+    /// Advances the event cursor and returns the clamped timestamp.
+    fn tick(&mut self, t: SimTime) -> SimTime {
+        if t > self.cursor {
+            self.cursor = t;
+        }
+        self.cursor
+    }
+
+    fn ingest(&mut self, ing: Ingress) {
+        self.counters.accepted += 1;
+        self.per_class[ing.class.index()].accepted += 1;
+        let time = self.tick(ing.ingest);
+        self.recorder.record(&TelemetryEvent::RequestArrival {
+            time,
+            item: ing.item,
+            class: ing.class,
+        });
+        let id = self.next_id;
+        self.next_id += 1;
+        let deadline_ms = if ing.deadline_ms > 0 {
+            ing.deadline_ms
+        } else {
+            self.default_deadline_ms
+        };
+        if deadline_ms > 0 {
+            let due = ing.ingest + SimDuration::new(deadline_ms as f64 / self.unit_millis);
+            self.timeouts.push(std::cmp::Reverse((due, id)));
+        }
+        self.live.insert(
+            id,
+            LiveReq {
+                seq: ing.seq,
+                item: ing.item,
+                class: ing.class,
+                ingest: ing.ingest,
+                conn: ing.conn,
+            },
+        );
+        match &mut self.uplink {
+            Some(up) => match up.transmit(ing.class) {
+                UplinkOutcome::Lost => {
+                    let req = self.live.remove(&id).expect("just inserted");
+                    let time = self.tick(req.ingest);
+                    self.recorder.record(&TelemetryEvent::UplinkLoss {
+                        time,
+                        item: req.item,
+                        class: req.class,
+                    });
+                    self.counters.uplink_lost += 1;
+                    self.per_class[req.class.index()].uplink_lost += 1;
+                    req.conn.send(&ReplyFrame {
+                        seq: req.seq,
+                        status: ReplyStatus::UplinkLost,
+                        item: req.item.0,
+                        wait_ms: 0.0,
+                    });
+                }
+                UplinkOutcome::Delivered(latency) => {
+                    self.deliveries
+                        .push(std::cmp::Reverse((ing.ingest + latency, id)));
+                }
+            },
+            None => self.route(id, ing.ingest),
+        }
+    }
+
+    /// Hands a live request to the scheduler at `arrival` and files it
+    /// under the channel that will serve it. The scheduler (like the
+    /// recorder) requires non-decreasing times, so the arrival it sees is
+    /// clamped through the event cursor; the raw ingest stamp in
+    /// [`LiveReq`] still prices the reply's `wait_ms`.
+    fn route(&mut self, id: u64, arrival: SimTime) {
+        let arrival = self.tick(arrival);
+        let req = &self.live[&id];
+        let (item, class) = (req.item, req.class);
+        let disposition = self
+            .scheduler
+            .on_request(&hybridcast_workload::requests::Request {
+                arrival,
+                item,
+                class,
+            });
+        match disposition {
+            Disposition::PushIgnored => self.push_waiters.push((id, arrival)),
+            Disposition::Queued => {
+                self.pull_waiters.entry(item).or_default().push(id);
+                self.gauge(arrival);
+            }
+        }
+    }
+
+    fn gauge(&mut self, now: SimTime) {
+        let time = self.tick(now);
+        self.recorder.record(&TelemetryEvent::QueueGauge {
+            time,
+            items: self.scheduler.queue().len() as u32,
+            requests: self.scheduler.queue().total_requests() as u32,
+        });
+    }
+
+    // -- heaps --------------------------------------------------------------
+
+    fn fire_deliveries(&mut self, now: SimTime) {
+        while let Some(std::cmp::Reverse((due, id))) = self.deliveries.peek().copied() {
+            if due > now {
+                break;
+            }
+            self.deliveries.pop();
+            if !self.live.contains_key(&id) {
+                continue; // timed out while on the uplink
+            }
+            let (item, class, ingest) = {
+                let req = &self.live[&id];
+                (req.item, req.class, req.ingest)
+            };
+            let time = self.tick(due);
+            self.recorder.record(&TelemetryEvent::UplinkDelivered {
+                time,
+                item,
+                class,
+                latency: due - ingest,
+            });
+            self.route(id, due);
+        }
+    }
+
+    fn fire_timeouts(&mut self, now: SimTime) {
+        while let Some(std::cmp::Reverse((due, id))) = self.timeouts.peek().copied() {
+            if due > now {
+                break;
+            }
+            self.timeouts.pop();
+            let Some(req) = self.live.remove(&id) else {
+                continue; // already answered
+            };
+            self.counters.timed_out += 1;
+            self.per_class[req.class.index()].timed_out += 1;
+            req.conn.send(&ReplyFrame {
+                seq: req.seq,
+                status: ReplyStatus::TimedOut,
+                item: req.item.0,
+                wait_ms: due.since(req.ingest).as_f64() * self.unit_millis,
+            });
+            // The aggregated queue entry (if any) stays; its eventual
+            // transmission skips this id — see the module docs.
+        }
+    }
+
+    // -- dispatch & completion ---------------------------------------------
+
+    fn maybe_dispatch(&mut self, now: SimTime) {
+        if self.inflight.is_some() {
+            return;
+        }
+        let demand = !self.scheduler.queue().is_empty() || !self.push_waiters.is_empty();
+        if !demand {
+            return;
+        }
+        let (tx, dropped) = self.scheduler.next_transmission(now);
+        for entry in dropped {
+            self.shed_entry(entry, now);
+        }
+        if let Some(tx) = tx {
+            let batch = if tx.kind == TxKind::Pull {
+                self.pull_waiters.remove(&tx.item).unwrap_or_default()
+            } else {
+                Vec::new()
+            };
+            self.gauge(now);
+            self.inflight = Some(Inflight { tx, batch });
+        }
+    }
+
+    fn maybe_complete(&mut self, now: SimTime) {
+        let done = match &self.inflight {
+            Some(inf) => now.reached(inf.tx.completes_at()),
+            None => return,
+        };
+        if !done {
+            return;
+        }
+        let inf = self.inflight.take().expect("checked above");
+        let at = inf.tx.completes_at();
+        let (item, kind, start, duration) =
+            (inf.tx.item, inf.tx.kind, inf.tx.start, inf.tx.duration);
+        let entry = self.scheduler.complete_transmission(inf.tx);
+        match kind {
+            TxKind::Push => {
+                self.counters.push_tx += 1;
+                let time = self.tick(at);
+                self.recorder.record(&TelemetryEvent::PushTx {
+                    time,
+                    item,
+                    duration,
+                });
+                // Waiters who tuned in before this slot started are done;
+                // later ones catch the item's next broadcast.
+                let waiters = std::mem::take(&mut self.push_waiters);
+                for (id, arrival) in waiters {
+                    let satisfied = match self.live.get(&id) {
+                        Some(req) => req.item == item && arrival <= start,
+                        None => continue, // timed out / shed
+                    };
+                    if satisfied {
+                        self.serve_one(id, at, ServiceKind::Push);
+                    } else {
+                        self.push_waiters.push((id, arrival));
+                    }
+                }
+            }
+            TxKind::Pull => {
+                self.counters.pull_tx += 1;
+                let entry = entry.expect("pull transmissions carry their batch");
+                let time = self.tick(at);
+                self.recorder.record(&TelemetryEvent::PullTx {
+                    time,
+                    item,
+                    duration,
+                    requests: entry.count() as u32,
+                    class: entry.dominant_class().unwrap_or(ClassId(0)),
+                });
+                for id in inf.batch {
+                    if self.live.contains_key(&id) {
+                        self.serve_one(id, at, ServiceKind::Pull);
+                    }
+                }
+                self.scheduler.recycle(entry);
+                self.gauge(at);
+            }
+        }
+    }
+
+    fn serve_one(&mut self, id: u64, at: SimTime, kind: ServiceKind) {
+        let Some(req) = self.live.remove(&id) else {
+            return;
+        };
+        let wait_units = at.since(req.ingest).as_f64();
+        let status = match kind {
+            ServiceKind::Push => {
+                self.counters.served_push += 1;
+                self.per_class[req.class.index()].served_push += 1;
+                ReplyStatus::ServedPush
+            }
+            ServiceKind::Pull => {
+                self.counters.served_pull += 1;
+                self.per_class[req.class.index()].served_pull += 1;
+                ReplyStatus::ServedPull
+            }
+        };
+        self.per_class[req.class.index()].wait.push(wait_units);
+        let time = self.tick(at);
+        self.recorder.record(&TelemetryEvent::RequestServed {
+            time,
+            item: req.item,
+            class: req.class,
+            kind,
+            arrival: req.ingest,
+        });
+        req.conn.send(&ReplyFrame {
+            seq: req.seq,
+            status,
+            item: req.item.0,
+            wait_ms: wait_units * self.unit_millis,
+        });
+    }
+
+    /// Sheds an admission-dropped queue entry: every waiter of that item
+    /// gets an explicit `Shed` reply.
+    fn shed_entry(&mut self, entry: PendingItem, now: SimTime) {
+        let ids = self.pull_waiters.remove(&entry.item).unwrap_or_default();
+        for id in ids {
+            if let Some(req) = self.live.remove(&id) {
+                let time = self.tick(now);
+                self.recorder.record(&TelemetryEvent::RequestBlocked {
+                    time,
+                    item: req.item,
+                    class: req.class,
+                });
+                self.reply_shed_now(req.seq, req.item, req.class, req.ingest, req.conn);
+            }
+        }
+        self.scheduler.recycle(entry);
+    }
+
+    fn reply_shed_now(
+        &mut self,
+        seq: u64,
+        item: ItemId,
+        class: ClassId,
+        ingest: SimTime,
+        conn: Conn,
+    ) {
+        self.counters.shed += 1;
+        self.per_class[class.index()].shed += 1;
+        let wait_ms = self.clock.now().since(ingest).as_f64().max(0.0) * self.unit_millis;
+        conn.send(&shed_reply(seq, item.0, wait_ms));
+    }
+
+    /// Records arrival+blocked telemetry for a request answered outside
+    /// the normal serve path (drain stragglers, leftovers).
+    fn record_shed_events(&mut self, time: SimTime, item: ItemId, class: ClassId) {
+        let time = self.tick(time);
+        self.recorder
+            .record(&TelemetryEvent::RequestArrival { time, item, class });
+        self.recorder
+            .record(&TelemetryEvent::RequestBlocked { time, item, class });
+    }
+
+    fn drain_notices(&mut self, notices: &Receiver<Notice>) {
+        while let Ok(n) = notices.try_recv() {
+            self.counters.accepted += 1;
+            self.counters.shed += 1;
+            if let (Some(class), Some(item)) = (n.class, n.item) {
+                self.per_class[class.index()].accepted += 1;
+                self.per_class[class.index()].shed += 1;
+                let time = self.tick(n.ingest);
+                self.recorder
+                    .record(&TelemetryEvent::RequestArrival { time, item, class });
+                self.recorder
+                    .record(&TelemetryEvent::RequestBlocked { time, item, class });
+            }
+        }
+    }
+
+    fn stream_windows(&mut self) {
+        if self.out.is_none() {
+            return;
+        }
+        let closed = self.recorder.drain_closed();
+        if closed.is_empty() {
+            return;
+        }
+        if let Some(out) = &mut self.out {
+            for stats in &closed {
+                if writeln!(out, "{}", jsonl_line("window", "stats", stats)).is_err() {
+                    self.out = None;
+                    return;
+                }
+            }
+            let _ = out.flush();
+        }
+    }
+
+    /// Earliest instant anything is due: the in-flight completion, a
+    /// deadline, or an uplink delivery.
+    fn next_wake(&self) -> Option<SimTime> {
+        let mut wake: Option<SimTime> = self.inflight.as_ref().map(|i| i.tx.completes_at());
+        if let Some(std::cmp::Reverse((due, _))) = self.timeouts.peek() {
+            wake = Some(wake.map_or(*due, |w| w.min(*due)));
+        }
+        if let Some(std::cmp::Reverse((due, _))) = self.deliveries.peek() {
+            wake = Some(wake.map_or(*due, |w| w.min(*due)));
+        }
+        wake
+    }
+}

@@ -186,8 +186,10 @@ pub fn critical_value_95(n: u64) -> f64 {
     }
 }
 
-/// A serializable statistics snapshot.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+/// A serializable statistics snapshot. The `Default` value is the empty
+/// snapshot (count 0, all moments 0) — the serde fallback for fields added
+/// to reports after older JSON was written.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct SummaryStats {
     /// Observation count.
     pub count: u64,

@@ -25,6 +25,12 @@ pub struct AggregatedClassWindow {
     pub blocking_ratio: SummaryStats,
     /// Uplink losses per replication.
     pub uplink_lost: SummaryStats,
+    /// Uplink deliveries per replication.
+    #[serde(default)]
+    pub uplink_delivered: SummaryStats,
+    /// Mean uplink latency (replications with ≥1 uplink delivery only).
+    #[serde(default)]
+    pub uplink_latency_mean: Option<SummaryStats>,
     /// Mean access delay (replications with ≥1 completion only).
     pub delay_mean: Option<SummaryStats>,
     /// P² 95th-percentile access delay (ditto).
@@ -105,6 +111,12 @@ impl AggregatedSeries {
                         throughput: at(&|w| w.per_class[c].throughput),
                         blocking_ratio: at(&|w| w.per_class[c].blocking_ratio),
                         uplink_lost: at(&|w| w.per_class[c].uplink_lost as f64),
+                        uplink_delivered: at(&|w| w.per_class[c].uplink_delivered as f64),
+                        uplink_latency_mean: summarize_present(
+                            series
+                                .iter()
+                                .map(|s| s.windows[k].per_class[c].uplink_latency_mean),
+                        ),
                         delay_mean: summarize_present(
                             series.iter().map(|s| s.windows[k].per_class[c].delay_mean),
                         ),

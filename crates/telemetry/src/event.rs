@@ -63,6 +63,18 @@ pub enum TelemetryEvent {
         /// Requesting client's service class.
         class: ClassId,
     },
+    /// A request's uplink transmission reached the server after contending
+    /// for the back-channel.
+    UplinkDelivered {
+        /// Time the request reached the server (arrival + uplink latency).
+        time: SimTime,
+        /// Item the request asked for.
+        item: ItemId,
+        /// Requesting client's service class.
+        class: ClassId,
+        /// Uplink latency: slots transmitted plus random backoff gaps.
+        latency: SimDuration,
+    },
     /// A request's uplink transmission exhausted its retries and was lost.
     UplinkLoss {
         /// Time the loss was decided.
@@ -132,6 +144,7 @@ impl TelemetryEvent {
             TelemetryEvent::RequestArrival { time, .. }
             | TelemetryEvent::RequestServed { time, .. }
             | TelemetryEvent::RequestBlocked { time, .. }
+            | TelemetryEvent::UplinkDelivered { time, .. }
             | TelemetryEvent::UplinkLoss { time, .. }
             | TelemetryEvent::PushTx { time, .. }
             | TelemetryEvent::PullTx { time, .. }
@@ -147,6 +160,7 @@ impl TelemetryEvent {
             TelemetryEvent::RequestArrival { class, .. }
             | TelemetryEvent::RequestServed { class, .. }
             | TelemetryEvent::RequestBlocked { class, .. }
+            | TelemetryEvent::UplinkDelivered { class, .. }
             | TelemetryEvent::UplinkLoss { class, .. }
             | TelemetryEvent::PullTx { class, .. }
             | TelemetryEvent::ChurnEvent { class, .. } => Some(class),
@@ -182,6 +196,18 @@ impl fmt::Display for TelemetryEvent {
             TelemetryEvent::RequestBlocked { item, class, .. } => {
                 write!(f, "blocked item={} class={}", item.0, class.0)
             }
+            TelemetryEvent::UplinkDelivered {
+                item,
+                class,
+                latency,
+                ..
+            } => write!(
+                f,
+                "uplink-delivered item={} class={} latency={:.4}",
+                item.0,
+                class.0,
+                latency.as_f64()
+            ),
             TelemetryEvent::UplinkLoss { item, class, .. } => {
                 write!(f, "uplink-loss item={} class={}", item.0, class.0)
             }

@@ -144,6 +144,8 @@ struct ClassAccum {
     served_pull: u64,
     blocked: u64,
     uplink_lost: u64,
+    uplink_delivered: u64,
+    uplink_latency_sum: f64,
     delay_sum: f64,
     delay_max: f64,
     delays: Vec<f64>,
@@ -160,6 +162,8 @@ impl ClassAccum {
             served_pull: 0,
             blocked: 0,
             uplink_lost: 0,
+            uplink_delivered: 0,
+            uplink_latency_sum: 0.0,
             delay_sum: 0.0,
             delay_max: f64::NEG_INFINITY,
             delays: Vec::new(),
@@ -214,6 +218,9 @@ impl ClassAccum {
             served_pull: self.served_pull,
             blocked: self.blocked,
             uplink_lost: self.uplink_lost,
+            uplink_delivered: self.uplink_delivered,
+            uplink_latency_mean: (self.uplink_delivered > 0)
+                .then(|| self.uplink_latency_sum / self.uplink_delivered as f64),
             delay_mean: (n > 0).then(|| self.delay_sum / n as f64),
             delay_p50: p50,
             delay_p95: p95,
@@ -249,6 +256,14 @@ pub struct ClassWindow {
     pub blocked: u64,
     /// Requests lost on the uplink in the window.
     pub uplink_lost: u64,
+    /// Requests that cleared the contended uplink in the window
+    /// (0 when the back-channel model is disabled or for older series).
+    #[serde(default)]
+    pub uplink_delivered: u64,
+    /// Mean uplink latency of deliveries in the window (`None` when no
+    /// request cleared the uplink in it).
+    #[serde(default)]
+    pub uplink_latency_mean: Option<f64>,
     /// Mean access delay of completions in the window.
     pub delay_mean: Option<f64>,
     /// Median access delay (exact up to 4096 completions, P² beyond).
@@ -426,6 +441,26 @@ impl WindowRecorder {
         }
     }
 
+    /// Class names, fixing the order of every window's `per_class` vector.
+    pub fn class_names(&self) -> &[String] {
+        &self.classes
+    }
+
+    /// The configured window width.
+    pub fn window_width(&self) -> f64 {
+        self.window
+    }
+
+    /// Takes every window closed so far, leaving the in-progress one
+    /// accumulating — the live-streaming hook: a long-running server
+    /// drains closed windows periodically and appends them to a JSONL
+    /// stream instead of buffering the whole series in memory.
+    /// [`WindowRecorder::finish`] then returns only the windows closed
+    /// after the last drain.
+    pub fn drain_closed(&mut self) -> Vec<WindowStats> {
+        std::mem::take(&mut self.windows)
+    }
+
     /// Finalizes the run at `end` (the horizon), closing any partial last
     /// window, and returns the series.
     pub fn finish(mut self, end: SimTime) -> TimeSeries {
@@ -447,7 +482,7 @@ impl Sink for WindowRecorder {
     /// emit site, so cross-crate inlining collapses the match to the single
     /// relevant arm and elides constructing the event value altogether; the
     /// cold window-close path stays outlined. `always` because the inline
-    /// cost heuristic sees the full nine-arm match and balks before it can
+    /// cost heuristic sees the full ten-arm match and balks before it can
     /// know that constant folding deletes eight arms.
     #[inline(always)]
     fn record(&mut self, event: &TelemetryEvent) {
@@ -481,6 +516,11 @@ impl Sink for WindowRecorder {
             }
             TelemetryEvent::RequestBlocked { class, .. } => {
                 self.per_class[class.index()].blocked += 1;
+            }
+            TelemetryEvent::UplinkDelivered { class, latency, .. } => {
+                let acc = &mut self.per_class[class.index()];
+                acc.uplink_delivered += 1;
+                acc.uplink_latency_sum += latency.as_f64();
             }
             TelemetryEvent::UplinkLoss { class, .. } => {
                 self.per_class[class.index()].uplink_lost += 1;
@@ -625,6 +665,46 @@ mod tests {
             let w: WindowStats = serde_json::from_str(line).expect("window line parses");
             assert!(w.end > w.start);
         }
+    }
+
+    #[test]
+    fn uplink_deliveries_and_latency_are_windowed_per_class() {
+        let mut r = recorder(10.0);
+        for (t, latency) in [(1.0, 0.2), (3.0, 0.4)] {
+            r.record(&TelemetryEvent::UplinkDelivered {
+                time: SimTime::new(t),
+                item: ItemId(0),
+                class: ClassId(1),
+                latency: hybridcast_sim::time::SimDuration::new(latency),
+            });
+        }
+        r.record(&TelemetryEvent::UplinkLoss {
+            time: SimTime::new(4.0),
+            item: ItemId(0),
+            class: ClassId(1),
+        });
+        let ts = r.finish(SimTime::new(10.0));
+        let c = &ts.windows[0].per_class[1];
+        assert_eq!(c.uplink_delivered, 2);
+        assert_eq!(c.uplink_lost, 1);
+        assert!((c.uplink_latency_mean.unwrap() - 0.3).abs() < 1e-12);
+        assert_eq!(ts.windows[0].per_class[0].uplink_latency_mean, None);
+    }
+
+    #[test]
+    fn drain_closed_streams_windows_without_losing_the_tail() {
+        let mut r = recorder(10.0);
+        r.record(&served(5.0, 1.0, 0, 0));
+        r.record(&served(15.0, 11.0, 0, 0));
+        r.record(&served(25.0, 21.0, 0, 0));
+        // t = 25 closed windows [0,10) and [10,20).
+        let drained = r.drain_closed();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].per_class[0].served, 1);
+        let ts = r.finish(SimTime::new(30.0));
+        assert_eq!(ts.windows.len(), 1, "only the undrained tail remains");
+        assert_eq!(ts.windows[0].index, 2);
+        assert_eq!(ts.windows[0].per_class[0].served, 1);
     }
 
     #[test]

@@ -243,6 +243,10 @@ pub struct RequestGenerator {
     item_rng: Xoshiro256,
     class_rng: Xoshiro256,
     next_arrival: SimTime,
+    /// Epoch the pending `next_arrival` gap was drawn from — the anchor
+    /// [`RequestGenerator::with_batching`] rescales the in-flight gap
+    /// around when the epoch rate changes mid-stream.
+    gap_base: SimTime,
     generated: u64,
     drift: Option<DriftConfig>,
     num_items: usize,
@@ -272,6 +276,7 @@ impl RequestGenerator {
             item_rng: factory.stream(streams::ITEM_CHOICE),
             class_rng: factory.stream(streams::CLASS_CHOICE),
             next_arrival: first,
+            gap_base: SimTime::ZERO,
             generated: 0,
             drift: None,
             num_items: catalog.len(),
@@ -293,7 +298,12 @@ impl RequestGenerator {
         );
         // epoch rate = λ / B; gap sampler is re-scaled accordingly
         self.gap = Exponential::new(self.gap.rate() / mean_batch);
-        // re-draw the first epoch under the new rate for determinism
+        // The pending gap was drawn at the old epoch rate; scaling it by B
+        // maps that Exp(λ) draw onto Exp(λ/B) exactly (inverse-CDF scaling),
+        // reusing the uniform draw already consumed — the next epoch lands
+        // at the new rate without disturbing the stream's determinism.
+        let pending = self.next_arrival.as_f64() - self.gap_base.as_f64();
+        self.next_arrival = SimTime::new(self.gap_base.as_f64() + pending * mean_batch);
         self.batch = Some(PoissonCount::new(mean_batch - 1.0));
         self
     }
@@ -351,6 +361,7 @@ impl RequestGenerator {
             None => {
                 self.next_arrival =
                     arrival + SimDuration::new(self.gap.sample(&mut self.arrival_rng));
+                self.gap_base = arrival;
             }
             Some(extra) => {
                 if self.pending_in_batch > 0 {
@@ -359,6 +370,7 @@ impl RequestGenerator {
                     // start the next burst at the next epoch
                     self.next_arrival =
                         arrival + SimDuration::new(self.gap.sample(&mut self.arrival_rng));
+                    self.gap_base = arrival;
                     self.pending_in_batch = extra.sample(&mut self.arrival_rng) as u32;
                 }
             }
@@ -537,6 +549,58 @@ mod tests {
         for _ in 0..500 {
             assert_eq!(a.next_request(), b.next_request());
         }
+    }
+
+    #[test]
+    fn batching_rescales_the_pending_first_epoch() {
+        // The constructor draws the first gap at the aggregate rate λ;
+        // with_batching retargets epochs to rate λ/B and must map the
+        // already-drawn gap onto the new law (×B scaling), not leave a
+        // pre-batching gap in flight. Statistically: the first epoch's
+        // mean is B/λ, not 1/λ.
+        let lambda = 5.0;
+        let b = 4.0;
+        let mut first = 0.0;
+        let n = 2_000;
+        for seed in 0..n {
+            let g = setup(lambda, seed).with_batching(b);
+            first += g.peek_time().as_f64();
+        }
+        let mean_first = first / n as f64;
+        let want = b / lambda;
+        assert!(
+            (mean_first - want).abs() / want < 0.1,
+            "first epoch mean {mean_first} vs expected {want} (pre-fix: {})",
+            1.0 / lambda
+        );
+    }
+
+    #[test]
+    fn toggling_batching_after_polling_rescales_only_the_pending_gap() {
+        // A stream polled once and then switched to batching keeps its
+        // history and stretches the in-flight gap around the last epoch —
+        // exactly ×B relative to an unbatched twin, with no RNG drift.
+        let b = 3.0;
+        let mut plain = setup(5.0, 42);
+        let mut toggled = setup(5.0, 42);
+        let p1 = plain.next_request();
+        let t1 = toggled.next_request();
+        assert_eq!(p1, t1);
+        let mut toggled = toggled.with_batching(b);
+        let plain_gap = plain.peek_time().as_f64() - p1.arrival.as_f64();
+        let toggled_gap = toggled.peek_time().as_f64() - t1.arrival.as_f64();
+        assert!(
+            (toggled_gap - b * plain_gap).abs() < 1e-12,
+            "pending gap must scale by exactly B: {toggled_gap} vs {}",
+            b * plain_gap
+        );
+        // The next epoch really fires at the rescaled instant.
+        let t2 = toggled.next_request();
+        assert_eq!(t2.arrival, toggled.peek_time().min(t2.arrival));
+        assert!(
+            (t2.arrival.as_f64() - (t1.arrival.as_f64() + b * plain_gap)).abs() < 1e-12,
+            "first post-toggle arrival lands on the rescaled epoch"
+        );
     }
 
     #[test]
