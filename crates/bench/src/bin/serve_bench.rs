@@ -1,0 +1,254 @@
+//! Serving-throughput trajectory for `hybridcastd`'s event-driven front
+//! end: an in-process daemon is driven by the open-loop epoll loadgen at
+//! escalating request rates, and the highest rate the daemon *sustains*
+//! (every request answered, offered rate actually achieved) is recorded
+//! against the PR-5 thread-per-connection baseline.
+//!
+//! ```text
+//! cargo run --release -p hybridcast-bench --bin serve_bench [-- quick]
+//! ```
+//!
+//! Each rate gets a fresh daemon on an ephemeral loopback port. A run
+//! *sustains* its target when the loadgen reports `unanswered == 0` (the
+//! conservation guarantee held end-to-end, including explicit sheds) and
+//! the achieved send rate reached ≥ 90% of the target (the client wasn't
+//! the bottleneck). CPU cost per request comes from `/proc/self/stat`
+//! (utime+stime deltas, `USER_HZ = 100`), covering server + loadgen since
+//! both live in this process.
+//!
+//! Acceptance gates (exit 1 on failure), enforced in CI where the runner
+//! has cores:
+//!
+//! * quick mode, ≥ 2 cores: sustained ≥ 40 000 req/s;
+//! * full mode, ≥ 4 cores: sustained ≥ 100 000 req/s (≥ 8× baseline).
+//!
+//! On a single-core host the trajectory still runs and records honest
+//! numbers, but the gate is skipped with a note — an epoll front end
+//! can't demonstrate parallel speedup without parallelism.
+//!
+//! Results land in `results/BENCH_serve.json`.
+
+use hybridcast_bench::results_dir;
+use hybridcast_core::config::HybridConfig;
+use hybridcast_core::pull::PullPolicyKind;
+use hybridcast_server::loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
+use hybridcast_server::{ServeConfig, ServeSummary, ServerHandle};
+use serde_json::json;
+
+/// PR-5 thread-per-connection sustained throughput on the reference CI
+/// class (loopback, 4 cores) — the denominator of the speedup claim.
+const BASELINE_RPS: f64 = 12_043.0;
+
+/// `utime + stime` of this process in seconds (`/proc/self/stat`,
+/// `USER_HZ = 100` — the fixed Linux userspace tick).
+fn cpu_seconds() -> f64 {
+    let stat = std::fs::read_to_string("/proc/self/stat").unwrap_or_default();
+    // Field 2 (comm) may contain spaces and parens; split on the *last*
+    // closing paren. After it, state is token 0 and utime/stime (1-indexed
+    // stat fields 14/15) are tokens 11/12.
+    let after = stat.rsplit_once(')').map(|(_, t)| t).unwrap_or("");
+    let fields: Vec<&str> = after.split_whitespace().collect();
+    let utime: f64 = fields.get(11).and_then(|f| f.parse().ok()).unwrap_or(0.0);
+    let stime: f64 = fields.get(12).and_then(|f| f.parse().ok()).unwrap_or(0.0);
+    (utime + stime) / 100.0
+}
+
+struct RunResult {
+    target_rps: f64,
+    report: LoadgenReport,
+    summary: ServeSummary,
+    cpu_secs: f64,
+    sustained: bool,
+}
+
+fn serve_config(cores: usize) -> ServeConfig {
+    let mut cfg = ServeConfig::default();
+    cfg.serve.addr = "127.0.0.1:0".into();
+    cfg.serve.results_path = None;
+    cfg.serve.unit_millis = 0.2; // fast downlink: the front end is the bottleneck
+    cfg.serve.ingress_capacity = 16_384;
+    cfg.serve.loop_threads = if cores >= 8 {
+        4
+    } else if cores >= 2 {
+        2
+    } else {
+        1
+    };
+    cfg.serve.drain_timeout_ms = 10_000;
+    cfg.hybrid = HybridConfig {
+        cutoff: 40,
+        pull: PullPolicyKind::importance(0.5),
+        ..HybridConfig::default()
+    };
+    cfg
+}
+
+fn run_one(rps: f64, duration_secs: f64, cores: usize) -> RunResult {
+    let server = ServerHandle::start(serve_config(cores)).expect("server starts");
+    let cpu0 = cpu_seconds();
+    let report = run_loadgen(&LoadgenConfig {
+        addr: server.addr().to_string(),
+        rps,
+        connections: 8,
+        duration_secs,
+        seed: 0xBEEF,
+        num_items: 100,
+        zipf_theta: 0.6,
+        class_shares: vec![2.0 / 11.0, 3.0 / 11.0, 6.0 / 11.0],
+        deadline_ms: 0,
+        grace_ms: 10_000,
+    })
+    .expect("loadgen runs");
+    let cpu_secs = cpu_seconds() - cpu0;
+    server.shutdown();
+    let summary = server.join().expect("clean shutdown");
+    let sustained = report.unanswered == 0 && report.achieved_rps >= 0.9 * rps;
+    RunResult {
+        target_rps: rps,
+        report,
+        summary,
+        cpu_secs,
+        sustained,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "quick" || a == "--quick");
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let (targets, duration): (&[f64], f64) = if quick {
+        (&[20_000.0, 40_000.0, 60_000.0], 1.5)
+    } else {
+        (&[25_000.0, 50_000.0, 100_000.0, 150_000.0], 3.0)
+    };
+
+    println!("# serve_bench — event-driven front-end trajectory\n");
+    println!(
+        "mode: {}, cores: {cores}, baseline (thread-per-conn): {BASELINE_RPS:.0} req/s\n",
+        if quick { "quick" } else { "full" }
+    );
+    println!("| target rps | achieved rps | answered | unanswered | shed % | A p50/p99 ms | C p50/p99 ms | cpu µs/req | conserved | sustained |");
+    println!("|---|---|---|---|---|---|---|---|---|---|");
+
+    let mut runs = Vec::new();
+    for &rps in targets {
+        let run = run_one(rps, duration, cores);
+        let r = &run.report;
+        let shed_pct = if r.answered > 0 {
+            100.0 * r.shed as f64 / r.answered as f64
+        } else {
+            0.0
+        };
+        let cpu_us = if r.answered > 0 {
+            run.cpu_secs * 1e6 / r.answered as f64
+        } else {
+            0.0
+        };
+        let q = |c: usize| {
+            r.per_class
+                .get(c)
+                .map(|p| (p.rtt_ms.p50, p.rtt_ms.p99))
+                .unwrap_or((0.0, 0.0))
+        };
+        let (a50, a99) = q(0);
+        let (c50, c99) = q(2);
+        println!(
+            "| {:.0} | {:.0} | {} | {} | {shed_pct:.1} | {a50:.2}/{a99:.2} | {c50:.2}/{c99:.2} | {cpu_us:.1} | {} | {} |",
+            run.target_rps,
+            r.achieved_rps,
+            r.answered,
+            r.unanswered,
+            run.summary.conservation_ok,
+            run.sustained,
+        );
+        runs.push(run);
+    }
+
+    let sustained_rps = runs
+        .iter()
+        .filter(|r| r.sustained)
+        .map(|r| r.target_rps)
+        .fold(0.0f64, f64::max);
+    let speedup = sustained_rps / BASELINE_RPS;
+    println!("\nsustained: {sustained_rps:.0} req/s ({speedup:.1}x over baseline)");
+
+    let every_conserved = runs.iter().all(|r| r.summary.conservation_ok);
+    let (gate_rps, gate_active, skip_note) = if quick {
+        (
+            40_000.0,
+            cores >= 2,
+            "quick gate needs >= 2 cores: one core can't overlap event loops and scheduler",
+        )
+    } else {
+        (
+            100_000.0,
+            cores >= 4,
+            "full gate needs >= 4 cores: the 8x target assumes parallel loops",
+        )
+    };
+    let pass = !gate_active || (sustained_rps >= gate_rps && every_conserved);
+    if gate_active {
+        println!(
+            "acceptance: sustained >= {gate_rps:.0} req/s with conservation: {}",
+            if pass { "PASS" } else { "FAIL" }
+        );
+    } else {
+        println!("acceptance: SKIPPED on a {cores}-core host — {skip_note}");
+    }
+
+    let doc = json!({
+        "bench": "serve",
+        "mode": if quick { "quick" } else { "full" },
+        "cores": cores,
+        "baseline_rps": BASELINE_RPS,
+        "duration_secs": duration,
+        "runs": runs.iter().map(|run| json!({
+            "target_rps": run.target_rps,
+            "achieved_rps": run.report.achieved_rps,
+            "sent": run.report.sent,
+            "answered": run.report.answered,
+            "unanswered": run.report.unanswered,
+            "served": run.report.served,
+            "shed": run.report.shed,
+            "cpu_us_per_request": if run.report.answered > 0 {
+                run.cpu_secs * 1e6 / run.report.answered as f64
+            } else { 0.0 },
+            "conservation_ok": run.summary.conservation_ok,
+            "accept_errors": run.summary.accept_errors,
+            "stalled_conns": run.summary.stalled_conns,
+            "sustained": run.sustained,
+            "per_class": run.report.per_class.iter().map(|p| json!({
+                "class": p.class,
+                "sent": p.sent,
+                "shed": p.shed,
+                "shed_rate": if p.sent > 0 { p.shed as f64 / p.sent as f64 } else { 0.0 },
+                "rtt_ms": {
+                    "count": p.rtt_ms.count,
+                    "mean": p.rtt_ms.mean,
+                    "p50": p.rtt_ms.p50,
+                    "p95": p.rtt_ms.p95,
+                    "p99": p.rtt_ms.p99,
+                    "max": p.rtt_ms.max,
+                },
+            })).collect::<Vec<_>>(),
+        })).collect::<Vec<_>>(),
+        "sustained_rps": sustained_rps,
+        "speedup_over_baseline": speedup,
+        "gate_rps": gate_rps,
+        "gate_active": gate_active,
+        "gate_skip_note": if gate_active { serde_json::Value::Null } else { json!(skip_note) },
+        "pass": pass,
+    });
+    let dir = results_dir();
+    let path = dir.join("BENCH_serve.json");
+    match std::fs::create_dir_all(&dir)
+        .and_then(|_| std::fs::write(&path, serde_json::to_string_pretty(&doc).unwrap()))
+    {
+        Ok(()) => eprintln!("[saved {}]", path.display()),
+        Err(e) => eprintln!("[warn: could not persist results: {e}]"),
+    }
+    if !pass {
+        std::process::exit(1);
+    }
+}

@@ -18,6 +18,8 @@
 //! * [`sim_driver`] — the event-driven end-to-end simulation;
 //! * [`clock`] — the sim-time/wall-time seam the serving daemon drives the
 //!   same scheduler core through;
+//! * [`shard`] — per-shard SPSC ingress rings + doorbell, the seam between
+//!   the daemon's event-loop reader shards and the scheduler thread;
 //! * [`metrics`] — per-class delay/blocking/prioritized-cost reports;
 //! * [`cutoff`] — the optimal-cutoff (`K*`) grid search, parallelized
 //!   over the candidate grid;
@@ -58,6 +60,7 @@ pub mod metrics;
 pub mod pull;
 pub mod push;
 pub mod queue;
+pub mod shard;
 pub mod sim_driver;
 pub mod uplink;
 

@@ -24,10 +24,18 @@ pub struct ServeParams {
     /// Wall milliseconds per broadcast unit: a length-`L` item occupies the
     /// downlink for `L × unit_millis` ms of real time.
     pub unit_millis: f64,
-    /// Bound of the reader→scheduler ingress queue. A frame arriving while
-    /// the queue is full is *shed*: the client gets an explicit `Shed`
-    /// reply instead of silent delay — backpressure, not buffering.
+    /// Per-shard bound of the event-loop→scheduler ingress rings (one ring
+    /// per loop thread). A frame arriving while its ring is full is *shed*:
+    /// the client gets an explicit `Shed` reply instead of silent delay —
+    /// backpressure, not buffering.
     pub ingress_capacity: usize,
+    /// Number of epoll event-loop threads fronting the sockets. Loop 0
+    /// also owns the accept path; connections are spread round-robin.
+    pub loop_threads: usize,
+    /// Per-connection outbound reply-queue bound in KiB. A connection that
+    /// stops reading long enough to exceed it is dropped (its replies are
+    /// still counted — a dead peer doesn't break conservation).
+    pub conn_outbound_kib: usize,
     /// Default per-request deadline in wall ms, applied when a request
     /// frame carries `deadline_ms = 0`. `0` here means "no deadline".
     pub default_deadline_ms: u32,
@@ -47,6 +55,8 @@ impl Default for ServeParams {
             unix_socket: None,
             unit_millis: 1.0,
             ingress_capacity: 8192,
+            loop_threads: 2,
+            conn_outbound_kib: 256,
             default_deadline_ms: 0,
             drain_timeout_ms: 2_000,
             telemetry_window: 500.0,
@@ -82,6 +92,12 @@ impl ServeConfig {
         }
         if self.serve.ingress_capacity == 0 {
             problems.push("serve.ingress_capacity must be at least 1".into());
+        }
+        if self.serve.loop_threads == 0 {
+            problems.push("serve.loop_threads must be at least 1".into());
+        }
+        if self.serve.conn_outbound_kib == 0 {
+            problems.push("serve.conn_outbound_kib must be at least 1".into());
         }
         if !(self.serve.telemetry_window > 0.0 && self.serve.telemetry_window.is_finite()) {
             problems.push(format!(
@@ -151,10 +167,14 @@ mod tests {
         let mut cfg = ServeConfig::default();
         cfg.serve.ingress_capacity = 0;
         cfg.serve.unit_millis = 0.0;
+        cfg.serve.loop_threads = 0;
+        cfg.serve.conn_outbound_kib = 0;
         cfg.hybrid.cutoff = cfg.scenario.num_items + 1;
         let err = cfg.validate().unwrap_err();
         assert!(err.contains("ingress_capacity"), "{err}");
         assert!(err.contains("unit_millis"), "{err}");
+        assert!(err.contains("loop_threads"), "{err}");
+        assert!(err.contains("conn_outbound_kib"), "{err}");
         assert!(err.contains("cutoff"), "{err}");
     }
 

@@ -6,17 +6,21 @@
 //! [`WallClock`](hybridcast_core::clock::WallClock) behind a TCP (and
 //! Unix-socket-shaped) front end:
 //!
-//! * [`frame`] — the tiny length-prefixed wire protocol;
+//! * [`frame`] — the tiny length-prefixed wire protocol, including the
+//!   batched [`FrameBatch`](frame::FrameBatch) decoder the event loops run;
 //! * [`config`] — the serializable [`ServeConfig`] (scenario + scheduler +
 //!   serving knobs);
-//! * [`server`] — `hybridcastd`'s accept/read/schedule thread topology,
-//!   bounded-ingress backpressure (explicit `Shed` replies, never silent
-//!   drops), per-request deadlines, graceful drain on SIGTERM, and live
-//!   windowed-QoS JSONL streaming;
-//! * [`loadgen`] — an open-loop Poisson/Zipf traffic generator with exact
-//!   per-class latency quantiles;
-//! * [`signal`] — SIGTERM/SIGINT → shutdown flag (the crate's only unsafe
-//!   island).
+//! * [`poll`] — a minimal `epoll(7)`/`eventfd(2)`/`writev(2)` FFI shim
+//!   (no async runtime, no external crates);
+//! * [`server`] — `hybridcastd`'s event-loop/scheduler thread topology:
+//!   edge-triggered readiness loops with batched decode and `writev`
+//!   reply coalescing, per-shard ingress rings with explicit-`Shed`
+//!   backpressure (never silent drops), per-request deadlines, graceful
+//!   drain on SIGTERM, and live windowed-QoS JSONL streaming;
+//! * [`loadgen`] — an open-loop Poisson/Zipf traffic generator
+//!   (epoll-multiplexed, streaming P² quantiles past 4096 samples/class);
+//! * [`signal`] — SIGTERM/SIGINT → shutdown flag (with [`poll`], one of
+//!   the crate's two unsafe islands).
 //!
 //! The hard invariant, checked at exit and recorded in the summary:
 //! **`accepted = served + shed + timed_out + uplink_lost`** — every frame
@@ -26,8 +30,11 @@
 #![deny(unsafe_code)]
 
 pub mod config;
+mod event_loop;
 pub mod frame;
 pub mod loadgen;
+#[allow(unsafe_code)]
+pub mod poll;
 pub mod server;
 #[allow(unsafe_code)]
 pub mod signal;

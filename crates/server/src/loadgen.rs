@@ -1,22 +1,29 @@
 //! Open-loop load generator for `hybridcastd`.
 //!
-//! `M` connection threads each pace an independent Poisson process at
-//! `rps / M` requests per wall second — *open loop*: send instants are
-//! scheduled from the arrival process alone, never from reply latency, so
-//! a slow server faces mounting concurrency instead of a politely
-//! backing-off client (the only honest way to measure a daemon's
-//! backpressure). Items follow a Zipf law and classes a population-share
-//! law, both drawn from seeded [`RngFactory`] streams, so two loadgen runs
-//! with one seed offer the identical request sequence.
+//! A handful of worker threads (at most four) multiplex all the
+//! connections over nonblocking sockets and one epoll instance each —
+//! 64 connections no longer cost 128 threads. Every *connection* still
+//! paces an independent Poisson process at `rps / connections` requests
+//! per wall second — *open loop*: send instants are scheduled from the
+//! arrival process alone, never from reply latency, so a slow server
+//! faces mounting concurrency instead of a politely backing-off client
+//! (the only honest way to measure a daemon's backpressure). Items follow
+//! a Zipf law and classes a population-share law, both drawn from seeded
+//! [`RngFactory`] streams keyed by the *global* connection index, so two
+//! loadgen runs with one seed offer the identical request sequence
+//! regardless of how connections land on workers.
 //!
-//! Each connection's reader thread matches replies to send timestamps by
-//! the echoed `seq` and records per-class round-trip latencies; the report
-//! carries exact order-statistic quantiles (p50/p95/p99) per class plus
-//! the status breakdown.
+//! Replies are matched to send timestamps by the echoed `seq` and
+//! recorded as per-class round-trip latencies. Quantiles are exact order
+//! statistics up to 4096 samples per class; past that the accumulator
+//! switches to streaming P² estimators (p50/p95 via [`P2Dual`], p99 via
+//! [`P2Quantile`]), replaying the exact prefix — a million-reply run
+//! costs O(1) memory per class instead of a gigabyte of samples.
 
 use std::collections::HashMap;
-use std::io;
+use std::io::{self, Read, Write};
 use std::net::{Shutdown, TcpStream};
+use std::os::unix::io::{AsRawFd, RawFd};
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -24,14 +31,23 @@ use std::time::{Duration, Instant};
 use serde::Serialize;
 
 use hybridcast_sim::dist::{Discrete, Exponential, Zipf};
-use hybridcast_sim::rng::RngFactory;
+use hybridcast_sim::quantile::{P2Dual, P2Quantile};
+use hybridcast_sim::rng::{RngFactory, Xoshiro256};
 
-use crate::frame::{read_frame, ReplyFrame, ReplyStatus, RequestFrame, OP_REPLY};
+use crate::frame::{Frame, FrameBatch, ReplyStatus, RequestFrame};
+use crate::poll::{Epoll, EpollEvent, EPOLLIN, EPOLLOUT};
 
 /// RNG stream lanes per connection (offset by the connection index).
 const GAP_STREAM: u64 = 0x10_000;
 const ITEM_STREAM: u64 = 0x20_000;
 const CLASS_STREAM: u64 = 0x30_000;
+
+/// Per-class sample count at which RTT accumulation switches from exact
+/// order statistics to streaming P² estimators.
+const EXACT_LIMIT: usize = 4096;
+
+/// Most worker threads the generator spawns; connections are multiplexed.
+const MAX_WORKERS: usize = 4;
 
 /// Load-generation parameters.
 #[derive(Debug, Clone)]
@@ -126,7 +142,8 @@ pub struct ClassLoadReport {
     pub rtt_ms: LatencyQuantiles,
 }
 
-/// Exact order-statistic quantiles over a latency sample.
+/// Latency quantiles: exact order statistics up to [`EXACT_LIMIT`]
+/// samples, streaming P² estimates beyond.
 #[derive(Debug, Clone, Default, Serialize)]
 pub struct LatencyQuantiles {
     /// Sample count.
@@ -162,6 +179,67 @@ impl LatencyQuantiles {
     }
 }
 
+/// Per-class RTT accumulator: exact to [`EXACT_LIMIT`], then P².
+struct RttAccum {
+    exact: Vec<f64>,
+    /// `(p50/p95 dual, p99)` — engaged once the exact buffer overflows,
+    /// seeded by replaying the buffered prefix.
+    p2: Option<(P2Dual, P2Quantile)>,
+    count: u64,
+    sum: f64,
+    max: f64,
+}
+
+impl RttAccum {
+    fn new() -> Self {
+        RttAccum {
+            exact: Vec::new(),
+            p2: None,
+            count: 0,
+            sum: 0.0,
+            max: 0.0,
+        }
+    }
+
+    fn push(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        if x > self.max {
+            self.max = x;
+        }
+        if let Some((dual, p99)) = &mut self.p2 {
+            dual.push(x);
+            p99.push(x);
+            return;
+        }
+        self.exact.push(x);
+        if self.exact.len() > EXACT_LIMIT {
+            let mut dual = P2Dual::new(0.50, 0.95);
+            let mut p99 = P2Quantile::new(0.99);
+            for &v in &self.exact {
+                dual.push(v);
+                p99.push(v);
+            }
+            self.exact = Vec::new();
+            self.p2 = Some((dual, p99));
+        }
+    }
+
+    fn quantiles(self) -> LatencyQuantiles {
+        match self.p2 {
+            None => LatencyQuantiles::from_samples(self.exact),
+            Some((dual, p99)) => LatencyQuantiles {
+                count: self.count,
+                mean: self.sum / self.count.max(1) as f64,
+                p50: dual.estimate_lo().unwrap_or(0.0),
+                p95: dual.estimate_hi().unwrap_or(0.0),
+                p99: p99.estimate().unwrap_or(0.0),
+                max: self.max,
+            },
+        }
+    }
+}
+
 /// Aggregate loadgen result.
 #[derive(Debug, Clone, Serialize)]
 pub struct LoadgenReport {
@@ -189,11 +267,34 @@ pub struct LoadgenReport {
     pub per_class: Vec<ClassLoadReport>,
 }
 
-/// One reply as seen by a connection's reader.
+/// One reply as observed by a worker (batched into the shared tally).
 struct Obs {
     class: u8,
     status: ReplyStatus,
     rtt_ms: f64,
+}
+
+/// The cross-worker result sink. P² estimators don't merge, so there is
+/// exactly one [`RttAccum`] per class; workers flush observation batches
+/// under one short lock per poll iteration instead of per reply.
+struct Tally {
+    by_status: Vec<[u64; 5]>,
+    rtt: Vec<RttAccum>,
+}
+
+impl Tally {
+    fn absorb(&mut self, batch: &mut Vec<Obs>) {
+        for obs in batch.drain(..) {
+            let c = obs.class as usize;
+            if c >= self.by_status.len() {
+                continue;
+            }
+            self.by_status[c][obs.status.as_u8() as usize] += 1;
+            if obs.status.is_served() {
+                self.rtt[c].push(obs.rtt_ms);
+            }
+        }
+    }
 }
 
 /// Runs the load, blocking for `duration_secs` + up to `grace_ms`.
@@ -201,46 +302,47 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
     cfg.validate()
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
     let factory = RngFactory::new(cfg.seed);
+    let ncls = cfg.class_shares.len();
+    let tally = Arc::new(Mutex::new(Tally {
+        by_status: vec![[0u64; 5]; ncls],
+        rtt: (0..ncls).map(|_| RttAccum::new()).collect(),
+    }));
+    let nworkers = cfg.connections.min(MAX_WORKERS);
     let start = Instant::now();
     let mut workers = Vec::new();
-    for c in 0..cfg.connections {
+    for w in 0..nworkers {
         let cfg = cfg.clone();
-        workers.push(thread::spawn(move || connection_worker(&cfg, &factory, c)));
+        let tally = Arc::clone(&tally);
+        // Worker `w` drives global connections {i : i % nworkers == w}.
+        let conn_ids: Vec<usize> = (w..cfg.connections).step_by(nworkers).collect();
+        workers.push(thread::spawn(move || {
+            worker_loop(&cfg, &factory, &conn_ids, &tally)
+        }));
     }
     let mut sent = 0u64;
-    let mut per_class_sent = vec![0u64; cfg.class_shares.len()];
-    let mut observations: Vec<Obs> = Vec::new();
+    let mut per_class_sent = vec![0u64; ncls];
     for w in workers {
-        let (conn_sent, conn_obs) = w
+        let conn_sent = w
             .join()
             .map_err(|_| io::Error::other("loadgen worker panicked"))??;
         for (cls, n) in conn_sent.iter().enumerate() {
             per_class_sent[cls] += n;
             sent += n;
         }
-        observations.extend(conn_obs);
     }
     let elapsed = start
         .elapsed()
         .as_secs_f64()
         .min(cfg.duration_secs.max(1e-9));
 
-    let ncls = cfg.class_shares.len();
-    let mut by_status = vec![[0u64; 5]; ncls];
-    let mut rtts: Vec<Vec<f64>> = vec![Vec::new(); ncls];
-    for obs in &observations {
-        let c = obs.class as usize;
-        if c >= ncls {
-            continue;
-        }
-        by_status[c][obs.status.as_u8() as usize] += 1;
-        if obs.status.is_served() {
-            rtts[c].push(obs.rtt_ms);
-        }
-    }
+    let tally = Arc::try_unwrap(tally)
+        .map_err(|_| io::Error::other("tally still shared"))?
+        .into_inner()
+        .expect("tally lock");
+    let mut rtts = tally.rtt;
     let per_class: Vec<ClassLoadReport> = (0..ncls)
         .map(|c| {
-            let s = &by_status[c];
+            let s = &tally.by_status[c];
             let answered: u64 = s.iter().sum();
             ClassLoadReport {
                 class: c as u8,
@@ -251,11 +353,14 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
                 timed_out: s[3],
                 uplink_lost: s[4],
                 unanswered: per_class_sent[c].saturating_sub(answered),
-                rtt_ms: LatencyQuantiles::from_samples(std::mem::take(&mut rtts[c])),
+                rtt_ms: std::mem::replace(&mut rtts[c], RttAccum::new()).quantiles(),
             }
         })
         .collect();
-    let answered = observations.len() as u64;
+    let answered: u64 = per_class
+        .iter()
+        .map(|p| p.served_push + p.served_pull + p.shed + p.timed_out + p.uplink_lost)
+        .sum();
     let served = per_class
         .iter()
         .map(|p| p.served_push + p.served_pull)
@@ -277,101 +382,254 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
 
 type Sent = Vec<u64>;
 
-fn connection_worker(
-    cfg: &LoadgenConfig,
-    factory: &RngFactory,
-    conn_idx: usize,
-) -> io::Result<(Sent, Vec<Obs>)> {
-    let stream = TcpStream::connect(&cfg.addr)?;
-    stream.set_nodelay(true)?;
-    let mut write_half = stream.try_clone()?;
-
-    // seq → (send instant, class); shared with the reader.
-    let pending: Arc<Mutex<HashMap<u64, (Instant, u8)>>> = Arc::new(Mutex::new(HashMap::new()));
-    let observations: Arc<Mutex<Vec<Obs>>> = Arc::new(Mutex::new(Vec::new()));
-    let reader = {
-        let pending = Arc::clone(&pending);
-        let observations = Arc::clone(&observations);
-        let mut read_half = stream;
-        thread::spawn(move || reply_reader(&mut read_half, &pending, &observations))
-    };
-
-    let mut gap_rng = factory.stream(GAP_STREAM + conn_idx as u64);
-    let mut item_rng = factory.stream(ITEM_STREAM + conn_idx as u64);
-    let mut class_rng = factory.stream(CLASS_STREAM + conn_idx as u64);
-    let gaps = Exponential::new(cfg.rps / cfg.connections as f64);
-    let items = Zipf::new(cfg.num_items, cfg.zipf_theta);
-    let classes = Discrete::new(&cfg.class_shares);
-
-    let start = Instant::now();
-    let window = Duration::from_secs_f64(cfg.duration_secs);
-    let mut sent = vec![0u64; cfg.class_shares.len()];
-    let mut next_at = 0.0f64; // seconds since start, open-loop schedule
-    let mut seq = 0u64;
-    loop {
-        next_at += gaps.sample(&mut gap_rng);
-        let target = Duration::from_secs_f64(next_at);
-        if target >= window {
-            break;
-        }
-        let elapsed = start.elapsed();
-        if target > elapsed {
-            thread::sleep(target - elapsed);
-        }
-        let class = classes.sample(&mut class_rng) as u8;
-        let item = items.sample(&mut item_rng) as u32;
-        let frame = RequestFrame {
-            seq,
-            class,
-            item,
-            deadline_ms: cfg.deadline_ms,
-        };
-        pending
-            .lock()
-            .expect("pending lock")
-            .insert(seq, (Instant::now(), class));
-        if std::io::Write::write_all(&mut write_half, &frame.encode()).is_err() {
-            break; // daemon went away; unanswered count covers the rest
-        }
-        sent[class as usize] += 1;
-        seq += 1;
-    }
-
-    // Give stragglers a bounded chance to be answered, then close.
-    let grace_deadline = Instant::now() + Duration::from_millis(cfg.grace_ms);
-    while Instant::now() < grace_deadline {
-        if pending.lock().expect("pending lock").is_empty() {
-            break;
-        }
-        thread::sleep(Duration::from_millis(10));
-    }
-    let _ = write_half.shutdown(Shutdown::Both);
-    let _ = reader.join();
-    let obs = std::mem::take(&mut *observations.lock().expect("observations lock"));
-    Ok((sent, obs))
+/// One multiplexed connection: its own seeded streams (keyed by global
+/// index), open-loop schedule, pending map, outbound buffer, and reply
+/// decoder.
+struct ConnDriver {
+    stream: TcpStream,
+    fd: RawFd,
+    gap_rng: Xoshiro256,
+    item_rng: Xoshiro256,
+    class_rng: Xoshiro256,
+    /// Next scheduled send instant, seconds since the worker's start.
+    next_at: f64,
+    seq: u64,
+    pending: HashMap<u64, (Instant, u8)>,
+    out: Vec<u8>,
+    off: usize,
+    want_write: bool,
+    dead: bool,
+    batch: FrameBatch,
 }
 
-fn reply_reader(
-    stream: &mut TcpStream,
-    pending: &Mutex<HashMap<u64, (Instant, u8)>>,
-    observations: &Mutex<Vec<Obs>>,
-) {
-    while let Ok(Some(body)) = read_frame(stream) {
-        if body.first() != Some(&OP_REPLY) {
-            continue;
-        }
-        let Ok(rep) = ReplyFrame::decode(&body[1..]) else {
-            continue;
-        };
-        let entry = pending.lock().expect("pending lock").remove(&rep.seq);
-        if let Some((sent_at, class)) = entry {
-            observations.lock().expect("observations lock").push(Obs {
+/// The three per-request draw distributions, bundled so the pacing hot
+/// path passes a single reference.
+struct Samplers {
+    gaps: Exponential,
+    items: Zipf,
+    classes: Discrete,
+}
+
+impl ConnDriver {
+    /// Queues every frame due by `now`, pacing open-loop: a stall catches
+    /// up with a burst rather than rescheduling.
+    fn enqueue_due(
+        &mut self,
+        cfg: &LoadgenConfig,
+        s: &Samplers,
+        now: f64,
+        window: f64,
+        sent: &mut [u64],
+    ) {
+        while self.next_at < window && self.next_at <= now {
+            let class = s.classes.sample(&mut self.class_rng) as u8;
+            let item = s.items.sample(&mut self.item_rng) as u32;
+            let frame = RequestFrame {
+                seq: self.seq,
                 class,
-                status: rep.status,
-                rtt_ms: sent_at.elapsed().as_secs_f64() * 1e3,
-            });
+                item,
+                deadline_ms: cfg.deadline_ms,
+            };
+            self.pending.insert(self.seq, (Instant::now(), class));
+            self.out.extend_from_slice(&frame.encode());
+            sent[class as usize] += 1;
+            self.seq += 1;
+            self.next_at += s.gaps.sample(&mut self.gap_rng);
         }
     }
+
+    /// Writes buffered frames until drained or `WouldBlock`; returns
+    /// whether EPOLLOUT interest should change.
+    fn flush(&mut self) {
+        while self.off < self.out.len() {
+            match (&self.stream).write(&self.out[self.off..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    return;
+                }
+                Ok(n) => self.off += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+        if self.off >= self.out.len() {
+            self.out.clear();
+            self.off = 0;
+        }
+    }
+
+    /// Reads and decodes every available reply, matching against pending.
+    fn pump_replies(&mut self, obs: &mut Vec<Obs>) {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match (&self.stream).read(&mut chunk) {
+                Ok(0) => {
+                    self.dead = true;
+                    break;
+                }
+                Ok(n) => self.batch.extend(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        loop {
+            match self.batch.decode_next() {
+                Ok(Some(Frame::Reply(rep))) => {
+                    if let Some((sent_at, class)) = self.pending.remove(&rep.seq) {
+                        obs.push(Obs {
+                            class,
+                            status: rep.status,
+                            rtt_ms: sent_at.elapsed().as_secs_f64() * 1e3,
+                        });
+                    }
+                }
+                Ok(Some(_)) => continue, // the server never sends these
+                Ok(None) => break,
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn worker_loop(
+    cfg: &LoadgenConfig,
+    factory: &RngFactory,
+    conn_ids: &[usize],
+    tally: &Mutex<Tally>,
+) -> io::Result<Sent> {
+    let samplers = Samplers {
+        gaps: Exponential::new(cfg.rps / cfg.connections as f64),
+        items: Zipf::new(cfg.num_items, cfg.zipf_theta),
+        classes: Discrete::new(&cfg.class_shares),
+    };
+    let epoll = Epoll::new()?;
+    let mut conns: Vec<ConnDriver> = Vec::with_capacity(conn_ids.len());
+    for (slot, &cid) in conn_ids.iter().enumerate() {
+        let stream = TcpStream::connect(&cfg.addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_nonblocking(true)?;
+        let fd = stream.as_raw_fd();
+        epoll.add(fd, EPOLLIN, slot as u64)?;
+        let mut gap_rng = factory.stream(GAP_STREAM + cid as u64);
+        let first = Exponential::new(cfg.rps / cfg.connections as f64).sample(&mut gap_rng);
+        conns.push(ConnDriver {
+            stream,
+            fd,
+            gap_rng,
+            item_rng: factory.stream(ITEM_STREAM + cid as u64),
+            class_rng: factory.stream(CLASS_STREAM + cid as u64),
+            next_at: first,
+            seq: 0,
+            pending: HashMap::new(),
+            out: Vec::new(),
+            off: 0,
+            want_write: false,
+            dead: false,
+            batch: FrameBatch::new(),
+        });
+    }
+
+    let start = Instant::now();
+    let window = cfg.duration_secs;
+    let mut sent = vec![0u64; cfg.class_shares.len()];
+    let mut events = [EpollEvent::zeroed(); 64];
+    let mut obs: Vec<Obs> = Vec::new();
+
+    // Send window: pace, flush, poll, read — all on this one thread.
+    loop {
+        let now = start.elapsed().as_secs_f64();
+        if now >= window {
+            break;
+        }
+        let mut earliest = window;
+        for (slot, conn) in conns.iter_mut().enumerate() {
+            if conn.dead {
+                continue;
+            }
+            conn.enqueue_due(cfg, &samplers, now, window, &mut sent);
+            conn.flush();
+            if conn.next_at < earliest {
+                earliest = conn.next_at;
+            }
+            let want = conn.off < conn.out.len();
+            if want != conn.want_write {
+                conn.want_write = want;
+                let interest = if want { EPOLLIN | EPOLLOUT } else { EPOLLIN };
+                let _ = epoll.modify(conn.fd, interest, slot as u64);
+            }
+        }
+        let timeout = Duration::from_secs_f64((earliest - now).clamp(0.0, 0.01));
+        let n = epoll.wait(&mut events, Some(timeout))?;
+        for ev in &events[..n] {
+            let slot = ev.cookie() as usize;
+            if slot >= conns.len() {
+                continue;
+            }
+            let conn = &mut conns[slot];
+            if conn.dead {
+                continue;
+            }
+            if ev.ready() & EPOLLOUT != 0 {
+                conn.flush();
+            }
+            if ev.ready() & EPOLLIN != 0 {
+                conn.pump_replies(&mut obs);
+            }
+        }
+        if !obs.is_empty() {
+            tally.lock().expect("tally lock").absorb(&mut obs);
+        }
+    }
+
+    // Grace: give stragglers a bounded chance to be answered.
+    let grace_deadline = Instant::now() + Duration::from_millis(cfg.grace_ms);
+    loop {
+        for conn in conns.iter_mut() {
+            if !conn.dead {
+                conn.flush();
+            }
+        }
+        let outstanding = conns
+            .iter()
+            .any(|c| !c.dead && (!c.pending.is_empty() || c.off < c.out.len()));
+        if !outstanding || Instant::now() >= grace_deadline {
+            break;
+        }
+        let n = epoll.wait(&mut events, Some(Duration::from_millis(10)))?;
+        for ev in &events[..n] {
+            let slot = ev.cookie() as usize;
+            if slot >= conns.len() || conns[slot].dead {
+                continue;
+            }
+            if ev.ready() & EPOLLOUT != 0 {
+                conns[slot].flush();
+            }
+            if ev.ready() & EPOLLIN != 0 {
+                conns[slot].pump_replies(&mut obs);
+            }
+        }
+        if !obs.is_empty() {
+            tally.lock().expect("tally lock").absorb(&mut obs);
+        }
+    }
+    for conn in &conns {
+        let _ = conn.stream.shutdown(Shutdown::Both);
+    }
+    if !obs.is_empty() {
+        tally.lock().expect("tally lock").absorb(&mut obs);
+    }
+    Ok(sent)
 }
 
 #[cfg(test)]
@@ -409,5 +667,49 @@ mod tests {
         };
         assert!(cfg.validate().is_err());
         assert!(LoadgenConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn accumulator_is_exact_below_the_limit() {
+        let mut acc = RttAccum::new();
+        for i in 1..=100 {
+            acc.push(i as f64);
+        }
+        let q = acc.quantiles();
+        assert_eq!(q.count, 100);
+        assert_eq!(q.p50, 50.0);
+        assert_eq!(q.p99, 99.0);
+        assert_eq!(q.max, 100.0);
+    }
+
+    #[test]
+    fn accumulator_switches_to_p2_and_stays_close() {
+        let mut acc = RttAccum::new();
+        // Deterministic shuffle of 1..=20000 via an LCG permutation.
+        let n = 20_000u64;
+        let mut x = 1u64;
+        for _ in 0..n {
+            x = (x * 48271) % 0x7fff_ffff;
+            acc.push((x % n + 1) as f64);
+        }
+        assert!(acc.p2.is_some(), "past the limit the estimators engage");
+        let q = acc.quantiles();
+        assert_eq!(q.count, n);
+        // P² tolerance: a few percent on a well-behaved sample.
+        assert!(
+            (q.p50 - 0.50 * n as f64).abs() < 0.05 * n as f64,
+            "{}",
+            q.p50
+        );
+        assert!(
+            (q.p95 - 0.95 * n as f64).abs() < 0.05 * n as f64,
+            "{}",
+            q.p95
+        );
+        assert!(
+            (q.p99 - 0.99 * n as f64).abs() < 0.05 * n as f64,
+            "{}",
+            q.p99
+        );
     }
 }

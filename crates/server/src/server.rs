@@ -1,31 +1,37 @@
 //! `hybridcastd`: the wall-clock serving loop.
 //!
-//! Thread topology (all `std::net` + threads; no async runtime):
+//! Thread topology (epoll readiness loops + one scheduler thread; no
+//! async runtime):
 //!
 //! ```text
-//!            ┌ reader (1/conn) ┐   bounded sync_channel    ┌───────────┐
-//! accept ──▶ │ parse frames    │ ────── ingress ─────────▶ │ scheduler │──▶ replies
-//!  thread    │ try_send / shed │ ── notices (unbounded) ─▶ │  thread   │    (per-conn
-//!            └─────────────────┘                           └───────────┘     writers)
+//!          ┌ event loop 0 ┐  per-shard SPSC rings   ┌───────────┐
+//! accept ─▶│ epoll, batch │ ───── ingress ────────▶ │ scheduler │
+//! (loop 0) │ decode,      │ ── notices (mpsc) ────▶ │  thread   │
+//!          │ writev flush │ ◀─ reply queues/kicks ──│           │
+//!          └ event loop N ┘                         └───────────┘
 //! ```
 //!
-//! * **Readers** decode length-prefixed request frames and `try_send` them
-//!   into the bounded ingress queue. A full queue is *backpressure*: the
-//!   reader immediately writes an explicit `Shed` reply itself (the
-//!   scheduler never sees the frame) and posts a notice so the counters
-//!   and telemetry still see the arrival. No accepted frame is ever
-//!   silently dropped.
+//! * **Event loops** ([`crate::event_loop`]) own the sockets: nonblocking,
+//!   edge-triggered epoll, stateful per-connection read buffers feeding a
+//!   batched frame decoder, and `writev`-coalesced reply flushing. Each
+//!   loop is the single producer of one bounded ingress ring; a full ring
+//!   is *backpressure*: the loop immediately writes an explicit `Shed`
+//!   reply itself (the scheduler never sees the frame) and posts a notice
+//!   so the counters and telemetry still see the arrival. No accepted
+//!   frame is ever silently dropped.
 //! * **The scheduler thread** owns the entire scheduling state — the
 //!   [`HybridScheduler`], the optional contended uplink, deadline and
 //!   uplink-delivery heaps, and the live-request table. It alternates
 //!   push/pull dispatch exactly like the simulator, but against a
 //!   [`WallClock`]: a transmission of `L` broadcast units occupies the
-//!   downlink for `L × unit_millis` wall milliseconds. Dispatch is
-//!   demand-gated — an idle daemon sleeps on the ingress channel instead
-//!   of broadcasting to nobody.
+//!   downlink for `L × unit_millis` wall milliseconds. It drains the
+//!   shard rings round-robin, enqueues replies into per-connection
+//!   outbound queues, and rings each loop's waker **once per tick** —
+//!   an idle daemon parks on the [`Doorbell`] instead of broadcasting to
+//!   nobody.
 //! * **Graceful shutdown** (SIGTERM/ctrl-c via [`crate::signal`], the
 //!   in-band shutdown frame, or [`ServerHandle::shutdown`]): stop
-//!   accepting, keep draining queued pull work for at most
+//!   accepting and reading, keep draining queued pull work for at most
 //!   `drain_timeout_ms`, shed whatever is left (every outstanding request
 //!   still gets a reply), flush the telemetry JSONL, exit 0.
 //!
@@ -39,13 +45,11 @@
 //! `TimedOut` reply — costing only that item's airtime.
 
 use std::collections::{BinaryHeap, HashMap};
-use std::io::{self, BufWriter, Read, Write};
+use std::io::{self, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{
-    channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError,
-};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -55,6 +59,7 @@ use hybridcast_core::clock::{Clock, WallClock};
 use hybridcast_core::hybrid::{Disposition, HybridScheduler, Transmission};
 use hybridcast_core::metrics::TxKind;
 use hybridcast_core::queue::PendingItem;
+use hybridcast_core::shard::{ring as shard_ring, Doorbell, ShardSet};
 use hybridcast_core::uplink::{UplinkChannel, UplinkOutcome};
 use hybridcast_sim::stats::{SummaryStats, Welford};
 use hybridcast_sim::time::{SimDuration, SimTime};
@@ -63,81 +68,22 @@ use hybridcast_workload::catalog::ItemId;
 use hybridcast_workload::classes::ClassId;
 
 use crate::config::ServeConfig;
-use crate::frame::{ReplyFrame, ReplyStatus, RequestFrame, OP_REQUEST, OP_SHUTDOWN};
+use crate::event_loop::{
+    run_loop, shed_reply, Bounds, Conn, Ingress, Ledger, LoopCtx, LoopShared, Notice,
+};
+use crate::frame::{ReplyFrame, ReplyStatus};
 
 /// The uplink channel's RNG stream id — the same lane the simulator uses
 /// (`sim_driver`), so a serve and a sim run over one seed draw identically.
 const UPLINK_STREAM: u64 = 7;
 
-/// How long readers and the acceptor sleep between shutdown-flag polls.
+/// The scheduler's maximum doorbell park (also bounds wake latency for
+/// time-driven work when no ingress arrives).
 const POLL: Duration = Duration::from_millis(25);
 
-// ---------------------------------------------------------------------------
-// Connections
-// ---------------------------------------------------------------------------
-
-/// The write half of one client connection, shared by the reader thread
-/// (ingress-overflow sheds) and the scheduler thread (everything else).
-#[derive(Clone)]
-struct Conn(Arc<ConnInner>);
-
-struct ConnInner {
-    writer: Mutex<Box<dyn Write + Send>>,
-    alive: AtomicBool,
-}
-
-impl Conn {
-    fn new(writer: Box<dyn Write + Send>) -> Self {
-        Conn(Arc::new(ConnInner {
-            writer: Mutex::new(writer),
-            alive: AtomicBool::new(true),
-        }))
-    }
-
-    /// Writes one reply; a dead peer just marks the connection and moves
-    /// on (the request is still *counted* as answered — we answered).
-    fn send(&self, rep: &ReplyFrame) {
-        if !self.0.alive.load(Ordering::Relaxed) {
-            return;
-        }
-        let bytes = rep.encode();
-        let mut w = self.0.writer.lock().expect("writer lock");
-        if w.write_all(&bytes).and_then(|_| w.flush()).is_err() {
-            self.0.alive.store(false, Ordering::Relaxed);
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Reader → scheduler messages
-// ---------------------------------------------------------------------------
-
-/// One validated request frame on its way to the scheduler.
-struct Ingress {
-    seq: u64,
-    item: ItemId,
-    class: ClassId,
-    deadline_ms: u32,
-    ingest: SimTime,
-    conn: Conn,
-}
-
-/// A request the reader already answered (`Shed`) without the scheduler:
-/// ingress overflow or an out-of-range item/class. Carried so the counters
-/// and telemetry still account for the arrival.
-struct Notice {
-    /// `None` for malformed (out-of-range) frames.
-    class: Option<ClassId>,
-    item: Option<ItemId>,
-    ingest: SimTime,
-}
-
-/// Catalog/class bounds the readers validate against.
-#[derive(Clone, Copy)]
-struct Bounds {
-    num_items: u32,
-    num_classes: u8,
-}
+/// Ring items ingested per scheduler tick before time-driven work
+/// (completions, deadlines) gets another look.
+const DRAIN_BUDGET: usize = 4096;
 
 // ---------------------------------------------------------------------------
 // Summary
@@ -167,7 +113,7 @@ pub struct ClassCounters {
 /// End-of-run accounting, also written as the JSONL summary line.
 #[derive(Debug, Clone, Serialize)]
 pub struct ServeSummary {
-    /// Every frame read off a socket (including reader-shed ones).
+    /// Every frame read off a socket (including front-end-shed ones).
     pub accepted: u64,
     /// Served by the broadcast channel.
     pub served_push: u64,
@@ -183,6 +129,12 @@ pub struct ServeSummary {
     pub push_tx: u64,
     /// Pull transmissions aired.
     pub pull_tx: u64,
+    /// Accept-loop failures (fd exhaustion and otherwise); each is a
+    /// connection that never opened, not an unanswered request.
+    pub accept_errors: u64,
+    /// Connections killed for exceeding the outbound reply bound (stalled
+    /// readers). Their replies are still counted as answered.
+    pub stalled_conns: u64,
     /// Wall seconds from first bind to summary.
     pub wall_seconds: f64,
     /// `accepted == served + shed + timed_out + uplink_lost` — every
@@ -258,7 +210,7 @@ impl ServerHandle {
 }
 
 // ---------------------------------------------------------------------------
-// Acceptor + readers
+// Topology
 // ---------------------------------------------------------------------------
 
 fn run(
@@ -273,204 +225,64 @@ fn run(
         num_items: scenario.catalog.len() as u32,
         num_classes: scenario.classes.len() as u8,
     };
-
-    let (ingress_tx, ingress_rx) = sync_channel::<Ingress>(config.serve.ingress_capacity);
+    let nloops = config.serve.loop_threads.max(1);
+    let outbound_bound = config.serve.conn_outbound_kib.saturating_mul(1024);
+    let ledger = Arc::new(Ledger::default());
+    let doorbell = Arc::new(Doorbell::new());
+    let done = Arc::new(AtomicBool::new(false));
     let (notice_tx, notice_rx) = channel::<Notice>();
-    let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-
     listener.set_nonblocking(true)?;
-    let acceptor = {
-        let shutdown = Arc::clone(&shutdown);
-        let readers = Arc::clone(&readers);
-        let clock = clock.clone();
-        thread::spawn(move || {
-            accept_loop(
-                listener, shutdown, readers, clock, bounds, ingress_tx, notice_tx,
-            )
-        })
-    };
 
+    let mut shareds: Vec<Arc<LoopShared>> = Vec::with_capacity(nloops);
+    for _ in 0..nloops {
+        shareds.push(Arc::new(LoopShared::new(
+            outbound_bound,
+            Arc::clone(&ledger),
+        )?));
+    }
+    let mut consumers = Vec::with_capacity(nloops);
+    let mut joins = Vec::with_capacity(nloops);
+    let mut listener = Some(listener);
+    for (i, shared) in shareds.iter().enumerate() {
+        let (producer, consumer) = shard_ring::<Ingress>(config.serve.ingress_capacity);
+        consumers.push(consumer);
+        let ctx = LoopCtx {
+            index: i,
+            shared: Arc::clone(shared),
+            peers: shareds.clone(),
+            listener: listener.take(), // loop 0 owns the accept path
+            ring: producer,
+            notices: notice_tx.clone(),
+            doorbell: Arc::clone(&doorbell),
+            shutdown: Arc::clone(&shutdown),
+            done: Arc::clone(&done),
+            bounds,
+            clock: clock.clone(),
+        };
+        joins.push(thread::spawn(move || run_loop(ctx)));
+    }
+    drop(notice_tx);
+
+    let mut shards = ShardSet::new(consumers);
     let mut core = Core::new(&config, scenario, clock)?;
-    core.run(&ingress_rx, &notice_rx, &shutdown);
+    core.run(&mut shards, &doorbell, &shareds, &notice_rx, &shutdown);
     core.drain(
-        &ingress_rx,
+        &mut shards,
+        &shareds,
         &notice_rx,
         Duration::from_millis(config.serve.drain_timeout_ms),
     );
 
-    // `run`/`drain` only exit with the flag set; readers and the acceptor
-    // poll it, so joining terminates promptly.
-    let _ = acceptor.join();
-    for h in readers.lock().expect("reader registry").drain(..) {
-        let _ = h.join();
+    // Loops final-flush every queued reply, close all connections (clients
+    // see EOF), and exit.
+    done.store(true, Ordering::SeqCst);
+    for s in &shareds {
+        s.wake();
     }
-    core.finish(started.elapsed())
-}
-
-#[allow(clippy::too_many_arguments)]
-fn accept_loop(
-    listener: TcpListener,
-    shutdown: Arc<AtomicBool>,
-    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
-    clock: WallClock,
-    bounds: Bounds,
-    ingress: SyncSender<Ingress>,
-    notices: Sender<Notice>,
-) {
-    while !shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let _ = stream.set_nodelay(true);
-                let _ = stream.set_read_timeout(Some(POLL));
-                let writer = match stream.try_clone() {
-                    Ok(w) => w,
-                    Err(_) => continue,
-                };
-                let conn = Conn::new(Box::new(writer));
-                let shutdown = Arc::clone(&shutdown);
-                let clock = clock.clone();
-                let ingress = ingress.clone();
-                let notices = notices.clone();
-                let handle = thread::spawn(move || {
-                    reader_loop(stream, conn, clock, bounds, ingress, notices, shutdown)
-                });
-                readers.lock().expect("reader registry").push(handle);
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL),
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(_) => break,
-        }
+    for j in joins {
+        let _ = j.join();
     }
-}
-
-/// Per-connection frame pump. Survives read timeouts mid-frame (partial
-/// bytes stay buffered), exits on EOF, error, or shutdown.
-fn reader_loop<S: Read>(
-    mut stream: S,
-    conn: Conn,
-    clock: WallClock,
-    bounds: Bounds,
-    ingress: SyncSender<Ingress>,
-    notices: Sender<Notice>,
-    shutdown: Arc<AtomicBool>,
-) {
-    let mut buf: Vec<u8> = Vec::with_capacity(4096);
-    let mut chunk = [0u8; 4096];
-    loop {
-        if shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        match stream.read(&mut chunk) {
-            Ok(0) => return,
-            Ok(n) => {
-                buf.extend_from_slice(&chunk[..n]);
-                let mut cursor = 0usize;
-                while let Some((body_start, body_end)) = peek_frame(&buf[cursor..]) {
-                    let body = &buf[cursor + body_start..cursor + body_end];
-                    if !handle_frame(body, &conn, &clock, bounds, &ingress, &notices, &shutdown) {
-                        return;
-                    }
-                    cursor += body_end;
-                }
-                buf.drain(..cursor);
-                if buf.len() > crate::frame::MAX_FRAME as usize + 4 {
-                    return; // protocol violation (oversized frame)
-                }
-            }
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut
-                    || e.kind() == io::ErrorKind::Interrupted => {}
-            Err(_) => return,
-        }
-    }
-}
-
-/// If `buf` starts with a complete frame, returns `(body_start, body_end)`
-/// byte offsets of its payload. A hostile length is treated as "never
-/// completes" — the buffer-size guard in the caller kills the connection.
-fn peek_frame(buf: &[u8]) -> Option<(usize, usize)> {
-    if buf.len() < 4 {
-        return None;
-    }
-    let len = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes"));
-    if len == 0 || len > crate::frame::MAX_FRAME {
-        return None;
-    }
-    let end = 4 + len as usize;
-    if buf.len() < end {
-        return None;
-    }
-    Some((4, end))
-}
-
-/// Processes one frame body. Returns `false` to close the connection.
-fn handle_frame(
-    body: &[u8],
-    conn: &Conn,
-    clock: &WallClock,
-    bounds: Bounds,
-    ingress: &SyncSender<Ingress>,
-    notices: &Sender<Notice>,
-    shutdown: &AtomicBool,
-) -> bool {
-    match body.first() {
-        Some(&OP_SHUTDOWN) => {
-            shutdown.store(true, Ordering::SeqCst);
-            true
-        }
-        Some(&OP_REQUEST) => {
-            let Ok(req) = RequestFrame::decode(&body[1..]) else {
-                return false;
-            };
-            let ingest = clock.now();
-            if req.class >= bounds.num_classes || req.item >= bounds.num_items {
-                // Out-of-range request: answered (shed), counted, logged.
-                conn.send(&shed_reply(req.seq, req.item, 0.0));
-                let _ = notices.send(Notice {
-                    class: None,
-                    item: None,
-                    ingest,
-                });
-                return true;
-            }
-            let ing = Ingress {
-                seq: req.seq,
-                item: ItemId(req.item),
-                class: ClassId(req.class),
-                deadline_ms: req.deadline_ms,
-                ingest,
-                conn: conn.clone(),
-            };
-            match ingress.try_send(ing) {
-                Ok(()) => true,
-                Err(TrySendError::Full(ing)) => {
-                    // Backpressure: explicit shed, never silent delay.
-                    ing.conn.send(&shed_reply(ing.seq, ing.item.0, 0.0));
-                    let _ = notices.send(Notice {
-                        class: Some(ing.class),
-                        item: Some(ing.item),
-                        ingest: ing.ingest,
-                    });
-                    true
-                }
-                Err(TrySendError::Disconnected(ing)) => {
-                    ing.conn.send(&shed_reply(ing.seq, ing.item.0, 0.0));
-                    false
-                }
-            }
-        }
-        _ => false,
-    }
-}
-
-fn shed_reply(seq: u64, item: u32, wait_ms: f64) -> ReplyFrame {
-    ReplyFrame {
-        seq,
-        status: ReplyStatus::Shed,
-        item,
-        wait_ms,
-    }
+    core.finish(started.elapsed(), &ledger)
 }
 
 // ---------------------------------------------------------------------------
@@ -535,7 +347,7 @@ struct Core {
     inflight: Option<Inflight>,
 
     /// Monotone high-water mark for recorder timestamps. Ingest times are
-    /// stamped on reader threads and deadline/delivery events fire at
+    /// stamped on loop threads and deadline/delivery events fire at
     /// their (already past) due times, so raw timestamps can trail events
     /// the recorder has already seen by a few milliseconds. Time-weighted
     /// gauges require non-decreasing time, so every recorded event is
@@ -649,10 +461,18 @@ impl Core {
         })
     }
 
-    /// The steady-state loop: wake for ingress, due deliveries/timeouts,
-    /// and transmission completions; dispatch whenever the downlink is
-    /// idle and demand exists.
-    fn run(&mut self, ingress: &Receiver<Ingress>, notices: &Receiver<Notice>, stop: &AtomicBool) {
+    /// The steady-state loop: wake for ingress (doorbell), due
+    /// deliveries/timeouts, and transmission completions; dispatch
+    /// whenever the downlink is idle and demand exists. Reply kicks are
+    /// batched: each loop's waker rings at most once per tick.
+    fn run(
+        &mut self,
+        shards: &mut ShardSet<Ingress>,
+        doorbell: &Doorbell,
+        loops: &[Arc<LoopShared>],
+        notices: &Receiver<Notice>,
+        stop: &AtomicBool,
+    ) {
         loop {
             self.drain_notices(notices);
             let now = self.clock.now();
@@ -660,48 +480,51 @@ impl Core {
             self.fire_timeouts(now);
             self.maybe_complete(now);
             if stop.load(Ordering::SeqCst) {
+                for l in loops {
+                    l.kick();
+                }
                 return;
             }
             self.maybe_dispatch(self.clock.now());
             self.stream_windows();
 
-            let wait = self
-                .next_wake()
-                .map(|t| self.clock.wall_until(t))
-                .unwrap_or(POLL)
-                .min(POLL);
-            match ingress.recv_timeout(wait) {
-                Ok(ing) => {
-                    self.ingest(ing);
-                    // Opportunistically drain the burst.
-                    for _ in 0..1024 {
-                        match ingress.try_recv() {
-                            Ok(more) => self.ingest(more),
-                            Err(_) => break,
-                        }
-                    }
-                }
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => return,
+            let drained = shards.drain(DRAIN_BUDGET, |ing| self.ingest(ing));
+            for l in loops {
+                l.kick();
+            }
+            if drained == 0 {
+                let wait = self
+                    .next_wake()
+                    .map(|t| self.clock.wall_until(t))
+                    .unwrap_or(POLL)
+                    .min(POLL);
+                doorbell.wait(wait, || !shards.all_idle());
             }
         }
     }
 
-    /// Shutdown path: requests already accepted into the ingress queue
-    /// still get scheduled (they were admitted before the flag), then the
-    /// loop keeps completing and dispatching until the backlog is empty or
-    /// the drain budget runs out; whatever remains is shed explicitly.
-    fn drain(&mut self, ingress: &Receiver<Ingress>, notices: &Receiver<Notice>, budget: Duration) {
+    /// Shutdown path: requests already pushed into the shard rings still
+    /// get scheduled (they were admitted before the flag), then the loop
+    /// keeps completing and dispatching until the backlog is empty or the
+    /// drain budget runs out; whatever remains is shed explicitly.
+    fn drain(
+        &mut self,
+        shards: &mut ShardSet<Ingress>,
+        loops: &[Arc<LoopShared>],
+        notices: &Receiver<Notice>,
+        budget: Duration,
+    ) {
         let deadline = Instant::now() + budget;
         loop {
-            while let Ok(ing) = ingress.try_recv() {
-                self.ingest(ing);
-            }
+            shards.drain(usize::MAX, |ing| self.ingest(ing));
             self.drain_notices(notices);
             let now = self.clock.now();
             self.fire_deliveries(now);
             self.fire_timeouts(now);
             self.maybe_complete(now);
+            for l in loops {
+                l.kick();
+            }
             if self.live.is_empty() || Instant::now() >= deadline {
                 break;
             }
@@ -714,6 +537,11 @@ impl Core {
                 .max(Duration::from_micros(100));
             thread::sleep(wait);
         }
+        // A loop may have pushed a final trickle between our last drain
+        // pass and it observing the flag: ingest (counts the acceptance)
+        // so the leftovers sweep below answers it.
+        shards.drain(usize::MAX, |ing| self.ingest(ing));
+        self.drain_notices(notices);
         // Out of budget (or nothing left): shed the remainder.
         let now = self.clock.now();
         let leftovers: Vec<u64> = self.live.keys().copied().collect();
@@ -725,11 +553,14 @@ impl Core {
         }
         self.push_waiters.clear();
         self.pull_waiters.clear();
+        for l in loops {
+            l.kick();
+        }
     }
 
     /// Closes out telemetry and builds the summary (conservation verdict
     /// included), writing the JSONL tail + summary line.
-    fn finish(mut self, elapsed: Duration) -> io::Result<ServeSummary> {
+    fn finish(mut self, elapsed: Duration, ledger: &Ledger) -> io::Result<ServeSummary> {
         self.stream_windows();
         let end = self.tick(self.clock.now());
         let tail = self.recorder.finish(end);
@@ -749,6 +580,8 @@ impl Core {
             uplink_lost: c.uplink_lost,
             push_tx: c.push_tx,
             pull_tx: c.pull_tx,
+            accept_errors: ledger.accept_errors.load(Ordering::Relaxed),
+            stalled_conns: ledger.stalled_conns.load(Ordering::Relaxed),
             wall_seconds: elapsed.as_secs_f64(),
             conservation_ok: answered == c.accepted && self.live.is_empty(),
             per_class: self

@@ -1,0 +1,241 @@
+//! Property test: the batched decoder ([`FrameBatch`]) agrees with the
+//! blocking single-frame oracle ([`read_frame`]) no matter how a byte
+//! stream is sliced — every split boundary, 1-byte drips, and seeded
+//! random chunkings — plus the error cases (bad length, bad opcode, bad
+//! body, truncation-vs-boundary EOF semantics).
+
+use hybridcast_server::frame::{
+    encode_shutdown, read_frame, DecodeError, Frame, FrameBatch, ReplyFrame, ReplyStatus,
+    RequestFrame, MAX_FRAME, OP_SHUTDOWN,
+};
+
+/// A canonical frame mix: requests, replies, and a shutdown marker, with
+/// edge-case field values (zero, max, boundary seqs).
+fn corpus() -> Vec<u8> {
+    let mut bytes = Vec::new();
+    let statuses = [
+        ReplyStatus::ServedPush,
+        ReplyStatus::ServedPull,
+        ReplyStatus::Shed,
+        ReplyStatus::TimedOut,
+        ReplyStatus::UplinkLost,
+    ];
+    for i in 0..40u64 {
+        bytes.extend_from_slice(
+            &RequestFrame {
+                seq: i.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                class: (i % 256) as u8,
+                item: (i as u32).wrapping_mul(2_654_435_761),
+                deadline_ms: if i % 3 == 0 { 0 } else { i as u32 * 17 },
+            }
+            .encode(),
+        );
+        bytes.extend_from_slice(
+            &ReplyFrame {
+                seq: u64::MAX - i,
+                status: statuses[(i % 5) as usize],
+                item: u32::MAX - i as u32,
+                wait_ms: i as f64 * 0.25,
+            }
+            .encode(),
+        );
+        if i % 7 == 0 {
+            bytes.extend_from_slice(&encode_shutdown());
+        }
+    }
+    bytes
+}
+
+/// What the oracle says the corpus contains: decode frame-by-frame from
+/// an in-memory reader.
+fn oracle_frames(bytes: &[u8]) -> Vec<Frame> {
+    let mut cursor = std::io::Cursor::new(bytes);
+    let mut frames = Vec::new();
+    while let Some(body) = read_frame(&mut cursor).expect("oracle reads the corpus") {
+        let frame = match body[0] {
+            f if f == hybridcast_server::frame::OP_REQUEST => {
+                Frame::Request(RequestFrame::decode(&body[1..]).expect("oracle request"))
+            }
+            f if f == hybridcast_server::frame::OP_REPLY => {
+                Frame::Reply(ReplyFrame::decode(&body[1..]).expect("oracle reply"))
+            }
+            f if f == OP_SHUTDOWN => Frame::Shutdown,
+            other => panic!("oracle met opcode {other}"),
+        };
+        frames.push(frame);
+    }
+    frames
+}
+
+fn assert_frames_equal(a: &Frame, b: &Frame, at: usize, how: &str) {
+    let same = match (a, b) {
+        (Frame::Request(x), Frame::Request(y)) => {
+            x.seq == y.seq
+                && x.class == y.class
+                && x.item == y.item
+                && x.deadline_ms == y.deadline_ms
+        }
+        (Frame::Reply(x), Frame::Reply(y)) => {
+            x.seq == y.seq
+                && x.status == y.status
+                && x.item == y.item
+                && (x.wait_ms - y.wait_ms).abs() < 1e-12
+        }
+        (Frame::Shutdown, Frame::Shutdown) => true,
+        _ => false,
+    };
+    assert!(same, "frame {at} diverges from the oracle under {how}");
+}
+
+/// Feeds `bytes` to a fresh batch in two chunks split at `cut`, returning
+/// every decoded frame.
+fn decode_with_split(bytes: &[u8], cut: usize) -> Vec<Frame> {
+    let mut batch = FrameBatch::new();
+    let mut frames = Vec::new();
+    for part in [&bytes[..cut], &bytes[cut..]] {
+        batch.extend(part);
+        while let Some(f) = batch.decode_next().expect("corpus decodes") {
+            frames.push(f);
+        }
+    }
+    assert!(batch.at_boundary(), "corpus ends on a frame boundary");
+    frames
+}
+
+#[test]
+fn every_split_boundary_matches_the_oracle() {
+    let bytes = corpus();
+    let want = oracle_frames(&bytes);
+    assert!(want.len() > 80, "corpus is non-trivial");
+    for cut in 0..=bytes.len() {
+        let got = decode_with_split(&bytes, cut);
+        assert_eq!(got.len(), want.len(), "split at {cut}");
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert_frames_equal(g, w, i, &format!("split at {cut}"));
+        }
+    }
+}
+
+#[test]
+fn one_byte_drip_matches_the_oracle() {
+    let bytes = corpus();
+    let want = oracle_frames(&bytes);
+    let mut batch = FrameBatch::new();
+    let mut got = Vec::new();
+    for b in &bytes {
+        batch.extend(std::slice::from_ref(b));
+        while let Some(f) = batch.decode_next().expect("drip decodes") {
+            got.push(f);
+        }
+    }
+    assert!(batch.at_boundary());
+    assert_eq!(got.len(), want.len());
+    for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+        assert_frames_equal(g, w, i, "1-byte drip");
+    }
+}
+
+#[test]
+fn seeded_random_chunkings_match_the_oracle() {
+    let bytes = corpus();
+    let want = oracle_frames(&bytes);
+    let mut state = 0x2545_F491_4F6C_DD1Du64;
+    for round in 0..50 {
+        let mut batch = FrameBatch::new();
+        let mut got = Vec::new();
+        let mut pos = 0usize;
+        while pos < bytes.len() {
+            // xorshift64* chunk sizes in 1..=37 — crosses every kind of
+            // frame boundary over the rounds.
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let step = (state.wrapping_mul(0x2545_F491_4F6C_DD1D) % 37 + 1) as usize;
+            let end = (pos + step).min(bytes.len());
+            batch.extend(&bytes[pos..end]);
+            pos = end;
+            while let Some(f) = batch.decode_next().expect("chunked corpus decodes") {
+                got.push(f);
+            }
+        }
+        assert!(batch.at_boundary(), "round {round}");
+        assert_eq!(got.len(), want.len(), "round {round}");
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert_frames_equal(g, w, i, &format!("random chunking round {round}"));
+        }
+    }
+}
+
+#[test]
+fn hostile_lengths_and_opcodes_are_rejected() {
+    // Zero length.
+    let mut batch = FrameBatch::new();
+    batch.extend(&0u32.to_le_bytes());
+    assert!(matches!(
+        batch.decode_next(),
+        Err(DecodeError::BadLength(0))
+    ));
+
+    // Oversized length is rejected *before* the body arrives.
+    let mut batch = FrameBatch::new();
+    batch.extend(&(MAX_FRAME + 1).to_le_bytes());
+    assert!(matches!(
+        batch.decode_next(),
+        Err(DecodeError::BadLength(l)) if l == MAX_FRAME + 1
+    ));
+
+    // Unknown opcode.
+    let mut batch = FrameBatch::new();
+    batch.extend(&2u32.to_le_bytes());
+    batch.extend(&[99u8, 0u8]);
+    assert!(matches!(
+        batch.decode_next(),
+        Err(DecodeError::BadOpcode(99))
+    ));
+
+    // Right opcode, malformed body (request body too short).
+    let mut batch = FrameBatch::new();
+    batch.extend(&3u32.to_le_bytes());
+    batch.extend(&[hybridcast_server::frame::OP_REQUEST, 0, 0]);
+    assert!(matches!(batch.decode_next(), Err(DecodeError::BadBody(_))));
+
+    // Shutdown frames carry no payload.
+    let mut batch = FrameBatch::new();
+    batch.extend(&2u32.to_le_bytes());
+    batch.extend(&[OP_SHUTDOWN, 0]);
+    assert!(matches!(batch.decode_next(), Err(DecodeError::BadBody(_))));
+}
+
+#[test]
+fn eof_semantics_boundary_vs_truncation() {
+    // A complete frame followed by nothing: boundary — a clean EOF here
+    // is a graceful half-close, not an error.
+    let mut batch = FrameBatch::new();
+    batch.extend(
+        &RequestFrame {
+            seq: 1,
+            class: 0,
+            item: 0,
+            deadline_ms: 0,
+        }
+        .encode(),
+    );
+    assert!(matches!(batch.decode_next(), Ok(Some(Frame::Request(_)))));
+    assert!(batch.at_boundary());
+    assert_eq!(batch.pending(), 0);
+
+    // A truncated frame: bytes pending, no frame decodable — an EOF here
+    // means the peer died mid-frame.
+    batch.extend(
+        &RequestFrame {
+            seq: 2,
+            class: 0,
+            item: 0,
+            deadline_ms: 0,
+        }
+        .encode()[..10],
+    );
+    assert!(matches!(batch.decode_next(), Ok(None)));
+    assert!(!batch.at_boundary());
+    assert!(batch.pending() > 0);
+}
