@@ -1,0 +1,117 @@
+//! Kenyon–Schabanel–Young multi-channel broadcast cost model.
+//!
+//! For cyclic broadcast of items with access probabilities `pᵢ` and
+//! lengths `lᵢ`, KSY's square-root scheduling bound says the minimum
+//! achievable expected wait on **one** channel carrying item set `S` is
+//!
+//! ```text
+//!     LB(S) = (Σ_{i∈S} √(pᵢ·lᵢ))² / 2
+//! ```
+//!
+//! (half the squared sum of the item *weights* `wᵢ = √(pᵢ·lᵢ)`, with the
+//! probabilities taken unconditionally so channel bounds add up). With
+//! `C` channels and an item→channel partition, the total expected push
+//! wait is bounded below by the sum of the per-channel bounds — so a
+//! partition's quality is exactly its **KSY cost**
+//!
+//! ```text
+//!     cost = Σ_c L_c² / 2        where  L_c = Σ_{i∈channel c} wᵢ
+//! ```
+//!
+//! and the best any partition could do is the perfectly balanced
+//! relaxation `(Σᵢ wᵢ)² / (2C)` (Cauchy–Schwarz: splitting a fixed total
+//! weight into `C` equal loads minimizes the sum of squares). That
+//! relaxation is the *offline lower-bound oracle* the testkit checks
+//! sharded schedules against, and `cost` is the objective the
+//! cross-channel optimizer in `hybridcast_core::sharded` minimizes.
+
+/// KSY weight of one item: `√(p·l)`.
+pub fn ksy_weight(prob: f64, length: f64) -> f64 {
+    debug_assert!(prob >= 0.0 && length >= 0.0);
+    (prob * length).sqrt()
+}
+
+/// Total KSY cost of a partition given the per-channel loads
+/// `L_c = Σ wᵢ`: `Σ_c L_c² / 2`.
+pub fn partition_cost(loads: &[f64]) -> f64 {
+    loads.iter().map(|l| l * l).sum::<f64>() / 2.0
+}
+
+/// The balanced-partition lower bound on [`partition_cost`] over every
+/// possible item→channel assignment: `(Σᵢ wᵢ)² / (2C)`.
+///
+/// # Panics
+/// Panics if `channels == 0`.
+pub fn partition_lower_bound(weights: &[f64], channels: u32) -> f64 {
+    assert!(channels > 0, "a downlink needs at least one channel");
+    let total: f64 = weights.iter().sum();
+    total * total / (2.0 * channels as f64)
+}
+
+/// Per-channel loads `L_c` induced by `assignment` (one channel index per
+/// item, aligned with `weights`).
+///
+/// # Panics
+/// Panics if the slices disagree in length or an assignment is out of
+/// range.
+pub fn channel_loads(weights: &[f64], assignment: &[u8], channels: u32) -> Vec<f64> {
+    assert_eq!(weights.len(), assignment.len());
+    let mut loads = vec![0.0; channels as usize];
+    for (&w, &c) in weights.iter().zip(assignment) {
+        loads[c as usize] += w;
+    }
+    loads
+}
+
+/// Relative gap of an achieved cost above the balanced lower bound:
+/// `cost / lb − 1` (0 = provably optimal balance; `None` when the bound
+/// is degenerate, i.e. zero total weight).
+pub fn gap_to_lower_bound(cost: f64, lower_bound: f64) -> Option<f64> {
+    (lower_bound > 0.0).then(|| cost / lower_bound - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_channel_cost_is_the_classic_ksy_bound() {
+        // Two unit-length items with probabilities 0.64 and 0.36:
+        // (0.8 + 0.6)²/2 = 0.98.
+        let w = [ksy_weight(0.64, 1.0), ksy_weight(0.36, 1.0)];
+        let loads = channel_loads(&w, &[0, 0], 1);
+        assert!((partition_cost(&loads) - 0.98).abs() < 1e-12);
+        assert!((partition_lower_bound(&w, 1) - 0.98).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_split_attains_the_two_channel_bound() {
+        let w = [0.5, 0.5];
+        let loads = channel_loads(&w, &[0, 1], 2);
+        let cost = partition_cost(&loads);
+        assert!((cost - partition_lower_bound(&w, 2)).abs() < 1e-12);
+        assert_eq!(
+            gap_to_lower_bound(cost, partition_lower_bound(&w, 2)),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn skewed_split_pays_a_positive_gap() {
+        let w = [0.9, 0.1];
+        let loads = channel_loads(&w, &[0, 1], 2);
+        let gap = gap_to_lower_bound(partition_cost(&loads), partition_lower_bound(&w, 2));
+        assert!(gap.unwrap() > 0.5, "0.82/0.5 - 1 = 0.64, got {gap:?}");
+    }
+
+    #[test]
+    fn more_channels_never_raise_the_bound() {
+        let w = [0.3, 0.4, 0.2, 0.1];
+        let mut prev = f64::INFINITY;
+        for c in 1..=8 {
+            let lb = partition_lower_bound(&w, c);
+            assert!(lb <= prev + 1e-15);
+            prev = lb;
+        }
+    }
+}

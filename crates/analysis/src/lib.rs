@@ -15,7 +15,11 @@
 //!   paper's z-transform treatment leaves a boundary function unevaluated;
 //!   the tests here close that loop against Cobham);
 //! * [`hybrid_model`] — Eq. 19's expected access time, the per-class delay
-//!   model behind Figure 7, and the model-side optimal-cutoff search.
+//!   model behind Figure 7, and the model-side optimal-cutoff search;
+//! * [`ksy`] — the Kenyon–Schabanel–Young multi-channel broadcast cost
+//!   model: the objective the sharded scheduler's item→channel optimizer
+//!   minimizes, and the offline lower-bound oracle the testkit checks
+//!   sharded schedules against.
 //!
 //! ```
 //! use hybridcast_analysis::cobham::CobhamQueue;
@@ -34,6 +38,7 @@ pub mod cobham;
 pub mod cobham_mg1;
 pub mod erlang;
 pub mod hybrid_model;
+pub mod ksy;
 pub mod mm1;
 pub mod two_class;
 
@@ -44,6 +49,9 @@ pub mod prelude {
     pub use crate::cobham_mg1::{CobhamMg1, Mg1Class};
     pub use crate::erlang::{erlang_b, erlang_b_fractional, PartitionBlockingModel};
     pub use crate::hybrid_model::{HybridDelayModel, ModelDelays};
+    pub use crate::ksy::{
+        channel_loads, gap_to_lower_bound, ksy_weight, partition_cost, partition_lower_bound,
+    };
     pub use crate::mm1::Mm1;
     pub use crate::two_class::{TwoClassQueue, TwoClassSolution};
 }

@@ -1,0 +1,340 @@
+//! Multi-channel broadcast sweep: how the sharded scheduler behaves as
+//! the catalog is partitioned across `C ∈ {1, 2, 4, 8}` channels.
+//!
+//! ```text
+//! cargo run --release -p hybridcast-bench --bin multichannel_sweep [-- quick]
+//! ```
+//!
+//! Two independent measurements per channel count:
+//!
+//! 1. **Simulation** — the deterministic driver runs the ICPP-2005
+//!    workload under every assignment strategy (range, hash,
+//!    pattern-aware), recording mean/per-class access delay, the
+//!    single-tuner conflict rate, and the KSY gap of the item→channel
+//!    partition above the balanced lower bound `(Σ√(pᵢlᵢ))²/(2C)`.
+//!    Per-shard bandwidth is the paper's budget divided by `C`, so the
+//!    sweep answers "what does splitting one downlink buy": less cycle
+//!    length per channel, paid for with tuning conflicts.
+//!
+//! 2. **Serving throughput** — an in-process `hybridcastd` with one
+//!    scheduler thread per shard is driven by the open-loop epoll
+//!    loadgen over an escalating rate ladder; the highest *sustained*
+//!    rate (every request answered, ≥ 90% of the offered rate achieved)
+//!    is recorded at `C = 1` and `C = 4`.
+//!
+//! Acceptance gate (exit 1 on failure), enforced where the runner has
+//! cores: with ≥ 4 cores, the `C = 4` daemon must sustain ≥ 2× the
+//! single-shard rate with conservation intact on every run. On smaller
+//! hosts the numbers are still recorded but the gate is skipped with a
+//! note — four scheduler threads cannot demonstrate speedup on one core.
+//!
+//! Results land in `results/BENCH_multichannel.json`.
+
+use hybridcast_bench::results_dir;
+use hybridcast_bench::scale::RunScale;
+use hybridcast_core::config::{AssignmentStrategy, ChannelLayout, HybridConfig};
+use hybridcast_core::metrics::SimReport;
+use hybridcast_core::pull::PullPolicyKind;
+use hybridcast_core::sharded::ChannelPlan;
+use hybridcast_core::sim_driver::simulate;
+use hybridcast_server::loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
+use hybridcast_server::{ServeConfig, ServeSummary, ServerHandle};
+use hybridcast_workload::scenario::ScenarioConfig;
+use serde_json::json;
+
+const CHANNEL_COUNTS: [u32; 4] = [1, 2, 4, 8];
+const STRATEGIES: [AssignmentStrategy; 3] = [
+    AssignmentStrategy::Range,
+    AssignmentStrategy::Hash,
+    AssignmentStrategy::PatternAware,
+];
+
+fn strategy_name(s: AssignmentStrategy) -> &'static str {
+    match s {
+        AssignmentStrategy::Range => "range",
+        AssignmentStrategy::Hash => "hash",
+        AssignmentStrategy::PatternAware => "pattern_aware",
+    }
+}
+
+/// One simulated (channel count, assignment strategy) cell.
+struct SimCell {
+    channels: u32,
+    strategy: AssignmentStrategy,
+    report: SimReport,
+    ksy_cost: f64,
+    ksy_lower_bound: f64,
+    ksy_gap: Option<f64>,
+}
+
+fn sim_sweep(scale: &RunScale) -> Vec<SimCell> {
+    let scenario = ScenarioConfig::icpp2005(0.6);
+    let built = scenario.build();
+    let mut cells = Vec::new();
+    for &channels in &CHANNEL_COUNTS {
+        for &strategy in &STRATEGIES {
+            let hybrid = HybridConfig {
+                channels: ChannelLayout::Sharded {
+                    channels,
+                    assignment: strategy,
+                },
+                ..HybridConfig::paper(40, 0.5)
+            };
+            let plan = ChannelPlan::build(&built.catalog, channels, strategy);
+            let report = simulate(&built, &hybrid, &scale.params(0));
+            cells.push(SimCell {
+                channels,
+                strategy,
+                ksy_cost: plan.cost(),
+                ksy_lower_bound: plan.lower_bound(),
+                ksy_gap: plan.gap(),
+                report,
+            });
+        }
+    }
+    cells
+}
+
+/// One daemon throughput run at a fixed target rate.
+struct ServeRun {
+    target_rps: f64,
+    report: LoadgenReport,
+    summary: ServeSummary,
+    sustained: bool,
+}
+
+fn serve_config(channels: u32, cores: usize) -> ServeConfig {
+    let mut cfg = ServeConfig::default();
+    cfg.serve.addr = "127.0.0.1:0".into();
+    cfg.serve.results_path = None;
+    cfg.serve.unit_millis = 0.2;
+    cfg.serve.ingress_capacity = 16_384;
+    cfg.serve.loop_threads = if cores >= 8 { 2 } else { 1 };
+    cfg.serve.drain_timeout_ms = 10_000;
+    cfg.hybrid = HybridConfig {
+        cutoff: 40,
+        pull: PullPolicyKind::importance(0.5),
+        channels: ChannelLayout::Sharded {
+            channels,
+            assignment: AssignmentStrategy::PatternAware,
+        },
+        ..HybridConfig::default()
+    };
+    cfg
+}
+
+fn serve_ladder(channels: u32, targets: &[f64], duration: f64, cores: usize) -> Vec<ServeRun> {
+    let mut runs = Vec::new();
+    for &rps in targets {
+        let server = ServerHandle::start(serve_config(channels, cores)).expect("server starts");
+        let report = run_loadgen(&LoadgenConfig {
+            addr: server.addr().to_string(),
+            rps,
+            connections: 8,
+            duration_secs: duration,
+            seed: 0xC0DE,
+            num_items: 100,
+            zipf_theta: 0.6,
+            class_shares: vec![2.0 / 11.0, 3.0 / 11.0, 6.0 / 11.0],
+            deadline_ms: 0,
+            grace_ms: 10_000,
+        })
+        .expect("loadgen runs");
+        server.shutdown();
+        let summary = server.join().expect("clean shutdown");
+        let sustained = report.unanswered == 0 && report.achieved_rps >= 0.9 * rps;
+        runs.push(ServeRun {
+            target_rps: rps,
+            report,
+            summary,
+            sustained,
+        });
+    }
+    runs
+}
+
+fn sustained_rps(runs: &[ServeRun]) -> f64 {
+    runs.iter()
+        .filter(|r| r.sustained)
+        .map(|r| r.target_rps)
+        .fold(0.0f64, f64::max)
+}
+
+fn serve_runs_json(runs: &[ServeRun]) -> Vec<serde_json::Value> {
+    runs.iter()
+        .map(|run| {
+            json!({
+                "target_rps": run.target_rps,
+                "achieved_rps": run.report.achieved_rps,
+                "answered": run.report.answered,
+                "unanswered": run.report.unanswered,
+                "shed": run.report.shed,
+                "channels": run.summary.channels,
+                "conservation_ok": run.summary.conservation_ok,
+                "per_channel_ok": run.summary.per_channel.iter()
+                    .all(|c| c.conservation_ok),
+                "sustained": run.sustained,
+            })
+        })
+        .collect()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "quick" || a == "--quick");
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let scale = if quick {
+        RunScale::quick()
+    } else {
+        RunScale::full()
+    };
+
+    println!("# multichannel_sweep — sharded broadcast across C channels\n");
+    println!(
+        "mode: {}, cores: {cores}, horizon: {} units\n",
+        if quick { "quick" } else { "full" },
+        scale.horizon
+    );
+
+    // ── 1. Simulation: delay, conflicts, KSY gap ─────────────────────
+    let cells = sim_sweep(&scale);
+    println!(
+        "| C | assignment | overall delay | A/B/C delay | conflict rate | KSY cost | KSY gap |"
+    );
+    println!("|---|---|---|---|---|---|---|");
+    for cell in &cells {
+        let r = &cell.report;
+        let d = |c: usize| r.per_class.get(c).map(|p| p.delay.mean).unwrap_or(0.0);
+        println!(
+            "| {} | {} | {:.2} | {:.2}/{:.2}/{:.2} | {:.4} | {:.3} | {} |",
+            cell.channels,
+            strategy_name(cell.strategy),
+            r.overall_delay.mean,
+            d(0),
+            d(1),
+            d(2),
+            r.conflict_rate,
+            cell.ksy_cost,
+            cell.ksy_gap
+                .map(|g| format!("{g:.4}"))
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+
+    // The pattern-aware partition must never have a *larger* KSY gap
+    // than the naive baselines on the same channel count.
+    let mut pattern_beats_naive = true;
+    for &channels in &CHANNEL_COUNTS {
+        let gap_of = |s: AssignmentStrategy| {
+            cells
+                .iter()
+                .find(|c| c.channels == channels && c.strategy == s)
+                .and_then(|c| c.ksy_gap)
+                .unwrap_or(0.0)
+        };
+        let aware = gap_of(AssignmentStrategy::PatternAware);
+        for naive in [AssignmentStrategy::Range, AssignmentStrategy::Hash] {
+            if aware > gap_of(naive) + 1e-9 {
+                pattern_beats_naive = false;
+                println!(
+                    "note: pattern-aware gap {aware:.4} exceeds {} at C={channels}",
+                    strategy_name(naive)
+                );
+            }
+        }
+    }
+
+    // ── 2. Daemon throughput: C=1 vs C=4 ─────────────────────────────
+    let (targets, duration): (&[f64], f64) = if quick {
+        (&[10_000.0, 20_000.0, 40_000.0], 1.5)
+    } else {
+        (&[20_000.0, 40_000.0, 80_000.0, 120_000.0], 3.0)
+    };
+    println!("\n## serving throughput (pattern-aware assignment)\n");
+    println!("| C | target rps | achieved rps | unanswered | conserved | sustained |");
+    println!("|---|---|---|---|---|---|");
+    let mut ladders = Vec::new();
+    for &channels in &[1u32, 4] {
+        let runs = serve_ladder(channels, targets, duration, cores);
+        for run in &runs {
+            println!(
+                "| {channels} | {:.0} | {:.0} | {} | {} | {} |",
+                run.target_rps,
+                run.report.achieved_rps,
+                run.report.unanswered,
+                run.summary.conservation_ok,
+                run.sustained,
+            );
+        }
+        ladders.push((channels, runs));
+    }
+    let single = sustained_rps(&ladders[0].1);
+    let sharded = sustained_rps(&ladders[1].1);
+    let speedup = if single > 0.0 { sharded / single } else { 0.0 };
+    println!("\nsustained: C=1 {single:.0} req/s, C=4 {sharded:.0} req/s ({speedup:.2}x)");
+
+    let every_conserved = ladders
+        .iter()
+        .flat_map(|(_, runs)| runs.iter())
+        .all(|r| r.summary.conservation_ok);
+    let gate_active = cores >= 4;
+    let skip_note = "gate needs >= 4 cores: four scheduler shards can't run in parallel on fewer";
+    let pass = !gate_active || (speedup >= 2.0 && every_conserved && pattern_beats_naive);
+    if gate_active {
+        println!(
+            "acceptance: C=4 sustains >= 2x C=1 with conservation: {}",
+            if pass { "PASS" } else { "FAIL" }
+        );
+    } else {
+        println!("acceptance: SKIPPED on a {cores}-core host — {skip_note}");
+    }
+
+    let doc = json!({
+        "bench": "multichannel",
+        "mode": if quick { "quick" } else { "full" },
+        "cores": cores,
+        "horizon": scale.horizon,
+        "simulation": cells.iter().map(|cell| json!({
+            "channels": cell.channels,
+            "assignment": strategy_name(cell.strategy),
+            "overall_delay": cell.report.overall_delay.mean,
+            "per_class_delay": cell.report.per_class.iter()
+                .map(|p| p.delay.mean).collect::<Vec<_>>(),
+            "total_prioritized_cost": cell.report.total_prioritized_cost,
+            "push_transmissions": cell.report.push_transmissions,
+            "pull_transmissions": cell.report.pull_transmissions,
+            "conflicts": cell.report.conflicts,
+            "conflict_rate": cell.report.conflict_rate,
+            "ksy_cost": cell.ksy_cost,
+            "ksy_lower_bound": cell.ksy_lower_bound,
+            "ksy_gap": cell.ksy_gap,
+        })).collect::<Vec<_>>(),
+        "pattern_beats_naive": pattern_beats_naive,
+        "serving": {
+            "duration_secs": duration,
+            "ladders": ladders.iter().map(|(channels, runs)| json!({
+                "channels": channels,
+                "runs": serve_runs_json(runs),
+                "sustained_rps": sustained_rps(runs),
+            })).collect::<Vec<_>>(),
+            "single_shard_rps": single,
+            "four_shard_rps": sharded,
+            "speedup": speedup,
+        },
+        "gate_active": gate_active,
+        "gate_skip_note": if gate_active { serde_json::Value::Null } else { json!(skip_note) },
+        "pass": pass,
+    });
+    let dir = results_dir();
+    let path = dir.join("BENCH_multichannel.json");
+    match std::fs::create_dir_all(&dir)
+        .and_then(|_| std::fs::write(&path, serde_json::to_string_pretty(&doc).unwrap()))
+    {
+        Ok(()) => eprintln!("[saved {}]", path.display()),
+        Err(e) => eprintln!("[warn: could not persist results: {e}]"),
+    }
+    if !pass {
+        std::process::exit(1);
+    }
+}

@@ -51,6 +51,11 @@ OPTIONS:
     --telemetry [W]       record a windowed QoS time series (window width W
                           sim-time units, default 500) and export JSONL + an
                           SVG dashboard under results/ (simulate, optimize)
+    --channels <C>        partition the catalog across C broadcast channels
+                          (sharded multi-channel scheduler, pattern-aware
+                          item→channel assignment); C = 1 is bit-identical
+                          to the single-channel scheduler (simulate,
+                          summary, optimize, serve)
 
 Use `-` as the config path to read from stdin.
 ";
@@ -103,6 +108,23 @@ fn take_telemetry(args: &mut Vec<String>) -> Result<Option<f64>, String> {
         args.remove(i);
         Ok(Some(DEFAULT_WINDOW))
     }
+}
+
+/// Strips `--channels C` from the argument list, returning the sharded
+/// layout it selects.
+fn take_channels(
+    args: &mut Vec<String>,
+) -> Result<Option<hybridcast_core::config::ChannelLayout>, String> {
+    let Some(channels) = take_value::<u32>(args, "--channels")? else {
+        return Ok(None);
+    };
+    if channels == 0 || channels > 256 {
+        return Err(format!("--channels must be in 1..=256, got {channels}"));
+    }
+    Ok(Some(hybridcast_core::config::ChannelLayout::Sharded {
+        channels,
+        assignment: hybridcast_core::config::AssignmentStrategy::PatternAware,
+    }))
 }
 
 /// Pulls `--flag <value>` out of `args`, parsing the value as `T`.
@@ -201,6 +223,7 @@ fn run_serve_cmd(mut args: Vec<String>) -> Result<(), String> {
     let config_path = take_value::<String>(&mut args, "--config")?;
     let addr = take_value::<String>(&mut args, "--addr")?;
     let results = take_value::<String>(&mut args, "--results")?;
+    let channels = take_channels(&mut args)?;
     if !args.is_empty() {
         return Err(format!("unexpected arguments: {args:?}"));
     }
@@ -213,6 +236,9 @@ fn run_serve_cmd(mut args: Vec<String>) -> Result<(), String> {
     };
     if let Some(addr) = addr {
         config.serve.addr = addr;
+    }
+    if let Some(layout) = channels {
+        config.hybrid.channels = layout;
     }
     match results.as_deref() {
         Some("-") => config.serve.results_path = None,
@@ -309,6 +335,7 @@ fn run() -> Result<(), String> {
     }
     let replications = take_replications(&mut args)?;
     let telemetry = take_telemetry(&mut args)?;
+    let channels = take_channels(&mut args)?;
     let (cmd, path) = match args.as_slice() {
         [cmd] if cmd == "init-config" => {
             println!("{}", ExperimentConfig::default().to_json());
@@ -323,6 +350,9 @@ fn run() -> Result<(), String> {
     }
     if telemetry.is_some() {
         cfg.telemetry = telemetry;
+    }
+    if let Some(layout) = channels {
+        cfg.hybrid.channels = layout;
     }
     match cmd {
         "simulate" if cfg.telemetry.is_some() => {

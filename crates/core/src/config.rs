@@ -7,6 +7,26 @@ use crate::pull::PullPolicyKind;
 use crate::push::PushKind;
 use crate::uplink::UplinkConfig;
 
+/// How items are mapped onto the channels of a
+/// [`ChannelLayout::Sharded`] downlink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[serde(rename_all = "snake_case")]
+pub enum AssignmentStrategy {
+    /// Contiguous popularity-rank blocks: item of rank `r` (out of `D`)
+    /// lands on channel `r·C / D`. The naive "range partition" baseline —
+    /// the hottest items all share channel 0.
+    Range,
+    /// Round-robin by item id (`id mod C`). The naive hash baseline:
+    /// load-oblivious but spreads hot items across channels.
+    Hash,
+    /// Pattern-aware balancing of the Kenyon–Schabanel–Young cost:
+    /// greedy longest-processing-time seeding by `√(pᵢ·lᵢ)` weight,
+    /// then local-search moves until no single-item move lowers
+    /// `Σ_c L_c²` (see `crate::sharded::ChannelPlan`).
+    #[default]
+    PatternAware,
+}
+
 /// How the downlink is organized.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 #[serde(tag = "kind", rename_all = "snake_case")]
@@ -22,6 +42,31 @@ pub enum ChannelLayout {
         /// Number of dedicated pull channels (≥ 1).
         pull_channels: u32,
     },
+    /// The catalog is partitioned across `channels` self-contained
+    /// hybrid sub-schedulers, each running the paper's interleaved
+    /// discipline over its own slice of the catalog with `1/C` of the
+    /// admission capacity. Raw capacity is `channels` times the
+    /// interleaved layout's; single-tuner clients listen to one channel
+    /// at a time and may miss pushes on others (the conflict model).
+    Sharded {
+        /// Number of broadcast channels (≥ 1). `1` is bit-identical to
+        /// `Interleaved`.
+        channels: u32,
+        /// Item→channel assignment strategy.
+        #[serde(default)]
+        assignment: AssignmentStrategy,
+    },
+}
+
+impl ChannelLayout {
+    /// Number of concurrently running sharded sub-schedulers (`1` for the
+    /// single-scheduler layouts).
+    pub fn shard_count(&self) -> u32 {
+        match self {
+            ChannelLayout::Sharded { channels, .. } => (*channels).max(1),
+            _ => 1,
+        }
+    }
 }
 
 /// Everything that parameterizes the hybrid server (the workload side lives

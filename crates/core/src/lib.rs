@@ -20,6 +20,9 @@
 //!   same scheduler core through;
 //! * [`shard`] — per-shard SPSC ingress rings + doorbell, the seam between
 //!   the daemon's event-loop reader shards and the scheduler thread;
+//! * [`sharded`] — the multi-channel layer: the catalog partitioned across
+//!   `C` self-contained sub-schedulers by a KSY-cost-minimizing
+//!   item→channel plan;
 //! * [`metrics`] — per-class delay/blocking/prioritized-cost reports;
 //! * [`cutoff`] — the optimal-cutoff (`K*`) grid search, parallelized
 //!   over the candidate grid;
@@ -61,6 +64,7 @@ pub mod pull;
 pub mod push;
 pub mod queue;
 pub mod shard;
+pub mod sharded;
 pub mod sim_driver;
 pub mod uplink;
 
@@ -71,7 +75,7 @@ pub mod prelude {
         simulate_with_churn, simulate_with_churn_sink, ChurnConfig, ChurnReport,
     };
     pub use crate::clock::{Clock, ManualClock, WallClock};
-    pub use crate::config::{ChannelLayout, HybridConfig};
+    pub use crate::config::{AssignmentStrategy, ChannelLayout, HybridConfig};
     pub use crate::cutoff::{CutoffOptimizer, CutoffPoint, CutoffSweep, Objective};
     pub use crate::experiment::{
         run_replicated, run_replicated_serial, run_replicated_with_telemetry,
@@ -82,6 +86,7 @@ pub mod prelude {
     pub use crate::pull::{PullContext, PullPolicy, PullPolicyKind};
     pub use crate::push::{PushKind, PushScheduler};
     pub use crate::queue::{PendingItem, PullQueue};
+    pub use crate::sharded::{ChannelPlan, ShardedScheduler};
     pub use crate::sim_driver::{
         simulate, simulate_adaptive, simulate_adaptive_telemetry, simulate_adaptive_with_sink,
         simulate_harness, simulate_replicated, simulate_telemetry, simulate_with_sink,

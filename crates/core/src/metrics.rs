@@ -249,6 +249,9 @@ impl MetricsCollector {
             blocked_items: self.blocked_items,
             uplink_lost: self.uplink_lost.clone(),
             uplink_delivered: self.uplink_delivered.clone(),
+            channels: 1,
+            conflicts: 0,
+            conflict_rate: 0.0,
             end_time: end.as_f64(),
         }
     }
@@ -327,8 +330,26 @@ pub struct SimReport {
     /// when the back-channel model is disabled or for older reports).
     #[serde(default)]
     pub uplink_delivered: Vec<u64>,
+    /// Broadcast channels driven by this run (1 for the single-scheduler
+    /// layouts; the shard count under `ChannelLayout::Sharded`).
+    #[serde(default = "default_channels")]
+    pub channels: u32,
+    /// Single-tuner conflicts: times a parked push listener missed a
+    /// satisfying broadcast because its tuner sat on another channel
+    /// (always 0 with one channel). Counted over the whole run.
+    #[serde(default)]
+    pub conflicts: u64,
+    /// `conflicts / (conflicts + push-served)` over the whole run — the
+    /// fraction of push deliveries that cost an extra broadcast period to
+    /// a mistuned client. 0 with one channel.
+    #[serde(default)]
+    pub conflict_rate: f64,
     /// Simulated end time (broadcast units).
     pub end_time: f64,
+}
+
+fn default_channels() -> u32 {
+    1
 }
 
 impl SimReport {

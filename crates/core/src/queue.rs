@@ -116,15 +116,20 @@ impl PendingItem {
         self.requesters.len()
     }
 
-    /// The highest-priority class among pending requesters (smallest
-    /// `ClassId`); used by the bandwidth manager to decide whose partition
-    /// a transmission draws from. `None` only for an entry with no
-    /// requesters, which the queue never hands out.
+    /// The class with the most pending requesters, ties broken toward the
+    /// higher-priority (smaller) `ClassId`; used by the bandwidth manager
+    /// to decide whose partition a transmission draws from. `None` only
+    /// for an entry with no requesters, which the queue never hands out.
     pub fn dominant_class(&self) -> Option<ClassId> {
         self.class_counts
             .iter()
-            .position(|&n| n > 0)
-            .map(|i| ClassId(i as u8))
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            // max_by_key keeps the *last* maximum, so scan from the highest
+            // class id down: the lowest id wins ties.
+            .rev()
+            .max_by_key(|&(_, &n)| n)
+            .map(|(i, _)| ClassId(i as u8))
     }
 
     /// Writes the pending request count per class into `counts`.
@@ -666,6 +671,29 @@ mod tests {
         let mut counts = [0usize; 3];
         e.class_counts(&mut counts);
         assert_eq!(counts, [1, 1, 1]);
+    }
+
+    #[test]
+    fn dominant_class_is_the_most_numerous_not_the_first_nonzero() {
+        // Regression: one class-0 requester batched with three class-2
+        // ones must draw from class 2's partition. The pre-fix
+        // first-nonzero scan answered ClassId(0) here.
+        let mut q = PullQueue::new(10);
+        q.insert(&req(1.0, 3, 0), 3.0);
+        q.insert(&req(2.0, 3, 2), 1.0);
+        q.insert(&req(3.0, 3, 2), 1.0);
+        q.insert(&req(4.0, 3, 2), 1.0);
+        let e = q.get(ItemId(3)).unwrap();
+        assert_eq!(e.dominant_class(), Some(ClassId(2)));
+
+        // A strict majority in a middle class wins over both neighbors.
+        let mut q = PullQueue::new(10);
+        q.insert(&req(1.0, 4, 0), 3.0);
+        q.insert(&req(2.0, 4, 1), 2.0);
+        q.insert(&req(3.0, 4, 1), 2.0);
+        q.insert(&req(4.0, 4, 2), 1.0);
+        let e = q.get(ItemId(4)).unwrap();
+        assert_eq!(e.dominant_class(), Some(ClassId(1)));
     }
 
     #[test]

@@ -1,0 +1,613 @@
+//! Sharded multi-channel scheduling: the catalog partitioned across `C`
+//! self-contained hybrid sub-schedulers.
+//!
+//! The paper assumes a single downlink. To scale past one scheduler
+//! thread, [`ShardedScheduler`] splits the catalog by an item→channel
+//! map ([`ChannelPlan`]) and runs one full [`HybridScheduler`] — own
+//! push set, pull queue, cutoff `K_c`, and `1/C` bandwidth partition —
+//! per channel. Requests route to the owning shard; each channel's
+//! transmission timeline is driven independently through the same
+//! `next_transmission` / `complete_transmission` surface the
+//! single-channel scheduler exposes, just indexed by channel.
+//!
+//! The assignment objective is the Kenyon–Schabanel–Young cost
+//! `Σ_c L_c²/2` with `L_c = Σ_{i∈c} √(pᵢ·lᵢ)` (see
+//! [`hybridcast_analysis::ksy`]): minimizing total expected push wait
+//! over a partition is exactly balancing the channel loads `L_c`.
+//! [`AssignmentStrategy::PatternAware`] seeds greedily
+//! (longest-processing-time over the weights) and then applies
+//! local-search moves until no single-item move lowers the cost — the
+//! cross-channel optimizer. `Range` and `Hash` are the naive baselines
+//! it is judged against, and `(Σᵢwᵢ)²/2C` is the offline lower bound.
+//!
+//! With one tuner, a client listening to channel `c` cannot hear a push
+//! on channel `c'`; the simulation driver charges such clients one
+//! missed broadcast period (the conflict model) and reports the
+//! conflict rate.
+
+use hybridcast_analysis::ksy;
+use hybridcast_sim::rng::RngFactory;
+use hybridcast_sim::time::SimTime;
+use hybridcast_workload::catalog::{Catalog, ItemId};
+use hybridcast_workload::classes::ClassSet;
+use hybridcast_workload::requests::Request;
+
+use crate::config::{AssignmentStrategy, ChannelLayout, HybridConfig};
+use crate::hybrid::{Disposition, HybridScheduler, Transmission};
+use crate::pull::PullPolicy;
+use crate::queue::PendingItem;
+
+/// Local-search passes over the whole catalog before the optimizer
+/// settles (each pass is O(D·C); convergence is almost always ≤ 3).
+const OPTIMIZER_MAX_PASSES: usize = 32;
+
+/// An item→channel assignment plus its KSY accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelPlan {
+    channels: u32,
+    strategy: AssignmentStrategy,
+    /// Channel index per item, indexed by `ItemId::index()`.
+    channel_of: Vec<u8>,
+    /// KSY weight `√(pᵢ·lᵢ)` per item.
+    weights: Vec<f64>,
+    /// Per-channel load `L_c`.
+    loads: Vec<f64>,
+}
+
+impl ChannelPlan {
+    /// Builds the plan for `catalog` over `channels` channels.
+    ///
+    /// # Panics
+    /// Panics if `channels` is 0 or exceeds 256 (the per-item channel
+    /// index is a `u8`).
+    pub fn build(catalog: &Catalog, channels: u32, strategy: AssignmentStrategy) -> Self {
+        assert!(channels >= 1, "a downlink needs at least one channel");
+        assert!(channels <= 256, "at most 256 channels supported");
+        let n = catalog.len();
+        let weights: Vec<f64> = (0..n as u32)
+            .map(|i| {
+                let id = ItemId(i);
+                ksy::ksy_weight(catalog.prob(id), catalog.length(id) as f64)
+            })
+            .collect();
+        let c = channels as usize;
+        let channel_of: Vec<u8> = match strategy {
+            AssignmentStrategy::Range => (0..n).map(|i| (i * c / n.max(1)) as u8).collect(),
+            AssignmentStrategy::Hash => (0..n).map(|i| (i % c) as u8).collect(),
+            AssignmentStrategy::PatternAware => pattern_aware(&weights, c),
+        };
+        let loads = ksy::channel_loads(&weights, &channel_of, channels);
+        ChannelPlan {
+            channels,
+            strategy,
+            channel_of,
+            weights,
+            loads,
+        }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> u32 {
+        self.channels
+    }
+
+    /// The strategy that produced this plan.
+    pub fn strategy(&self) -> AssignmentStrategy {
+        self.strategy
+    }
+
+    /// The channel carrying `item`.
+    #[inline]
+    pub fn channel_of(&self, item: ItemId) -> u32 {
+        self.channel_of[item.index()] as u32
+    }
+
+    /// The full assignment, one channel index per item.
+    pub fn assignment(&self) -> &[u8] {
+        &self.channel_of
+    }
+
+    /// Per-channel KSY loads `L_c`.
+    pub fn loads(&self) -> &[f64] {
+        &self.loads
+    }
+
+    /// The items assigned to `channel`, in id order.
+    pub fn items_on(&self, channel: u32) -> Vec<ItemId> {
+        self.channel_of
+            .iter()
+            .enumerate()
+            .filter(|&(_, &ch)| ch as u32 == channel)
+            .map(|(i, _)| ItemId(i as u32))
+            .collect()
+    }
+
+    /// This plan's KSY cost `Σ_c L_c²/2`.
+    pub fn cost(&self) -> f64 {
+        ksy::partition_cost(&self.loads)
+    }
+
+    /// The balanced-partition lower bound `(Σᵢwᵢ)²/2C` — what a perfect
+    /// assignment of these items to these channels could achieve.
+    pub fn lower_bound(&self) -> f64 {
+        ksy::partition_lower_bound(&self.weights, self.channels)
+    }
+
+    /// Relative gap of this plan's cost above the lower bound
+    /// (`None` on a zero-weight catalog).
+    pub fn gap(&self) -> Option<f64> {
+        ksy::gap_to_lower_bound(self.cost(), self.lower_bound())
+    }
+}
+
+/// Greedy LPT seeding plus local-search moves on the KSY objective.
+///
+/// Moving item `i` (weight `w`) from channel `a` to `b` changes
+/// `Σ L²` by `(L_a−w)² + (L_b+w)² − L_a² − L_b² = 2w·(L_b − L_a + w)`,
+/// so the move improves iff `L_a − w > L_b` — always move toward the
+/// strictly lighter channel, ties broken toward the lower index for
+/// determinism.
+fn pattern_aware(weights: &[f64], channels: usize) -> Vec<u8> {
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    // Heaviest first; equal weights keep id order (sort is stable).
+    order.sort_by(|&a, &b| weights[b].total_cmp(&weights[a]));
+
+    let mut loads = vec![0.0f64; channels];
+    let mut assign = vec![0u8; weights.len()];
+    for &i in &order {
+        let lightest = argmin(&loads);
+        assign[i] = lightest as u8;
+        loads[lightest] += weights[i];
+    }
+
+    for _ in 0..OPTIMIZER_MAX_PASSES {
+        let mut moved = false;
+        for &i in &order {
+            let from = assign[i] as usize;
+            let w = weights[i];
+            let to = argmin(&loads);
+            if to != from && loads[from] - w > loads[to] + 1e-12 {
+                loads[from] -= w;
+                loads[to] += w;
+                assign[i] = to as u8;
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    assign
+}
+
+fn argmin(loads: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &l) in loads.iter().enumerate().skip(1) {
+        if l < loads[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// `C` independent hybrid sub-schedulers behind one routing facade.
+///
+/// At `C = 1` construction delegates verbatim to [`HybridScheduler::new`]
+/// — same RNG streams, same push schedule, same admission sequence — so
+/// the sharded path is bit-identical to the single-channel scheduler
+/// (property-tested over the replay corpus in the testkit). At `C > 1`
+/// each shard gets `1/C` of the admission capacity, the slice of the
+/// push prefix `0..K` its channel owns, and (for shards past the first)
+/// an independent replication of the RNG factory.
+pub struct ShardedScheduler {
+    shards: Vec<HybridScheduler>,
+    plan: ChannelPlan,
+}
+
+impl std::fmt::Debug for ShardedScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedScheduler")
+            .field("channels", &self.plan.channels)
+            .field("strategy", &self.plan.strategy)
+            .field("loads", &self.plan.loads)
+            .finish()
+    }
+}
+
+impl ShardedScheduler {
+    /// Builds the sharded server. `config.channels` decides the shape:
+    /// [`ChannelLayout::Sharded`] spreads the catalog over its channel
+    /// count; the single-scheduler layouts build one shard.
+    ///
+    /// # Panics
+    /// Panics if `config.cutoff > catalog.len()` (same contract as
+    /// [`HybridScheduler::new`]).
+    pub fn new(
+        catalog: Catalog,
+        classes: ClassSet,
+        config: &HybridConfig,
+        factory: &RngFactory,
+    ) -> Self {
+        let (channels, strategy) = match config.channels {
+            ChannelLayout::Sharded {
+                channels,
+                assignment,
+            } => (channels.max(1), assignment),
+            _ => (1, AssignmentStrategy::default()),
+        };
+        let plan = ChannelPlan::build(&catalog, channels, strategy);
+        if channels == 1 {
+            let shard = HybridScheduler::new(catalog, classes, config, factory);
+            return ShardedScheduler {
+                shards: vec![shard],
+                plan,
+            };
+        }
+
+        let mut shard_config = config.clone();
+        shard_config.cutoff = 0;
+        shard_config.bandwidth.total_capacity = config.bandwidth.total_capacity / channels as f64;
+        let mut shards = Vec::with_capacity(channels as usize);
+        for c in 0..channels {
+            let shard_factory = if c == 0 {
+                *factory
+            } else {
+                factory.replication(c as u64)
+            };
+            let mut shard = HybridScheduler::new(
+                catalog.clone(),
+                classes.clone(),
+                &shard_config,
+                &shard_factory,
+            );
+            // This channel's slice of the global push prefix 0..K.
+            let push_items: Vec<ItemId> = plan
+                .items_on(c)
+                .into_iter()
+                .filter(|it| it.index() < config.cutoff)
+                .collect();
+            shard.set_push_set(&push_items, SimTime::ZERO);
+            shards.push(shard);
+        }
+        ShardedScheduler { shards, plan }
+    }
+
+    /// Like [`ShardedScheduler::new`] but with a caller-supplied pull
+    /// policy. A boxed policy can't be distributed across shards, so this
+    /// is only available on a single-channel layout.
+    ///
+    /// # Panics
+    /// Panics if `config.channels` shards into more than one channel, or
+    /// if `config.cutoff > catalog.len()`.
+    pub fn with_policy(
+        catalog: Catalog,
+        classes: ClassSet,
+        config: &HybridConfig,
+        factory: &RngFactory,
+        policy: Box<dyn PullPolicy>,
+    ) -> Self {
+        assert_eq!(
+            config.channels.shard_count(),
+            1,
+            "a custom pull policy requires a single channel"
+        );
+        let plan = ChannelPlan::build(&catalog, 1, AssignmentStrategy::default());
+        let shard = HybridScheduler::with_policy(catalog, classes, config, factory, policy);
+        ShardedScheduler {
+            shards: vec![shard],
+            plan,
+        }
+    }
+
+    /// Splits the sharded scheduler into its per-channel sub-schedulers
+    /// plus the plan that routed them — for hosts (like the daemon) that
+    /// drive each channel on its own thread.
+    pub fn into_parts(self) -> (Vec<HybridScheduler>, ChannelPlan) {
+        (self.shards, self.plan)
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> u32 {
+        self.plan.channels
+    }
+
+    /// The item→channel plan.
+    pub fn plan(&self) -> &ChannelPlan {
+        &self.plan
+    }
+
+    /// All sub-schedulers, in channel order.
+    pub fn shards(&self) -> impl Iterator<Item = &HybridScheduler> {
+        self.shards.iter()
+    }
+
+    /// `true` if `item` belongs to its owning shard's push set.
+    #[inline]
+    pub fn is_push_item(&self, item: ItemId) -> bool {
+        self.shards[self.plan.channel_of(item) as usize].is_push_item(item)
+    }
+
+    /// The item database (identical across shards).
+    pub fn catalog(&self) -> &Catalog {
+        self.shards[0].catalog()
+    }
+
+    /// The service classes (identical across shards).
+    pub fn classes(&self) -> &ClassSet {
+        self.shards[0].classes()
+    }
+
+    /// The global push-set size `K = Σ_c K_c`.
+    pub fn cutoff(&self) -> usize {
+        self.shards.iter().map(|s| s.cutoff()).sum()
+    }
+
+    /// Single-channel delegate of [`HybridScheduler::push_membership`].
+    ///
+    /// # Panics
+    /// Panics on a multi-channel layout (the cutoff controller and fault
+    /// injector that need this run single-channel only).
+    pub fn push_membership(&self) -> &[bool] {
+        assert_eq!(self.shards.len(), 1, "push_membership needs one channel");
+        self.shards[0].push_membership()
+    }
+
+    /// Single-channel delegate of [`HybridScheduler::set_push_set`].
+    ///
+    /// # Panics
+    /// Panics on a multi-channel layout.
+    pub fn set_push_set(&mut self, items: &[ItemId], now: SimTime) -> Vec<PendingItem> {
+        assert_eq!(self.shards.len(), 1, "set_push_set needs one channel");
+        self.shards[0].set_push_set(items, now)
+    }
+
+    /// Re-inserts a former broadcast waiter into its owning shard's pull
+    /// queue (see [`HybridScheduler::requeue_waiter`]).
+    pub fn requeue_waiter(&mut self, req: &Request, now: SimTime) {
+        let channel = self.plan.channel_of(req.item);
+        self.shards[channel as usize].requeue_waiter(req, now);
+    }
+
+    /// The sub-scheduler for `channel` (read-only).
+    pub fn shard(&self, channel: u32) -> &HybridScheduler {
+        &self.shards[channel as usize]
+    }
+
+    /// The sub-scheduler for `channel`.
+    pub fn shard_mut(&mut self, channel: u32) -> &mut HybridScheduler {
+        &mut self.shards[channel as usize]
+    }
+
+    /// Routes one incoming request to its owning shard; returns the
+    /// channel it landed on and what that shard did with it.
+    pub fn on_request(&mut self, req: &Request) -> (u32, Disposition) {
+        let channel = self.plan.channel_of(req.item);
+        (channel, self.shards[channel as usize].on_request(req))
+    }
+
+    /// Decides `channel`'s next downlink slot starting at `now` — the
+    /// single-channel [`HybridScheduler::next_transmission`] surface,
+    /// per channel.
+    pub fn next_transmission(
+        &mut self,
+        channel: u32,
+        now: SimTime,
+    ) -> (Option<Transmission>, Vec<PendingItem>) {
+        self.shards[channel as usize].next_transmission(now)
+    }
+
+    /// Completes a transmission on `channel`, returning the served batch.
+    pub fn complete_transmission(&mut self, channel: u32, tx: Transmission) -> Option<PendingItem> {
+        self.shards[channel as usize].complete_transmission(tx)
+    }
+
+    /// Returns a fully-attributed batch to `channel`'s entry pool.
+    pub fn recycle(&mut self, channel: u32, entry: PendingItem) {
+        self.shards[channel as usize].recycle(entry);
+    }
+
+    /// Total queued pull requests across all shards.
+    pub fn total_queued_requests(&self) -> usize {
+        self.shards.iter().map(|s| s.queue().total_requests()).sum()
+    }
+
+    /// Total distinct queued items across all shards.
+    pub fn total_queued_items(&self) -> usize {
+        self.shards.iter().map(|s| s.queue().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::TxKind;
+    use hybridcast_workload::classes::ClassId;
+    use hybridcast_workload::lengths::LengthModel;
+    use hybridcast_workload::popularity::PopularityModel;
+
+    fn catalog(n: usize) -> Catalog {
+        let factory = RngFactory::new(4);
+        let mut rng = factory.stream(hybridcast_sim::rng::streams::LENGTHS);
+        Catalog::build(
+            n,
+            &PopularityModel::zipf(1.0),
+            &LengthModel::Uniform { min: 1, max: 4 },
+            &mut rng,
+        )
+    }
+
+    fn req(t: f64, item: u32, class: u8) -> Request {
+        Request {
+            arrival: SimTime::new(t),
+            item: ItemId(item),
+            class: ClassId(class),
+        }
+    }
+
+    fn sharded(channels: u32, assignment: AssignmentStrategy, cutoff: usize) -> ShardedScheduler {
+        let mut cfg = HybridConfig::paper(cutoff, 0.5);
+        cfg.channels = ChannelLayout::Sharded {
+            channels,
+            assignment,
+        };
+        ShardedScheduler::new(
+            catalog(20),
+            ClassSet::paper_default(),
+            &cfg,
+            &RngFactory::new(4),
+        )
+    }
+
+    #[test]
+    fn every_item_is_assigned_exactly_one_channel() {
+        for strategy in [
+            AssignmentStrategy::Range,
+            AssignmentStrategy::Hash,
+            AssignmentStrategy::PatternAware,
+        ] {
+            let plan = ChannelPlan::build(&catalog(20), 4, strategy);
+            assert_eq!(plan.assignment().len(), 20);
+            assert!(plan.assignment().iter().all(|&c| c < 4));
+            let total: usize = (0..4).map(|c| plan.items_on(c).len()).sum();
+            assert_eq!(total, 20, "{strategy:?} partition must cover the catalog");
+        }
+    }
+
+    #[test]
+    fn pattern_aware_beats_the_naive_baselines_on_zipf() {
+        let cat = catalog(100);
+        let range = ChannelPlan::build(&cat, 4, AssignmentStrategy::Range);
+        let hash = ChannelPlan::build(&cat, 4, AssignmentStrategy::Hash);
+        let smart = ChannelPlan::build(&cat, 4, AssignmentStrategy::PatternAware);
+        assert!(
+            smart.cost() <= range.cost() + 1e-12 && smart.cost() <= hash.cost() + 1e-12,
+            "pattern-aware {:.4} vs range {:.4} / hash {:.4}",
+            smart.cost(),
+            range.cost(),
+            hash.cost()
+        );
+        // On a Zipf catalog the range baseline piles the whole head onto
+        // channel 0 — pattern-aware must do strictly better than that.
+        assert!(smart.cost() < range.cost());
+        // And it should land near the balanced lower bound.
+        assert!(smart.gap().unwrap() < 0.05, "gap {:?}", smart.gap());
+    }
+
+    #[test]
+    fn optimizer_never_worsens_greedy_and_is_deterministic() {
+        let cat = catalog(50);
+        let a = ChannelPlan::build(&cat, 3, AssignmentStrategy::PatternAware);
+        let b = ChannelPlan::build(&cat, 3, AssignmentStrategy::PatternAware);
+        assert_eq!(a, b, "plan construction must be deterministic");
+        assert!(a.cost() >= a.lower_bound() - 1e-12);
+    }
+
+    #[test]
+    fn single_channel_plan_is_trivial_and_cost_matches_ksy() {
+        let cat = catalog(20);
+        let plan = ChannelPlan::build(&cat, 1, AssignmentStrategy::PatternAware);
+        assert!(plan.assignment().iter().all(|&c| c == 0));
+        assert!((plan.cost() - plan.lower_bound()).abs() < 1e-12);
+        assert_eq!(plan.gap(), Some(0.0));
+    }
+
+    #[test]
+    fn requests_route_to_the_owning_shard() {
+        let mut s = sharded(4, AssignmentStrategy::Hash, 0);
+        for item in 0..20u32 {
+            let (channel, disp) = s.on_request(&req(1.0, item, 0));
+            assert_eq!(channel, item % 4, "hash assignment routes by id mod C");
+            assert_eq!(disp, Disposition::Queued);
+            assert_eq!(
+                s.shard(channel)
+                    .queue()
+                    .get(ItemId(item))
+                    .map(|e| e.count()),
+                Some(1)
+            );
+        }
+        assert_eq!(s.total_queued_requests(), 20);
+        assert_eq!(s.total_queued_items(), 20);
+    }
+
+    #[test]
+    fn shard_push_sets_slice_the_global_prefix() {
+        let s = sharded(4, AssignmentStrategy::PatternAware, 8);
+        let mut push_total = 0;
+        for c in 0..4 {
+            let shard = s.shard(c);
+            for item in 0..20u32 {
+                let id = ItemId(item);
+                let owned = s.plan().channel_of(id) == c;
+                let in_prefix = (item as usize) < 8;
+                assert_eq!(
+                    shard.is_push_item(id),
+                    owned && in_prefix,
+                    "channel {c} item {item}"
+                );
+            }
+            push_total += shard.cutoff();
+        }
+        assert_eq!(push_total, 8, "the shards partition the push prefix");
+    }
+
+    #[test]
+    fn channels_run_independent_timelines() {
+        let mut s = sharded(2, AssignmentStrategy::Hash, 4);
+        // Channel 1 owns odd items; queue a pull request for item 5.
+        s.on_request(&req(0.5, 5, 0));
+        let (tx0, _) = s.next_transmission(0, SimTime::new(1.0));
+        let tx0 = tx0.expect("channel 0 has a push set");
+        assert_eq!(tx0.kind, TxKind::Push);
+        let (tx1, _) = s.next_transmission(1, SimTime::new(1.0));
+        let tx1 = tx1.expect("channel 1 has work");
+        assert_eq!(tx1.kind, TxKind::Push, "push slot comes first");
+        s.complete_transmission(0, tx0);
+        s.complete_transmission(1, tx1);
+        let (tx1b, _) = s.next_transmission(1, SimTime::new(3.0));
+        let tx1b = tx1b.expect("pull slot after the push");
+        assert_eq!(tx1b.kind, TxKind::Pull);
+        assert_eq!(tx1b.item, ItemId(5));
+        let batch = s.complete_transmission(1, tx1b).expect("served batch");
+        assert_eq!(batch.count(), 1);
+    }
+
+    #[test]
+    fn one_channel_sharded_matches_the_plain_scheduler_step_for_step() {
+        let cfg = {
+            let mut c = HybridConfig::paper(5, 0.5);
+            c.channels = ChannelLayout::Sharded {
+                channels: 1,
+                assignment: AssignmentStrategy::PatternAware,
+            };
+            c
+        };
+        let plain_cfg = HybridConfig::paper(5, 0.5);
+        let factory = RngFactory::new(77);
+        let classes = ClassSet::paper_default;
+        let mut sharded = ShardedScheduler::new(catalog(20), classes(), &cfg, &factory);
+        let mut plain = HybridScheduler::new(catalog(20), classes(), &plain_cfg, &factory);
+        for item in [7u32, 9, 12, 7, 19] {
+            let (_, d1) = sharded.on_request(&req(0.1, item, item as u8 % 3));
+            let d2 = plain.on_request(&req(0.1, item, item as u8 % 3));
+            assert_eq!(d1, d2);
+        }
+        let mut t = 0.0;
+        for _ in 0..40 {
+            let (a, da) = sharded.next_transmission(0, SimTime::new(t));
+            let (b, db) = plain.next_transmission(SimTime::new(t));
+            assert_eq!(da.len(), db.len());
+            match (a, b) {
+                (Some(a), Some(b)) => {
+                    assert_eq!((a.item, a.kind, a.duration), (b.item, b.kind, b.duration));
+                    t = a.completes_at().as_f64();
+                    let sa = sharded.complete_transmission(0, a);
+                    let sb = plain.complete_transmission(b);
+                    assert_eq!(sa.map(|e| e.count()), sb.map(|e| e.count()));
+                }
+                (None, None) => t += 1.0,
+                (a, b) => panic!("divergence: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}

@@ -29,9 +29,10 @@ use hybridcast_workload::requests::RequestSource;
 use hybridcast_workload::scenario::Scenario;
 
 use crate::config::{ChannelLayout, HybridConfig};
-use crate::hybrid::{HybridScheduler, Transmission};
+use crate::hybrid::Transmission;
 use crate::metrics::{MetricsCollector, SimReport, TxKind};
 use crate::pull::{PullPolicy, PullPolicyKind};
+use crate::sharded::ShardedScheduler;
 use crate::uplink::{UplinkChannel, UplinkOutcome};
 use hybridcast_analysis::hybrid_model::HybridDelayModel;
 use hybridcast_telemetry::{
@@ -88,8 +89,9 @@ enum Event {
     /// A pull request finishes crossing the contended uplink and reaches
     /// the server (the `Request` keeps its original arrival time).
     Deliver(Request),
-    /// A downlink transmission finishes.
-    Complete(Transmission),
+    /// A downlink transmission finishes on the given channel (always 0
+    /// outside the sharded layout).
+    Complete(u32, Transmission),
     /// Periodic cutoff re-optimization (adaptive mode only).
     Retune,
     /// An injected fault fires (testing harness only).
@@ -223,16 +225,22 @@ pub struct PendingCensus {
     pub in_service: Vec<u64>,
     /// Listeners removed by an injected [`FaultSpec::MassDeparture`].
     pub departed: Vec<u64>,
+    /// The channel-side marginal of the same census: total still-held
+    /// (or departed) requests per broadcast channel. One entry outside
+    /// the sharded layout; empty in pre-sharding serialized data.
+    #[serde(default)]
+    pub per_channel: Vec<u64>,
 }
 
 impl PendingCensus {
-    fn new(classes: usize) -> Self {
+    fn new(classes: usize, channels: usize) -> Self {
         PendingCensus {
             queued: vec![0; classes],
             waiting_push: vec![0; classes],
             uplink_in_flight: vec![0; classes],
             in_service: vec![0; classes],
             departed: vec![0; classes],
+            per_channel: vec![0; channels],
         }
     }
 
@@ -337,12 +345,18 @@ struct AdaptiveState {
 const UPLINK_STREAM: u64 = 7;
 
 /// Boots the downlink at t = 0: the interleaved channel (or, in the split
-/// layout, the dedicated broadcast channel) starts transmitting
-/// immediately; pull channels wait for demand.
+/// layout, the dedicated broadcast channel; in the sharded layout, every
+/// channel) starts transmitting immediately; pull channels wait for
+/// demand.
 fn start_channels<S: Sink>(driver: &mut Driver<'_, S>, engine: &mut Engine<Event>) {
     match driver.layout {
-        ChannelLayout::Interleaved => driver.dispatch(engine, SimTime::ZERO),
+        ChannelLayout::Interleaved => driver.dispatch(engine, SimTime::ZERO, 0),
         ChannelLayout::Split { .. } => driver.dispatch_push_channel(engine, SimTime::ZERO),
+        ChannelLayout::Sharded { .. } => {
+            for c in 0..driver.scheduler.channels() {
+                driver.dispatch(engine, SimTime::ZERO, c);
+            }
+        }
     }
 }
 
@@ -356,14 +370,28 @@ fn policy_alpha(kind: &PullPolicyKind) -> f64 {
     }
 }
 
+/// One client parked in a push item's waiting room.
+#[derive(Debug, Clone, Copy)]
+struct PushWaiter {
+    arrival: SimTime,
+    class: ClassId,
+    /// Sharded layout, single-tuner clients: the client's tuner was on
+    /// another channel when it arrived, so it misses the first broadcast
+    /// of its item (one conflict) before being servable. Always `false`
+    /// outside the sharded layout.
+    mistuned: bool,
+}
+
 struct Driver<'s, S: Sink> {
-    scheduler: HybridScheduler,
+    scheduler: ShardedScheduler,
     metrics: MetricsCollector,
     gen: Box<dyn RequestSource>,
-    /// Per push-item waiting room: `(arrival, class)` of listening clients.
-    push_waiters: Vec<Vec<(SimTime, ClassId)>>,
-    /// `false` only in pure-pull mode with an empty queue.
-    server_busy: bool,
+    /// Per push-item waiting room of listening clients.
+    push_waiters: Vec<Vec<PushWaiter>>,
+    /// Per-channel transmit state; an entry is `false` only when that
+    /// channel's push set is empty and its pull queue ran dry (one entry
+    /// outside the sharded layout).
+    channel_busy: Vec<bool>,
     /// Present when running with periodic cutoff re-optimization.
     adaptive: Option<AdaptiveState>,
     /// Present when the back-channel contention model is enabled.
@@ -379,6 +407,17 @@ struct Driver<'s, S: Sink> {
     base_uplink_prob: Option<f64>,
     /// Per-class listeners removed by injected mass-departure faults.
     departed: Vec<u64>,
+    /// The same departures, tallied per channel (for the per-channel
+    /// conservation identity).
+    departed_by_channel: Vec<u64>,
+    /// Deterministic single-tuner model: the channel an arriving client's
+    /// tuner sits on cycles through `0..C`.
+    tuner_counter: u64,
+    /// Broadcasts missed by mistuned listeners (whole run, no warmup
+    /// gating — a channel statistic like uplink losses).
+    conflicts: u64,
+    /// Push deliveries over the whole run (the conflict-rate denominator).
+    push_served_raw: u64,
     /// Shadow-recount discrepancies collected at audit points.
     audit: Vec<String>,
     /// When `true`, the pull queue's aggregates are shadow-recounted at
@@ -391,8 +430,8 @@ struct Driver<'s, S: Sink> {
 
 impl<S: Sink> Driver<'_, S> {
     fn record_queue(&mut self, now: SimTime) {
-        let items = self.scheduler.queue().len();
-        let requests = self.scheduler.queue().total_requests();
+        let items = self.scheduler.total_queued_items();
+        let requests = self.scheduler.total_queued_requests();
         self.metrics.queue_changed(now, items, requests);
         emit(self.sink, || TelemetryEvent::QueueGauge {
             time: now,
@@ -401,7 +440,12 @@ impl<S: Sink> Driver<'_, S> {
         });
     }
 
-    fn record_dropped(&mut self, dropped: Vec<crate::queue::PendingItem>, now: SimTime) {
+    fn record_dropped(
+        &mut self,
+        dropped: Vec<crate::queue::PendingItem>,
+        now: SimTime,
+        channel: u32,
+    ) {
         if dropped.is_empty() {
             return;
         }
@@ -430,59 +474,75 @@ impl<S: Sink> Driver<'_, S> {
                     });
                 }
             }
-            self.scheduler.recycle(entry);
+            self.scheduler.recycle(channel, entry);
         }
     }
 
-    /// Interleaved layout: one shared channel, push/pull alternation.
-    fn dispatch(&mut self, eng: &mut Engine<Event>, now: SimTime) {
-        debug_assert_eq!(self.layout, ChannelLayout::Interleaved);
-        let (tx, dropped) = self.scheduler.next_transmission(now);
-        self.record_dropped(dropped, now);
+    /// The channel an arriving request's item is served on (always 0
+    /// outside the sharded layout).
+    fn channel_for(&self, item: ItemId) -> u32 {
+        match self.layout {
+            ChannelLayout::Sharded { .. } => self.scheduler.plan().channel_of(item),
+            _ => 0,
+        }
+    }
+
+    /// Interleaved/sharded: one push/pull-alternating channel timeline.
+    fn dispatch(&mut self, eng: &mut Engine<Event>, now: SimTime, channel: u32) {
+        debug_assert!(!matches!(self.layout, ChannelLayout::Split { .. }));
+        let (tx, dropped) = self.scheduler.next_transmission(channel, now);
+        self.record_dropped(dropped, now, channel);
         self.record_queue(now);
         match tx {
             Some(tx) => {
                 self.metrics.on_transmission(tx.kind);
-                eng.schedule_at(tx.completes_at(), Event::Complete(tx));
-                self.server_busy = true;
+                eng.schedule_at(tx.completes_at(), Event::Complete(channel, tx));
+                self.channel_busy[channel as usize] = true;
             }
             None => {
-                self.server_busy = false;
+                self.channel_busy[channel as usize] = false;
             }
         }
     }
 
     /// Split layout: keep the dedicated broadcast channel spinning.
     fn dispatch_push_channel(&mut self, eng: &mut Engine<Event>, now: SimTime) {
-        if let Some(tx) = self.scheduler.next_push_transmission(now) {
+        if let Some(tx) = self.scheduler.shard_mut(0).next_push_transmission(now) {
             self.metrics.on_transmission(tx.kind);
-            eng.schedule_at(tx.completes_at(), Event::Complete(tx));
+            eng.schedule_at(tx.completes_at(), Event::Complete(0, tx));
         }
     }
 
     /// Split layout: try to occupy one idle pull channel.
     fn dispatch_pull_channel(&mut self, eng: &mut Engine<Event>, now: SimTime) {
-        debug_assert!(self.idle_pull_channels > 0);
-        let (tx, dropped) = self.scheduler.next_pull_transmission(now);
-        self.record_dropped(dropped, now);
+        // A real guard, not just a debug assertion: a miscounted kick in
+        // release mode would wrap the u32 below and spin up phantom pull
+        // channels, silently inflating throughput.
+        if self.idle_pull_channels == 0 {
+            debug_assert!(false, "dispatch_pull_channel called with no idle channel");
+            return;
+        }
+        let (tx, dropped) = self.scheduler.shard_mut(0).next_pull_transmission(now);
+        self.record_dropped(dropped, now, 0);
         self.record_queue(now);
         if let Some(tx) = tx {
             self.metrics.on_transmission(tx.kind);
-            eng.schedule_at(tx.completes_at(), Event::Complete(tx));
+            eng.schedule_at(tx.completes_at(), Event::Complete(0, tx));
             self.idle_pull_channels -= 1;
         }
     }
 
-    /// Work became available: start whatever channels the layout allows.
-    fn kick(&mut self, eng: &mut Engine<Event>, now: SimTime) {
+    /// Work became available on `channel`: start whatever transmitters the
+    /// layout allows.
+    fn kick(&mut self, eng: &mut Engine<Event>, now: SimTime, channel: u32) {
         match self.layout {
-            ChannelLayout::Interleaved => {
-                if !self.server_busy {
-                    self.dispatch(eng, now);
+            ChannelLayout::Interleaved | ChannelLayout::Sharded { .. } => {
+                if !self.channel_busy[channel as usize] {
+                    self.dispatch(eng, now, channel);
                 }
             }
             ChannelLayout::Split { .. } => {
-                while self.idle_pull_channels > 0 && !self.scheduler.queue().is_empty() {
+                while self.idle_pull_channels > 0 && !self.scheduler.shard(0).queue().is_empty() {
                     let before = self.idle_pull_channels;
                     self.dispatch_pull_channel(eng, now);
                     if self.idle_pull_channels == before {
@@ -511,8 +571,19 @@ impl<S: Sink> Driver<'_, S> {
                 if self.scheduler.is_push_item(req.item) {
                     // Push requests never need the uplink: the client just
                     // keeps listening and catches the cyclic broadcast.
-                    self.push_waiters[req.item.index()].push((req.arrival, req.class));
-                    self.kick(eng, now);
+                    // Single-tuner model: the client's tuner cycles
+                    // deterministically over the channels; landing off the
+                    // item's home channel costs one missed broadcast (a
+                    // conflict). Degenerates to "never mistuned" at C = 1.
+                    let home = self.channel_for(req.item);
+                    let tuned = (self.tuner_counter % self.scheduler.channels() as u64) as u32;
+                    self.tuner_counter += 1;
+                    self.push_waiters[req.item.index()].push(PushWaiter {
+                        arrival: req.arrival,
+                        class: req.class,
+                        mistuned: tuned != home,
+                    });
+                    self.kick(eng, now, home);
                 } else {
                     match &mut self.uplink {
                         Some(channel) => match channel.transmit(req.class) {
@@ -545,14 +616,20 @@ impl<S: Sink> Driver<'_, S> {
             }
             Event::Deliver(req) => {
                 // The cutoff may have moved while the request was in
-                // flight; a now-push item just parks as a listener.
+                // flight; a now-push item just parks as a listener. (By
+                // delivery time the client has already looked up its
+                // item's home channel, so no tuner conflict here.)
                 if self.scheduler.is_push_item(req.item) {
-                    self.push_waiters[req.item.index()].push((req.arrival, req.class));
+                    self.push_waiters[req.item.index()].push(PushWaiter {
+                        arrival: req.arrival,
+                        class: req.class,
+                        mistuned: false,
+                    });
                 } else {
                     self.deliver(eng, now, &req);
                 }
             }
-            Event::Complete(tx) => {
+            Event::Complete(channel, tx) => {
                 let kind = tx.kind;
                 let start = tx.start;
                 let item = tx.item;
@@ -567,25 +644,38 @@ impl<S: Sink> Driver<'_, S> {
                         // satisfy waiters who arrived before the slot began
                         let waiters = &mut self.push_waiters[item.index()];
                         let mut kept = Vec::new();
-                        for (arrival, class) in waiters.drain(..) {
-                            if arrival <= start {
+                        let mut conflicts = 0u64;
+                        let mut served = 0u64;
+                        for w in waiters.drain(..) {
+                            if w.arrival > start {
+                                kept.push(w);
+                            } else if w.mistuned {
+                                // The tuner was elsewhere: this broadcast
+                                // is missed, the next one is catchable.
+                                conflicts += 1;
+                                kept.push(PushWaiter {
+                                    mistuned: false,
+                                    ..w
+                                });
+                            } else {
+                                served += 1;
                                 self.metrics
-                                    .record_served(class, TxKind::Push, arrival, now);
+                                    .record_served(w.class, TxKind::Push, w.arrival, now);
                                 emit(self.sink, || TelemetryEvent::RequestServed {
                                     time: now,
                                     item,
-                                    class,
+                                    class: w.class,
                                     kind: ServiceKind::Push,
-                                    arrival,
+                                    arrival: w.arrival,
                                 });
-                            } else {
-                                kept.push((arrival, class));
                             }
                         }
                         *waiters = kept;
+                        self.conflicts += conflicts;
+                        self.push_served_raw += served;
                     }
                     TxKind::Pull => {
-                        if let Some(batch) = self.scheduler.complete_transmission(tx) {
+                        if let Some(batch) = self.scheduler.complete_transmission(channel, tx) {
                             for &(arrival, class) in &batch.requesters {
                                 self.metrics
                                     .record_served(class, TxKind::Pull, arrival, now);
@@ -604,20 +694,24 @@ impl<S: Sink> Driver<'_, S> {
                                 requests: batch.count() as u32,
                                 class: batch.dominant_class().unwrap_or(ClassId(0)),
                             });
-                            self.scheduler.recycle(batch);
+                            self.scheduler.recycle(channel, batch);
                         }
                         match self.layout {
-                            ChannelLayout::Interleaved => self.dispatch(eng, now),
+                            ChannelLayout::Interleaved | ChannelLayout::Sharded { .. } => {
+                                self.dispatch(eng, now, channel)
+                            }
                             ChannelLayout::Split { .. } => {
                                 self.idle_pull_channels += 1;
-                                self.kick(eng, now);
+                                self.kick(eng, now, 0);
                             }
                         }
                         return;
                     }
                 }
                 match self.layout {
-                    ChannelLayout::Interleaved => self.dispatch(eng, now),
+                    ChannelLayout::Interleaved | ChannelLayout::Sharded { .. } => {
+                        self.dispatch(eng, now, channel)
+                    }
                     ChannelLayout::Split { .. } => self.dispatch_push_channel(eng, now),
                 }
             }
@@ -653,10 +747,20 @@ impl<S: Sink> Driver<'_, S> {
             }
             FaultAction::MassDeparture(fraction) => {
                 // Oldest listeners leave first (they have waited longest).
-                for waiters in &mut self.push_waiters {
+                let sharded = matches!(self.layout, ChannelLayout::Sharded { .. });
+                for (idx, waiters) in self.push_waiters.iter_mut().enumerate() {
                     let leaving = (waiters.len() as f64 * fraction).floor() as usize;
-                    for (_, class) in waiters.drain(..leaving) {
-                        self.departed[class.index()] += 1;
+                    if leaving == 0 {
+                        continue;
+                    }
+                    let channel = if sharded {
+                        self.scheduler.plan().channel_of(ItemId(idx as u32))
+                    } else {
+                        0
+                    };
+                    for w in waiters.drain(..leaving) {
+                        self.departed[w.class.index()] += 1;
+                        self.departed_by_channel[channel as usize] += 1;
                     }
                 }
             }
@@ -664,7 +768,7 @@ impl<S: Sink> Driver<'_, S> {
                 let k = k.min(self.scheduler.catalog().len());
                 let target: Vec<ItemId> = (0..k).map(|i| ItemId(i as u32)).collect();
                 self.apply_push_target(&target, now);
-                self.kick(eng, now);
+                self.kick(eng, now, 0);
             }
         }
         self.audit_now(now);
@@ -676,16 +780,15 @@ impl<S: Sink> Driver<'_, S> {
         if !self.audit_queue {
             return;
         }
-        let classes = self.scheduler.classes();
-        let findings = self
-            .scheduler
-            .queue()
-            .verify_shadow(|c| classes.priority(c));
-        self.audit.extend(
-            findings
-                .into_iter()
-                .map(|m| format!("t={:.3}: {m}", now.as_f64())),
-        );
+        let classes = self.scheduler.classes().clone();
+        for (channel, shard) in self.scheduler.shards().enumerate() {
+            let findings = shard.queue().verify_shadow(|c| classes.priority(c));
+            self.audit.extend(
+                findings
+                    .into_iter()
+                    .map(|m| format!("t={:.3} ch={channel}: {m}", now.as_f64())),
+            );
+        }
     }
 
     /// Hands a (delivered) pull request to the scheduler. The request may
@@ -695,7 +798,7 @@ impl<S: Sink> Driver<'_, S> {
         debug_assert!(!self.scheduler.is_push_item(req.item));
         self.scheduler.requeue_waiter(req, now);
         self.record_queue(now);
-        self.kick(eng, now);
+        self.kick(eng, now, self.channel_for(req.item));
     }
 
     /// Executes one periodic re-optimization: estimate popularity and load
@@ -798,7 +901,13 @@ impl<S: Sink> Driver<'_, S> {
         for entry in moved_to_push {
             // These items are broadcast now; their requesters wait for the
             // next cycle like any other push listener.
-            self.push_waiters[entry.item.index()].extend(entry.requesters);
+            self.push_waiters[entry.item.index()].extend(entry.requesters.iter().map(
+                |&(arrival, class)| PushWaiter {
+                    arrival,
+                    class,
+                    mistuned: false,
+                },
+            ));
         }
         // Items that left the push set: convert parked listeners into pull
         // requests, preserving their original arrival times.
@@ -806,11 +915,11 @@ impl<S: Sink> Driver<'_, S> {
         for idx in 0..now_member.len() {
             if was_member[idx] && !now_member[idx] {
                 let waiters = std::mem::take(&mut self.push_waiters[idx]);
-                for (arrival, class) in waiters {
+                for w in waiters {
                     let req = Request {
-                        arrival,
+                        arrival: w.arrival,
                         item: ItemId(idx as u32),
-                        class,
+                        class: w.class,
                     };
                     self.scheduler.requeue_waiter(&req, now);
                 }
@@ -883,16 +992,29 @@ fn run<S: Sink>(
     } else {
         Box::new(SurgeSource::new(source, surge_windows))
     };
+    let shard_count = hybrid.channels.shard_count();
+    if shard_count > 1 {
+        assert!(
+            adaptive.is_none(),
+            "adaptive cutoff control requires a single channel"
+        );
+        assert!(
+            !faults
+                .iter()
+                .any(|f| matches!(f, FaultSpec::ForceCutoff { .. })),
+            "forced cutoff moves require a single channel"
+        );
+    }
     let factory = scenario.factory.replication(params.replication);
     let scheduler = match policy {
-        Some(policy) => HybridScheduler::with_policy(
+        Some(policy) => ShardedScheduler::with_policy(
             scenario.catalog.clone(),
             scenario.classes.clone(),
             hybrid,
             &factory,
             policy,
         ),
-        None => HybridScheduler::new(
+        None => ShardedScheduler::new(
             scenario.catalog.clone(),
             scenario.classes.clone(),
             hybrid,
@@ -906,7 +1028,7 @@ fn run<S: Sink>(
         metrics: MetricsCollector::new(num_classes, SimTime::new(params.warmup)),
         gen: source,
         push_waiters: vec![Vec::new(); num_items],
-        server_busy: false,
+        channel_busy: vec![false; shard_count as usize],
         adaptive: adaptive.map(|cfg| AdaptiveState {
             config: cfg.clone(),
             alpha: policy_alpha(&hybrid.pull),
@@ -918,7 +1040,7 @@ fn run<S: Sink>(
             .map(|cfg| UplinkChannel::new(cfg, factory.stream(UPLINK_STREAM), num_classes)),
         layout: hybrid.channels,
         idle_pull_channels: match hybrid.channels {
-            ChannelLayout::Interleaved => 0,
+            ChannelLayout::Interleaved | ChannelLayout::Sharded { .. } => 0,
             ChannelLayout::Split { pull_channels } => {
                 assert!(pull_channels >= 1, "split layout needs ≥ 1 pull channel");
                 pull_channels
@@ -927,6 +1049,10 @@ fn run<S: Sink>(
         class_counts_buf: Vec::new(),
         base_uplink_prob: hybrid.uplink.map(|cfg| cfg.success_prob),
         departed: vec![0; num_classes],
+        departed_by_channel: vec![0; shard_count as usize],
+        tuner_counter: 0,
+        conflicts: 0,
+        push_served_raw: 0,
         audit: Vec::new(),
         audit_queue,
         sink,
@@ -979,34 +1105,54 @@ fn run<S: Sink>(
     driver.audit_now(horizon);
 
     // Horizon census: park every still-outstanding request somewhere so the
-    // conservation identity closes exactly (see [`PendingCensus`]).
-    let mut census = PendingCensus::new(num_classes);
+    // conservation identity closes exactly (see [`PendingCensus`]), with a
+    // per-channel marginal so it also closes channel by channel.
+    let mut census = PendingCensus::new(num_classes, shard_count as usize);
     for (_, ev) in engine.drain_pending() {
         match ev {
-            Event::Deliver(req) => census.uplink_in_flight[req.class.index()] += 1,
-            Event::Complete(tx) => {
+            Event::Deliver(req) => {
+                census.uplink_in_flight[req.class.index()] += 1;
+                census.per_channel[driver.channel_for(req.item) as usize] += 1;
+            }
+            Event::Complete(channel, tx) => {
                 if let Some(batch) = &tx.served {
                     for &(_, class) in &batch.requesters {
                         census.in_service[class.index()] += 1;
+                        census.per_channel[channel as usize] += 1;
                     }
                 }
             }
             _ => {}
         }
     }
-    for waiters in &driver.push_waiters {
-        for &(_, class) in waiters {
-            census.waiting_push[class.index()] += 1;
+    for (idx, waiters) in driver.push_waiters.iter().enumerate() {
+        let channel = driver.channel_for(ItemId(idx as u32));
+        for w in waiters {
+            census.waiting_push[w.class.index()] += 1;
+            census.per_channel[channel as usize] += 1;
         }
     }
-    for entry in driver.scheduler.queue().iter() {
-        for &(_, class) in &entry.requesters {
-            census.queued[class.index()] += 1;
+    for (channel, shard) in driver.scheduler.shards().enumerate() {
+        for entry in shard.queue().iter() {
+            for &(_, class) in &entry.requesters {
+                census.queued[class.index()] += 1;
+                census.per_channel[channel] += 1;
+            }
         }
     }
     census.departed = driver.departed.clone();
+    for (channel, &n) in driver.departed_by_channel.iter().enumerate() {
+        census.per_channel[channel] += n;
+    }
 
-    let report = driver.metrics.report(&scenario.classes, horizon);
+    let mut report = driver.metrics.report(&scenario.classes, horizon);
+    report.channels = shard_count;
+    report.conflicts = driver.conflicts;
+    report.conflict_rate = if driver.conflicts > 0 {
+        driver.conflicts as f64 / (driver.conflicts + driver.push_served_raw) as f64
+    } else {
+        0.0
+    };
     let final_k = driver.scheduler.cutoff();
     let retunes = driver.adaptive.map(|s| s.retunes).unwrap_or_default();
     RunOutcome {
@@ -1818,5 +1964,126 @@ mod tests {
                 "replication spread too wide: {means:?}"
             );
         }
+    }
+
+    fn sharded(channels: u32, assignment: crate::config::AssignmentStrategy) -> HybridConfig {
+        HybridConfig {
+            channels: ChannelLayout::Sharded {
+                channels,
+                assignment,
+            },
+            ..HybridConfig::paper(40, 0.5)
+        }
+    }
+
+    #[test]
+    fn one_channel_sharded_run_is_bit_identical_to_interleaved() {
+        use crate::config::AssignmentStrategy;
+        let scenario = ScenarioConfig::icpp2005(0.6).build();
+        let base = simulate(
+            &scenario,
+            &HybridConfig::paper(40, 0.5),
+            &SimParams::quick(),
+        );
+        for strategy in [
+            AssignmentStrategy::Range,
+            AssignmentStrategy::Hash,
+            AssignmentStrategy::PatternAware,
+        ] {
+            let r = simulate(&scenario, &sharded(1, strategy), &SimParams::quick());
+            assert_eq!(
+                r, base,
+                "C = 1 must replay the plain scheduler ({strategy:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_run_conserves_per_class_and_per_channel() {
+        use crate::config::AssignmentStrategy;
+        for channels in [2u32, 4] {
+            let cfg = sharded(channels, AssignmentStrategy::PatternAware);
+            let out = harness(&cfg, &no_warmup(), &[]);
+            assert_conserved(&out);
+            assert_eq!(out.report.channels, channels);
+            assert_eq!(out.census.per_channel.len(), channels as usize);
+            // The channel marginal must re-count the exact same pending
+            // population the class marginal does.
+            assert_eq!(
+                out.census.per_channel.iter().sum::<u64>(),
+                out.census.total(),
+                "C = {channels}: channel census {:?} disagrees with class census",
+                out.census.per_channel
+            );
+            assert!(
+                out.queue_audit.is_empty(),
+                "C = {channels}: healthy run flagged: {:?}",
+                out.queue_audit
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_runs_are_deterministic_and_serve_on_every_channel() {
+        use crate::config::AssignmentStrategy;
+        let scenario = ScenarioConfig::icpp2005(0.6).build();
+        let cfg = sharded(4, AssignmentStrategy::PatternAware);
+        let a = simulate(&scenario, &cfg, &SimParams::quick());
+        let b = simulate(&scenario, &cfg, &SimParams::quick());
+        assert_eq!(a, b);
+        assert!(a.push_transmissions > 0);
+        assert!(a.pull_transmissions > 0);
+        for c in &a.per_class {
+            assert!(c.served > 0, "{} starved under sharding", c.name);
+        }
+    }
+
+    #[test]
+    fn single_tuner_conflicts_appear_only_with_multiple_channels() {
+        use crate::config::AssignmentStrategy;
+        let scenario = ScenarioConfig::icpp2005(0.6).build();
+        let one = simulate(
+            &scenario,
+            &sharded(1, AssignmentStrategy::PatternAware),
+            &SimParams::quick(),
+        );
+        assert_eq!(one.conflicts, 0, "a single channel cannot be mistuned");
+        assert_eq!(one.conflict_rate, 0.0);
+        let four = simulate(
+            &scenario,
+            &sharded(4, AssignmentStrategy::PatternAware),
+            &SimParams::quick(),
+        );
+        assert!(
+            four.conflicts > 0,
+            "single-tuner clients must miss some off-home broadcasts at C = 4"
+        );
+        assert!(
+            four.conflict_rate > 0.0 && four.conflict_rate < 1.0,
+            "conflict rate {} out of range",
+            four.conflict_rate
+        );
+    }
+
+    #[test]
+    fn mass_departure_keeps_the_sharded_books_balanced() {
+        use crate::config::AssignmentStrategy;
+        let cfg = sharded(2, AssignmentStrategy::PatternAware);
+        let out = harness(
+            &cfg,
+            &no_warmup(),
+            &[FaultSpec::MassDeparture {
+                time: 1_500.0,
+                fraction: 1.0,
+            }],
+        );
+        let departed: u64 = out.census.departed.iter().sum();
+        assert!(departed > 0, "someone must have been parked at t=1500");
+        assert_conserved(&out);
+        assert_eq!(
+            out.census.per_channel.iter().sum::<u64>(),
+            out.census.total(),
+            "departures must stay attributed to their home channel"
+        );
     }
 }

@@ -1,0 +1,130 @@
+//! Model-based property test: [`ShardSet::drain`] against a sequential
+//! oracle under arbitrary ring contents and drain-budget schedules.
+//!
+//! Three contracts, each of which the daemon's scheduler loop leans on:
+//!
+//! 1. **Budget exactness** — a drain delivers exactly
+//!    `min(budget, items available)`, never more, never fewer.
+//! 2. **Cursor persistence** — splitting one big drain into any sequence
+//!    of budget-bounded drains yields the *same* delivery sequence: the
+//!    round-robin cursor carries across calls, so budget boundaries are
+//!    invisible to fairness.
+//! 3. **≤ 1-rotation starvation** — between two consecutive deliveries
+//!    from the same shard, every other shard delivers at most once: a
+//!    hot shard cannot starve its neighbors by more than one rotation.
+
+use proptest::prelude::*;
+
+use hybridcast_core::shard::{ring, ShardSet};
+
+/// Fills one ring per shard with `(shard, seq)` tagged items and wraps
+/// the consumer ends. Producers are dropped — contents are fixed.
+fn filled_set(contents: &[Vec<u32>]) -> ShardSet<(usize, u32)> {
+    let mut consumers = Vec::with_capacity(contents.len());
+    for (shard, items) in contents.iter().enumerate() {
+        let (tx, rx) = ring::<(usize, u32)>(items.len().max(1));
+        for &seq in items {
+            tx.push((shard, seq)).expect("ring sized to contents");
+        }
+        consumers.push(rx);
+    }
+    ShardSet::new(consumers)
+}
+
+/// Per-shard item counts (0..=10 items each, 1..=6 shards), with each
+/// shard's payload being its strictly increasing sequence numbers.
+fn contents_strategy() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    proptest::collection::vec(0usize..=10, 1..=6).prop_map(|counts| {
+        counts
+            .into_iter()
+            .map(|n| (0..n as u32).collect())
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn drain_delivers_exactly_min_of_budget_and_available(
+        contents in contents_strategy(),
+        budget in 0usize..=70,
+    ) {
+        let total: usize = contents.iter().map(Vec::len).sum();
+        let mut set = filled_set(&contents);
+        let mut seen = Vec::new();
+        let delivered = set.drain(budget, |v| seen.push(v));
+        prop_assert_eq!(delivered, budget.min(total));
+        prop_assert_eq!(seen.len(), delivered);
+        // A follow-up unbounded drain surfaces every leftover: nothing
+        // is lost or duplicated across the pair.
+        let rest = set.drain(usize::MAX, |v| seen.push(v));
+        prop_assert_eq!(delivered + rest, total);
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), total, "every tagged item exactly once");
+    }
+
+    #[test]
+    fn budget_boundaries_are_invisible_to_the_delivery_sequence(
+        contents in contents_strategy(),
+        budgets in proptest::collection::vec(0usize..=9, 1..=12),
+    ) {
+        // Oracle: one unbounded drain over identically filled rings.
+        let mut oracle_set = filled_set(&contents);
+        let mut oracle = Vec::new();
+        oracle_set.drain(usize::MAX, |v| oracle.push(v));
+
+        // Subject: the same rings drained under an arbitrary budget
+        // schedule, then emptied.
+        let mut set = filled_set(&contents);
+        let mut seen = Vec::new();
+        for &b in &budgets {
+            set.drain(b, |v| seen.push(v));
+        }
+        set.drain(usize::MAX, |v| seen.push(v));
+        prop_assert_eq!(seen, oracle);
+    }
+
+    #[test]
+    fn no_shard_waits_more_than_one_rotation(
+        contents in contents_strategy(),
+        budgets in proptest::collection::vec(1usize..=7, 1..=12),
+    ) {
+        let shards = contents.len();
+        let mut set = filled_set(&contents);
+        let mut seen: Vec<(usize, u32)> = Vec::new();
+        for &b in &budgets {
+            set.drain(b, |v| seen.push(v));
+        }
+        set.drain(usize::MAX, |v| seen.push(v));
+        // Between consecutive deliveries from shard `s`, each other
+        // shard appears at most once — one rotation of the cursor.
+        for s in 0..shards {
+            let picks: Vec<usize> = seen
+                .iter()
+                .enumerate()
+                .filter(|(_, (shard, _))| *shard == s)
+                .map(|(i, _)| i)
+                .collect();
+            for w in picks.windows(2) {
+                let mut between = vec![0usize; shards];
+                for (shard, _) in &seen[w[0] + 1..w[1]] {
+                    between[*shard] += 1;
+                    prop_assert!(
+                        between[*shard] <= 1,
+                        "shard {shard} delivered twice while shard {s} waited: {seen:?}"
+                    );
+                }
+            }
+        }
+        // Per-shard FIFO: sequence numbers from one shard never reorder.
+        for s in 0..shards {
+            let seqs: Vec<u32> = seen
+                .iter()
+                .filter(|(shard, _)| *shard == s)
+                .map(|&(_, seq)| seq)
+                .collect();
+            prop_assert!(seqs.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

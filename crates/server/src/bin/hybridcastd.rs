@@ -18,6 +18,9 @@ OPTIONS:
     --init-config       Print the default config as JSON and exit
     --addr <host:port>  Override the listen address
     --results <path>    Override the telemetry JSONL path ('-' disables)
+    --channels <C>      Shard the catalog across C broadcast channels
+                        (pattern-aware assignment, one scheduler thread
+                        per channel)
     --help              This text
 
 Runs until SIGTERM/SIGINT (or an in-band shutdown frame), then drains
@@ -29,6 +32,7 @@ fn main() -> ExitCode {
     let mut config_path: Option<String> = None;
     let mut addr: Option<String> = None;
     let mut results: Option<String> = None;
+    let mut channels: Option<String> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--help" | "-h" => {
@@ -42,6 +46,7 @@ fn main() -> ExitCode {
             "--config" => config_path = args.next(),
             "--addr" => addr = args.next(),
             "--results" => results = args.next(),
+            "--channels" => channels = args.next(),
             other => {
                 eprintln!("unknown argument: {other}\n\n{USAGE}");
                 return ExitCode::FAILURE;
@@ -72,6 +77,25 @@ fn main() -> ExitCode {
         Some("-") => config.serve.results_path = None,
         Some(path) => config.serve.results_path = Some(path.to_string()),
         None => {}
+    }
+    if let Some(raw) = channels {
+        let parsed: Result<u32, _> = raw.parse();
+        match parsed {
+            Ok(c) if c >= 1 => {
+                config.hybrid.channels = hybridcast_core::config::ChannelLayout::Sharded {
+                    channels: c,
+                    assignment: hybridcast_core::config::AssignmentStrategy::PatternAware,
+                };
+            }
+            _ => {
+                eprintln!("--channels needs a positive integer, got {raw:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Err(e) = config.validate() {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
     }
 
     // Bridge POSIX signals onto the serve loop's shutdown flag.

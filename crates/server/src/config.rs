@@ -105,12 +105,25 @@ impl ServeConfig {
                 self.serve.telemetry_window
             ));
         }
-        if matches!(self.hybrid.channels, ChannelLayout::Split { .. }) {
-            problems.push(
+        match self.hybrid.channels {
+            ChannelLayout::Split { .. } => problems.push(
                 "hybrid.channels: the daemon serves the paper's single interleaved \
                  downlink; the split layout is simulation-only"
                     .into(),
-            );
+            ),
+            ChannelLayout::Sharded { channels, .. } => {
+                if channels == 0 || channels > 256 {
+                    problems.push(format!(
+                        "hybrid.channels: sharded channel count must be in 1..=256, got {channels}"
+                    ));
+                } else if channels as usize > self.scenario.num_items {
+                    problems.push(format!(
+                        "hybrid.channels: {channels} channels exceed the catalog size {}",
+                        self.scenario.num_items
+                    ));
+                }
+            }
+            ChannelLayout::Interleaved => {}
         }
         if self.hybrid.cutoff > self.scenario.num_items {
             problems.push(format!(
@@ -160,6 +173,27 @@ mod tests {
         cfg.hybrid.channels = ChannelLayout::Split { pull_channels: 2 };
         let err = cfg.validate().unwrap_err();
         assert!(err.contains("interleaved"), "{err}");
+    }
+
+    #[test]
+    fn sharded_layout_is_accepted_within_bounds() {
+        use hybridcast_core::config::AssignmentStrategy;
+        let mut cfg = ServeConfig::default();
+        cfg.hybrid.channels = ChannelLayout::Sharded {
+            channels: 4,
+            assignment: AssignmentStrategy::PatternAware,
+        };
+        cfg.validate().unwrap();
+        cfg.hybrid.channels = ChannelLayout::Sharded {
+            channels: 0,
+            assignment: AssignmentStrategy::PatternAware,
+        };
+        assert!(cfg.validate().unwrap_err().contains("1..=256"));
+        cfg.hybrid.channels = ChannelLayout::Sharded {
+            channels: cfg.scenario.num_items as u32 + 1,
+            assignment: AssignmentStrategy::PatternAware,
+        };
+        assert!(cfg.validate().unwrap_err().contains("catalog size"));
     }
 
     #[test]

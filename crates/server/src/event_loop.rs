@@ -3,7 +3,9 @@
 //!
 //! Each loop thread owns one [`Epoll`] instance, an [`EventFd`] waker, a
 //! subset of the connections (assigned round-robin at accept), and the
-//! single-producer end of one ingress ring. The loop:
+//! single-producer end of one ingress ring *per broadcast channel*
+//! (frames route to their item's home channel; a single ring outside the
+//! sharded layout). The loop:
 //!
 //! * **accepts** (loop 0 only) with bounded backoff on `EMFILE`/`ENFILE` —
 //!   the listener is deregistered and re-armed after a sleep instead of
@@ -35,7 +37,7 @@ use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::io::{AsRawFd, RawFd};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -81,6 +83,10 @@ pub(crate) struct Ledger {
     pub accept_errors: AtomicU64,
     /// Connections killed for exceeding the outbound-queue bound.
     pub stalled_conns: AtomicU64,
+    /// Drain-phase disagreements between the O(1) backlogged-connection
+    /// counter and a fresh per-connection sweep. Must stay zero; the
+    /// writer-path tests assert it.
+    pub backlog_mismatches: AtomicU64,
 }
 
 /// One validated request frame on its way to the scheduler.
@@ -130,6 +136,12 @@ pub(crate) struct LoopShared {
     dirty_flag: AtomicBool,
     outbound_bound: usize,
     ledger: Arc<Ledger>,
+    /// Number of this loop's connections with un-flushed outbound bytes.
+    /// Every transition happens under the owning connection's `out` lock
+    /// (see [`ConnShared::sync_backlog`]), so the count is exact — the
+    /// drain check reads this instead of sweeping one mutex per
+    /// connection per pass.
+    backlogged: AtomicI64,
 }
 
 impl LoopShared {
@@ -141,7 +153,13 @@ impl LoopShared {
             dirty_flag: AtomicBool::new(false),
             outbound_bound,
             ledger,
+            backlogged: AtomicI64::new(0),
         })
+    }
+
+    /// Connections with queued outbound bytes (exact; see `backlogged`).
+    pub(crate) fn backlogged_conns(&self) -> i64 {
+        self.backlogged.load(Ordering::Acquire)
     }
 
     /// Rings the loop's waker iff replies were filed since the last kick —
@@ -171,6 +189,12 @@ struct Outbound {
     bytes: usize,
     /// `EPOLLOUT` currently armed.
     want_write: bool,
+    /// This connection currently contributes +1 to the owner's
+    /// backlogged-connection counter.
+    counted: bool,
+    /// Set by `close_conn` under this lock: late sends racing the close
+    /// must not resurrect the counter (or the queue).
+    closed: bool,
 }
 
 /// The shared handle to one client connection. Cloned into every live
@@ -204,6 +228,8 @@ impl Conn {
                 offset: 0,
                 bytes: 0,
                 want_write: false,
+                counted: false,
+                closed: false,
             }),
         }))
     }
@@ -219,16 +245,21 @@ impl Conn {
         }
         let stalled = {
             let mut out = inner.out.lock().expect("outbound lock");
+            if out.closed {
+                return;
+            }
             out.queue.push_back(rep.encode());
             out.bytes += REPLY_LEN;
-            if out.bytes > inner.owner.outbound_bound {
+            let stalled = if out.bytes > inner.owner.outbound_bound {
                 out.queue.clear();
                 out.bytes = 0;
                 out.offset = 0;
                 true
             } else {
                 false
-            }
+            };
+            inner.sync_backlog(&mut out);
+            stalled
         };
         if stalled {
             inner.alive.store(false, Ordering::Release);
@@ -260,6 +291,21 @@ impl Conn {
     }
 }
 
+impl ConnShared {
+    /// Re-syncs the owner's backlogged-connection counter with this
+    /// connection's `bytes > 0` state. Must be called with `out` held
+    /// after every change to `bytes` — the lock makes each connection's
+    /// ±1 contribution exact.
+    fn sync_backlog(&self, out: &mut Outbound) {
+        let backlogged = out.bytes > 0 && !out.closed;
+        if backlogged != out.counted {
+            out.counted = backlogged;
+            let delta = if backlogged { 1 } else { -1 };
+            self.owner.backlogged.fetch_add(delta, Ordering::AcqRel);
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // The loop itself
 // ---------------------------------------------------------------------------
@@ -274,12 +320,18 @@ pub(crate) struct LoopCtx {
     pub peers: Vec<Arc<LoopShared>>,
     /// The listening socket (loop 0 only).
     pub listener: Option<TcpListener>,
-    /// This loop's ingress ring (single producer: this thread).
-    pub ring: ShardProducer<Ingress>,
+    /// This loop's ingress rings, one per broadcast channel (single
+    /// producer: this thread). A frame is routed to its item's home
+    /// channel by `route`.
+    pub rings: Vec<ShardProducer<Ingress>>,
+    /// Item index → home channel, from the sharded scheduler's
+    /// [`hybridcast_core::sharded::ChannelPlan`]. One channel outside the
+    /// sharded layout, so every entry is 0.
+    pub route: Arc<[u8]>,
     /// Out-of-band accounting for front-end sheds.
     pub notices: Sender<Notice>,
-    /// Wakes the scheduler after ingress pushes.
-    pub doorbell: Arc<Doorbell>,
+    /// Wakes each channel's scheduler thread after ingress pushes.
+    pub doorbells: Vec<Arc<Doorbell>>,
     /// Graceful-shutdown flag (stop accepting/reading; keep flushing).
     pub shutdown: Arc<AtomicBool>,
     /// Drain-finished flag (final flush, then close everything).
@@ -331,7 +383,7 @@ pub(crate) fn run_loop(ctx: LoopCtx) {
         let n = epoll.wait(&mut events, Some(timeout)).unwrap_or(0);
 
         let shutting = ctx.shutdown.load(Ordering::SeqCst);
-        let mut pushed = false;
+        let mut pushed = vec![false; ctx.doorbells.len()];
         for &ev in &events[..n] {
             match ev.cookie() {
                 WAKER_COOKIE => ctx.shared.waker.drain(),
@@ -420,13 +472,27 @@ pub(crate) fn run_loop(ctx: LoopCtx) {
             }
         }
 
-        if pushed {
-            ctx.doorbell.ring();
+        for (channel, p) in pushed.iter().enumerate() {
+            if *p {
+                ctx.doorbells[channel].ring();
+            }
         }
 
         if ctx.done.load(Ordering::SeqCst) {
             let since = *done_since.get_or_insert_with(Instant::now);
-            let pending = conns.values().any(|s| s.conn.has_outbound());
+            // O(1): the shared counter replaces the one-mutex-per-
+            // connection sweep the old drain check paid on every pass.
+            let pending = ctx.shared.backlogged_conns() > 0;
+            // The scheduler is quiescent once `done` is set, so a fresh
+            // sweep must agree with the counter; any divergence is
+            // ledger-counted and asserted zero by the writer-path tests.
+            let sweep = conns.values().any(|s| s.conn.has_outbound());
+            if pending != sweep {
+                ctx.shared
+                    .ledger
+                    .backlog_mismatches
+                    .fetch_add(1, Ordering::Relaxed);
+            }
             if !pending || since.elapsed() >= FINAL_FLUSH_GRACE {
                 // Dropping the map closes every stream still owned solely
                 // by this loop — clients see EOF after their last reply.
@@ -521,7 +587,7 @@ fn read_pump(
     ctx: &LoopCtx,
     state: &mut ConnState,
     chunk: &mut [u8],
-    pushed: &mut bool,
+    pushed: &mut [bool],
 ) -> ReadOutcome {
     if state.read_closed {
         return ReadOutcome::Keep;
@@ -551,9 +617,10 @@ fn read_pump(
                         item: None,
                         ingest,
                     });
-                    *pushed = true; // the scheduler must drain the notice
+                    pushed[0] = true; // notices drain on channel 0's core
                     continue;
                 }
+                let channel = ctx.route[req.item as usize] as usize;
                 let ing = Ingress {
                     seq: req.seq,
                     item: ItemId(req.item),
@@ -562,8 +629,8 @@ fn read_pump(
                     ingest,
                     conn: state.conn.clone(),
                 };
-                match ctx.ring.push(ing) {
-                    Ok(()) => *pushed = true,
+                match ctx.rings[channel].push(ing) {
+                    Ok(()) => pushed[channel] = true,
                     Err(ing) => {
                         // Ring full: explicit shed, never silent delay.
                         ing.conn.send(&shed_reply(ing.seq, ing.item.0, 0.0));
@@ -572,13 +639,15 @@ fn read_pump(
                             item: Some(ing.item),
                             ingest: ing.ingest,
                         });
-                        *pushed = true;
+                        pushed[0] = true;
                     }
                 }
             }
             Ok(Some(Frame::Shutdown)) => {
                 ctx.shutdown.store(true, Ordering::SeqCst);
-                ctx.doorbell.ring();
+                for bell in &ctx.doorbells {
+                    bell.ring();
+                }
                 // Frames already buffered behind the shutdown marker are
                 // still decoded — they arrived before it on this stream.
             }
@@ -614,6 +683,7 @@ fn flush_conn(epoll: &Epoll, conn: &Conn) -> bool {
     loop {
         if out.queue.is_empty() {
             out.offset = 0;
+            inner.sync_backlog(&mut out);
             if out.want_write {
                 out.want_write = false;
                 let _ = epoll.modify(inner.fd, EPOLLIN | EPOLLRDHUP | EPOLLET, inner.id);
@@ -635,6 +705,7 @@ fn flush_conn(epoll: &Epoll, conn: &Conn) -> bool {
             Ok(0) => return true, // nothing accepted; wait for EPOLLOUT
             Ok(mut n) => {
                 out.bytes = out.bytes.saturating_sub(n);
+                inner.sync_backlog(&mut out);
                 while n > 0 {
                     let remaining = REPLY_LEN - out.offset;
                     if n >= remaining {
@@ -670,7 +741,102 @@ fn flush_conn(epoll: &Epoll, conn: &Conn) -> bool {
 
 fn close_conn(epoll: &Epoll, conns: &mut HashMap<u64, ConnState>, id: u64) {
     if let Some(state) = conns.remove(&id) {
-        state.conn.0.alive.store(false, Ordering::Release);
-        let _ = epoll.delete(state.conn.0.fd);
+        let inner = &*state.conn.0;
+        inner.alive.store(false, Ordering::Release);
+        {
+            // Mark closed under the out lock so a send racing this close
+            // cannot re-enqueue or re-count the connection.
+            let mut out = inner.out.lock().expect("outbound lock");
+            out.closed = true;
+            out.queue.clear();
+            out.bytes = 0;
+            out.offset = 0;
+            inner.sync_backlog(&mut out);
+        }
+        let _ = epoll.delete(inner.fd);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    fn conn(id: u64, shared: &Arc<LoopShared>) -> (Conn, TcpStream) {
+        let (local, peer) = pair();
+        local.set_nonblocking(true).unwrap();
+        (Conn::new(local, id, Arc::clone(shared)), peer)
+    }
+
+    fn sweep(conns: &[Conn]) -> bool {
+        conns.iter().any(|c| c.has_outbound())
+    }
+
+    /// The O(1) backlogged counter must agree with the per-connection
+    /// sweep after every transition: first enqueue, repeat enqueue, full
+    /// flush, stall-kill, close with queued bytes, and a send racing a
+    /// close.
+    #[test]
+    fn backlog_counter_matches_the_sweep_through_every_transition() {
+        let ledger = Arc::new(Ledger::default());
+        let shared = Arc::new(LoopShared::new(4 * REPLY_LEN, Arc::clone(&ledger)).unwrap());
+        let epoll = Epoll::new().unwrap();
+        let (a, _a_peer) = conn(0, &shared);
+        let (b, _b_peer) = conn(1, &shared);
+        let conns = [a.clone(), b.clone()];
+        let rep = shed_reply(1, 0, 0.0);
+
+        assert_eq!(shared.backlogged_conns(), 0);
+        assert!(!sweep(&conns));
+
+        // First enqueue counts the connection once; repeats don't.
+        a.send(&rep);
+        assert_eq!(shared.backlogged_conns(), 1);
+        a.send(&rep);
+        assert_eq!(shared.backlogged_conns(), 1);
+        b.send(&rep);
+        assert_eq!(shared.backlogged_conns(), 2);
+        assert_eq!(shared.backlogged_conns() > 0, sweep(&conns));
+
+        // A full flush decrements exactly once.
+        assert!(flush_conn(&epoll, &a));
+        assert_eq!(shared.backlogged_conns(), 1);
+        assert_eq!(shared.backlogged_conns() > 0, sweep(&conns));
+
+        // Blowing the outbound bound stall-kills: the cleared queue no
+        // longer counts as backlog.
+        for seq in 0..5 {
+            b.send(&shed_reply(seq, 0, 0.0));
+        }
+        assert_eq!(ledger.stalled_conns.load(Ordering::Relaxed), 1);
+        assert_eq!(shared.backlogged_conns(), 0);
+        assert!(!sweep(&conns));
+
+        // close_conn uncounts a connection that still had queued bytes,
+        // and a send racing the close cannot resurrect the count.
+        let (c, _c_peer) = conn(2, &shared);
+        let mut map = HashMap::new();
+        map.insert(
+            2u64,
+            ConnState {
+                conn: c.clone(),
+                batch: FrameBatch::new(),
+                read_closed: false,
+            },
+        );
+        c.send(&rep);
+        assert_eq!(shared.backlogged_conns(), 1);
+        close_conn(&epoll, &mut map, 2);
+        assert_eq!(shared.backlogged_conns(), 0);
+        c.send(&rep);
+        assert_eq!(shared.backlogged_conns(), 0);
+        assert_eq!(ledger.backlog_mismatches.load(Ordering::Relaxed), 0);
     }
 }

@@ -49,7 +49,7 @@ use std::io::{self, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -59,7 +59,8 @@ use hybridcast_core::clock::{Clock, WallClock};
 use hybridcast_core::hybrid::{Disposition, HybridScheduler, Transmission};
 use hybridcast_core::metrics::TxKind;
 use hybridcast_core::queue::PendingItem;
-use hybridcast_core::shard::{ring as shard_ring, Doorbell, ShardSet};
+use hybridcast_core::shard::{ring as shard_ring, Doorbell, ShardConsumer, ShardSet};
+use hybridcast_core::sharded::ShardedScheduler;
 use hybridcast_core::uplink::{UplinkChannel, UplinkOutcome};
 use hybridcast_sim::stats::{SummaryStats, Welford};
 use hybridcast_sim::time::{SimDuration, SimTime};
@@ -110,6 +111,35 @@ pub struct ClassCounters {
     pub wait_units: SummaryStats,
 }
 
+/// Per-broadcast-channel serving counters (one entry per shard; a single
+/// entry outside the sharded layout). Front-end sheds (ring overflow,
+/// malformed frames) are accounted on channel 0, which drains the notice
+/// queue.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChannelCounters {
+    /// Channel index.
+    pub channel: u32,
+    /// Frames this channel's core ingested (plus, on channel 0, notices).
+    pub accepted: u64,
+    /// Served by this channel's broadcast schedule.
+    pub served_push: u64,
+    /// Served by this channel's pull transmissions.
+    pub served_pull: u64,
+    /// Explicit rejections.
+    pub shed: u64,
+    /// Deadline expiries.
+    pub timed_out: u64,
+    /// Uplink losses.
+    pub uplink_lost: u64,
+    /// Push transmissions aired on this channel.
+    pub push_tx: u64,
+    /// Pull transmissions aired on this channel.
+    pub pull_tx: u64,
+    /// Per-channel conservation: every frame this channel accepted was
+    /// answered exactly once *by this channel*.
+    pub conservation_ok: bool,
+}
+
 /// End-of-run accounting, also written as the JSONL summary line.
 #[derive(Debug, Clone, Serialize)]
 pub struct ServeSummary {
@@ -135,11 +165,20 @@ pub struct ServeSummary {
     /// Connections killed for exceeding the outbound reply bound (stalled
     /// readers). Their replies are still counted as answered.
     pub stalled_conns: u64,
+    /// Drain-phase disagreements between the O(1) backlogged-connection
+    /// counter and a per-connection sweep (must be zero; the writer-path
+    /// tests assert it).
+    pub backlog_mismatches: u64,
     /// Wall seconds from first bind to summary.
     pub wall_seconds: f64,
     /// `accepted == served + shed + timed_out + uplink_lost` — every
-    /// accepted frame was answered exactly once.
+    /// accepted frame was answered exactly once — and the same identity
+    /// holds on every individual channel.
     pub conservation_ok: bool,
+    /// Number of broadcast channels (scheduler shards) this daemon ran.
+    pub channels: u32,
+    /// Per-channel breakdown, in channel order.
+    pub per_channel: Vec<ChannelCounters>,
     /// Per-class breakdown.
     pub per_class: Vec<ClassCounters>,
 }
@@ -228,10 +267,29 @@ fn run(
     let nloops = config.serve.loop_threads.max(1);
     let outbound_bound = config.serve.conn_outbound_kib.saturating_mul(1024);
     let ledger = Arc::new(Ledger::default());
-    let doorbell = Arc::new(Doorbell::new());
     let done = Arc::new(AtomicBool::new(false));
     let (notice_tx, notice_rx) = channel::<Notice>();
     listener.set_nonblocking(true)?;
+
+    // The sharded scheduler is built exactly like the simulator's, then
+    // split into its per-channel sub-schedulers — one core thread each.
+    // Outside the sharded layout this is a single shard and the topology
+    // collapses to the classic N-loops-one-scheduler shape.
+    let sharded = ShardedScheduler::new(
+        scenario.catalog.clone(),
+        scenario.classes.clone(),
+        &config.hybrid,
+        &scenario.factory,
+    );
+    let (schedulers, plan) = sharded.into_parts();
+    let channels = plan.channels() as usize;
+    let class_names: Vec<String> = scenario
+        .classes
+        .iter()
+        .map(|(_, c)| c.name.clone())
+        .collect();
+    let route: Arc<[u8]> = plan.assignment().to_vec().into();
+    let doorbells: Vec<Arc<Doorbell>> = (0..channels).map(|_| Arc::new(Doorbell::new())).collect();
 
     let mut shareds: Vec<Arc<LoopShared>> = Vec::with_capacity(nloops);
     for _ in 0..nloops {
@@ -240,20 +298,28 @@ fn run(
             Arc::clone(&ledger),
         )?));
     }
-    let mut consumers = Vec::with_capacity(nloops);
+    // The ring matrix: each loop produces into one ring per channel;
+    // channel c's core consumes column c across all loops.
+    let mut columns: Vec<Vec<ShardConsumer<Ingress>>> =
+        (0..channels).map(|_| Vec::with_capacity(nloops)).collect();
     let mut joins = Vec::with_capacity(nloops);
     let mut listener = Some(listener);
     for (i, shared) in shareds.iter().enumerate() {
-        let (producer, consumer) = shard_ring::<Ingress>(config.serve.ingress_capacity);
-        consumers.push(consumer);
+        let mut rings = Vec::with_capacity(channels);
+        for column in columns.iter_mut() {
+            let (producer, consumer) = shard_ring::<Ingress>(config.serve.ingress_capacity);
+            rings.push(producer);
+            column.push(consumer);
+        }
         let ctx = LoopCtx {
             index: i,
             shared: Arc::clone(shared),
             peers: shareds.clone(),
             listener: listener.take(), // loop 0 owns the accept path
-            ring: producer,
+            rings,
+            route: Arc::clone(&route),
             notices: notice_tx.clone(),
-            doorbell: Arc::clone(&doorbell),
+            doorbells: doorbells.clone(),
             shutdown: Arc::clone(&shutdown),
             done: Arc::clone(&done),
             bounds,
@@ -263,15 +329,73 @@ fn run(
     }
     drop(notice_tx);
 
-    let mut shards = ShardSet::new(consumers);
-    let mut core = Core::new(&config, scenario, clock)?;
-    core.run(&mut shards, &doorbell, &shareds, &notice_rx, &shutdown);
-    core.drain(
-        &mut shards,
-        &shareds,
-        &notice_rx,
-        Duration::from_millis(config.serve.drain_timeout_ms),
-    );
+    // One shared JSONL writer; each core tags its window lines with its
+    // channel index.
+    let mut out: Option<SharedOut> = None;
+    if let Some(path) = &config.serve.results_path {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut w = BufWriter::new(std::fs::File::create(path)?);
+        let header = serde_json::json!({
+            "kind": "header",
+            "classes": &class_names,
+            "channels": channels,
+            "window": config.serve.telemetry_window,
+            "unit_millis": config.serve.unit_millis,
+        });
+        writeln!(w, "{}", serde_json::to_string(&header).expect("header"))?;
+        out = Some(Arc::new(Mutex::new(w)));
+    }
+
+    let drain_budget = Duration::from_millis(config.serve.drain_timeout_ms);
+    let mut cores: Vec<Core> = schedulers
+        .into_iter()
+        .enumerate()
+        .map(|(c, scheduler)| {
+            Core::new(
+                &config,
+                c as u32,
+                scheduler,
+                &scenario,
+                clock.clone(),
+                out.clone(),
+            )
+        })
+        .collect();
+    // Channel 0's core drains the notice queue (front-end sheds).
+    if let Some(first) = cores.first_mut() {
+        first.notices = Some(notice_rx);
+    }
+
+    // Channels 1.. run on their own threads; channel 0 on this one.
+    let mut core_iter = cores.into_iter().zip(columns);
+    let (mut core0, consumers0) = core_iter.next().expect("at least one channel");
+    let mut handles = Vec::new();
+    for (c, (mut core, consumers)) in core_iter.enumerate() {
+        let doorbell = Arc::clone(&doorbells[c + 1]);
+        let loops = shareds.clone();
+        let stop = Arc::clone(&shutdown);
+        handles.push(thread::spawn(move || {
+            let mut shards = ShardSet::new(consumers);
+            core.run(&mut shards, &doorbell, &loops, &stop);
+            core.drain(&mut shards, &loops, drain_budget);
+            core.seal()
+        }));
+    }
+    let mut shards0 = ShardSet::new(consumers0);
+    core0.run(&mut shards0, &doorbells[0], &shareds, &shutdown);
+    core0.drain(&mut shards0, &shareds, drain_budget);
+    let mut sealed = vec![core0.seal()];
+    for h in handles {
+        sealed.push(
+            h.join()
+                .map_err(|_| io::Error::other("channel core thread panicked"))?,
+        );
+    }
+    sealed.sort_by_key(|s| s.channel);
 
     // Loops final-flush every queued reply, close all connections (clients
     // see EOF), and exit.
@@ -282,7 +406,112 @@ fn run(
     for j in joins {
         let _ = j.join();
     }
-    core.finish(started.elapsed(), &ledger)
+    finish(sealed, started.elapsed(), &ledger, out, &class_names)
+}
+
+/// Merges the per-channel cores' books into the global summary —
+/// conservation checked per channel *and* globally — and writes the JSONL
+/// summary line.
+fn finish(
+    sealed: Vec<SealedCore>,
+    elapsed: Duration,
+    ledger: &Ledger,
+    out: Option<SharedOut>,
+    class_names: &[String],
+) -> io::Result<ServeSummary> {
+    let mut per_class: Vec<PerClass> = class_names
+        .iter()
+        .map(|_| PerClass {
+            accepted: 0,
+            served_push: 0,
+            served_pull: 0,
+            shed: 0,
+            timed_out: 0,
+            uplink_lost: 0,
+            wait: Welford::new(),
+        })
+        .collect();
+    let mut per_channel = Vec::with_capacity(sealed.len());
+    let mut all_ok = true;
+    let (mut accepted, mut served_push, mut served_pull) = (0u64, 0u64, 0u64);
+    let (mut shed, mut timed_out, mut uplink_lost) = (0u64, 0u64, 0u64);
+    let (mut push_tx, mut pull_tx) = (0u64, 0u64);
+    for s in &sealed {
+        let c = &s.counters;
+        let answered = c.served_push + c.served_pull + c.shed + c.timed_out + c.uplink_lost;
+        let ok = answered == c.accepted && s.live_empty;
+        all_ok &= ok;
+        per_channel.push(ChannelCounters {
+            channel: s.channel,
+            accepted: c.accepted,
+            served_push: c.served_push,
+            served_pull: c.served_pull,
+            shed: c.shed,
+            timed_out: c.timed_out,
+            uplink_lost: c.uplink_lost,
+            push_tx: c.push_tx,
+            pull_tx: c.pull_tx,
+            conservation_ok: ok,
+        });
+        accepted += c.accepted;
+        served_push += c.served_push;
+        served_pull += c.served_pull;
+        shed += c.shed;
+        timed_out += c.timed_out;
+        uplink_lost += c.uplink_lost;
+        push_tx += c.push_tx;
+        pull_tx += c.pull_tx;
+        for (dst, src) in per_class.iter_mut().zip(&s.per_class) {
+            dst.accepted += src.accepted;
+            dst.served_push += src.served_push;
+            dst.served_pull += src.served_pull;
+            dst.shed += src.shed;
+            dst.timed_out += src.timed_out;
+            dst.uplink_lost += src.uplink_lost;
+            dst.wait.merge(&src.wait);
+        }
+    }
+    let summary = ServeSummary {
+        accepted,
+        served_push,
+        served_pull,
+        shed,
+        timed_out,
+        uplink_lost,
+        push_tx,
+        pull_tx,
+        accept_errors: ledger.accept_errors.load(Ordering::Relaxed),
+        stalled_conns: ledger.stalled_conns.load(Ordering::Relaxed),
+        backlog_mismatches: ledger.backlog_mismatches.load(Ordering::Relaxed),
+        wall_seconds: elapsed.as_secs_f64(),
+        conservation_ok: all_ok,
+        channels: sealed.len() as u32,
+        per_channel,
+        per_class: per_class
+            .iter()
+            .zip(class_names)
+            .map(|(p, name)| ClassCounters {
+                name: name.clone(),
+                accepted: p.accepted,
+                served_push: p.served_push,
+                served_pull: p.served_pull,
+                shed: p.shed,
+                timed_out: p.timed_out,
+                uplink_lost: p.uplink_lost,
+                wait_units: p.wait.summary(),
+            })
+            .collect(),
+    };
+    if let Some(out) = &out {
+        let line = serde_json::json!({
+            "kind": "summary",
+            "summary": &summary,
+        });
+        let mut w = out.lock().expect("jsonl writer lock");
+        writeln!(w, "{}", serde_json::to_string(&line).expect("summary line"))?;
+        w.flush()?;
+    }
+    Ok(summary)
 }
 
 // ---------------------------------------------------------------------------
@@ -326,12 +555,28 @@ struct PerClass {
     wait: Welford,
 }
 
+/// The shared JSONL telemetry writer (one file, all channel cores).
+type SharedOut = Arc<Mutex<BufWriter<std::fs::File>>>;
+
+/// One channel core's final books, handed back to the topology thread
+/// for the global merge.
+struct SealedCore {
+    channel: u32,
+    counters: Counters,
+    per_class: Vec<PerClass>,
+    live_empty: bool,
+}
+
 struct Core {
+    /// This core's broadcast-channel index.
+    channel: u32,
     scheduler: HybridScheduler,
     uplink: Option<UplinkChannel>,
     clock: WallClock,
     unit_millis: f64,
     default_deadline_ms: u32,
+    /// Front-end shed notices; only channel 0's core holds the receiver.
+    notices: Option<Receiver<Notice>>,
 
     live: HashMap<u64, LiveReq>,
     next_id: u64,
@@ -355,18 +600,22 @@ struct Core {
     /// raw stamps.
     cursor: SimTime,
     recorder: WindowRecorder,
-    out: Option<BufWriter<std::fs::File>>,
+    out: Option<SharedOut>,
     counters: Counters,
     per_class: Vec<PerClass>,
-    class_names: Vec<String>,
 }
 
-/// One JSONL line tagging a serializable payload with its kind.
-fn jsonl_line(kind: &str, field: &str, payload: &impl Serialize) -> String {
+/// One JSONL line tagging a serializable payload with its kind and the
+/// channel that produced it.
+fn jsonl_line(kind: &str, channel: u32, field: &str, payload: &impl Serialize) -> String {
     let value = serde_json::Value::Object(vec![
         (
             "kind".to_string(),
             serde_json::Value::String(kind.to_string()),
+        ),
+        (
+            "channel".to_string(),
+            serde_json::to_value(&channel).expect("channel serializes"),
         ),
         (
             field.to_string(),
@@ -379,53 +628,36 @@ fn jsonl_line(kind: &str, field: &str, payload: &impl Serialize) -> String {
 impl Core {
     fn new(
         config: &ServeConfig,
-        scenario: hybridcast_workload::scenario::Scenario,
+        channel: u32,
+        scheduler: HybridScheduler,
+        scenario: &hybridcast_workload::scenario::Scenario,
         clock: WallClock,
-    ) -> io::Result<Core> {
+        out: Option<SharedOut>,
+    ) -> Core {
         let num_classes = scenario.classes.len();
-        let class_names: Vec<String> = scenario
-            .classes
-            .iter()
-            .map(|(_, c)| c.name.clone())
-            .collect();
         let recorder = WindowRecorder::new(
             TelemetryConfig::new(config.serve.telemetry_window),
             &scenario.classes,
             &scenario.catalog,
             config.hybrid.cutoff,
         );
+        // Channel 0 keeps the single-channel daemon's exact uplink stream;
+        // later channels draw from their own lanes.
         let uplink = config.hybrid.uplink.map(|cfg| {
-            UplinkChannel::new(cfg, scenario.factory.stream(UPLINK_STREAM), num_classes)
+            UplinkChannel::new(
+                cfg,
+                scenario.factory.stream(UPLINK_STREAM + channel as u64),
+                num_classes,
+            )
         });
-        let scheduler = HybridScheduler::new(
-            scenario.catalog,
-            scenario.classes,
-            &config.hybrid,
-            &scenario.factory,
-        );
-        let mut out = None;
-        if let Some(path) = &config.serve.results_path {
-            if let Some(dir) = std::path::Path::new(path).parent() {
-                if !dir.as_os_str().is_empty() {
-                    std::fs::create_dir_all(dir)?;
-                }
-            }
-            let mut w = BufWriter::new(std::fs::File::create(path)?);
-            let header = serde_json::json!({
-                "kind": "header",
-                "classes": &class_names,
-                "window": config.serve.telemetry_window,
-                "unit_millis": config.serve.unit_millis,
-            });
-            writeln!(w, "{}", serde_json::to_string(&header).expect("header"))?;
-            out = Some(w);
-        }
-        Ok(Core {
+        Core {
+            channel,
             scheduler,
             uplink,
             clock,
             unit_millis: config.serve.unit_millis,
             default_deadline_ms: config.serve.default_deadline_ms,
+            notices: None,
             live: HashMap::new(),
             next_id: 0,
             push_waiters: Vec::new(),
@@ -457,8 +689,7 @@ impl Core {
                     wait: Welford::new(),
                 })
                 .collect(),
-            class_names,
-        })
+        }
     }
 
     /// The steady-state loop: wake for ingress (doorbell), due
@@ -470,11 +701,10 @@ impl Core {
         shards: &mut ShardSet<Ingress>,
         doorbell: &Doorbell,
         loops: &[Arc<LoopShared>],
-        notices: &Receiver<Notice>,
         stop: &AtomicBool,
     ) {
         loop {
-            self.drain_notices(notices);
+            self.drain_notices();
             let now = self.clock.now();
             self.fire_deliveries(now);
             self.fire_timeouts(now);
@@ -511,13 +741,12 @@ impl Core {
         &mut self,
         shards: &mut ShardSet<Ingress>,
         loops: &[Arc<LoopShared>],
-        notices: &Receiver<Notice>,
         budget: Duration,
     ) {
         let deadline = Instant::now() + budget;
         loop {
             shards.drain(usize::MAX, |ing| self.ingest(ing));
-            self.drain_notices(notices);
+            self.drain_notices();
             let now = self.clock.now();
             self.fire_deliveries(now);
             self.fire_timeouts(now);
@@ -541,7 +770,7 @@ impl Core {
         // pass and it observing the flag: ingest (counts the acceptance)
         // so the leftovers sweep below answers it.
         shards.drain(usize::MAX, |ing| self.ingest(ing));
-        self.drain_notices(notices);
+        self.drain_notices();
         // Out of budget (or nothing left): shed the remainder.
         let now = self.clock.now();
         let leftovers: Vec<u64> = self.live.keys().copied().collect();
@@ -558,53 +787,25 @@ impl Core {
         }
     }
 
-    /// Closes out telemetry and builds the summary (conservation verdict
-    /// included), writing the JSONL tail + summary line.
-    fn finish(mut self, elapsed: Duration, ledger: &Ledger) -> io::Result<ServeSummary> {
+    /// Closes out this channel's telemetry (flushing the window tail to
+    /// the shared writer) and hands back its books for the global merge.
+    fn seal(mut self) -> SealedCore {
         self.stream_windows();
         let end = self.tick(self.clock.now());
+        let channel = self.channel;
         let tail = self.recorder.finish(end);
-        if let Some(out) = &mut self.out {
+        if let Some(out) = &self.out {
+            let mut w = out.lock().expect("jsonl writer lock");
             for stats in &tail.windows {
-                writeln!(out, "{}", jsonl_line("window", "stats", stats))?;
+                let _ = writeln!(w, "{}", jsonl_line("window", channel, "stats", stats));
             }
         }
-        let c = &self.counters;
-        let answered = c.served_push + c.served_pull + c.shed + c.timed_out + c.uplink_lost;
-        let summary = ServeSummary {
-            accepted: c.accepted,
-            served_push: c.served_push,
-            served_pull: c.served_pull,
-            shed: c.shed,
-            timed_out: c.timed_out,
-            uplink_lost: c.uplink_lost,
-            push_tx: c.push_tx,
-            pull_tx: c.pull_tx,
-            accept_errors: ledger.accept_errors.load(Ordering::Relaxed),
-            stalled_conns: ledger.stalled_conns.load(Ordering::Relaxed),
-            wall_seconds: elapsed.as_secs_f64(),
-            conservation_ok: answered == c.accepted && self.live.is_empty(),
-            per_class: self
-                .per_class
-                .iter()
-                .zip(&self.class_names)
-                .map(|(p, name)| ClassCounters {
-                    name: name.clone(),
-                    accepted: p.accepted,
-                    served_push: p.served_push,
-                    served_pull: p.served_pull,
-                    shed: p.shed,
-                    timed_out: p.timed_out,
-                    uplink_lost: p.uplink_lost,
-                    wait_units: p.wait.summary(),
-                })
-                .collect(),
-        };
-        if let Some(out) = &mut self.out {
-            writeln!(out, "{}", jsonl_line("summary", "summary", &summary))?;
-            out.flush()?;
+        SealedCore {
+            channel,
+            counters: self.counters,
+            per_class: self.per_class,
+            live_empty: self.live.is_empty(),
         }
-        Ok(summary)
     }
 
     // -- ingest & routing ---------------------------------------------------
@@ -917,7 +1118,12 @@ impl Core {
             .record(&TelemetryEvent::RequestBlocked { time, item, class });
     }
 
-    fn drain_notices(&mut self, notices: &Receiver<Notice>) {
+    fn drain_notices(&mut self) {
+        // Take the receiver so the loop can mutate counters; only channel
+        // 0's core holds one.
+        let Some(notices) = self.notices.take() else {
+            return;
+        };
         while let Ok(n) = notices.try_recv() {
             self.counters.accepted += 1;
             self.counters.shed += 1;
@@ -931,6 +1137,7 @@ impl Core {
                     .record(&TelemetryEvent::RequestBlocked { time, item, class });
             }
         }
+        self.notices = Some(notices);
     }
 
     fn stream_windows(&mut self) {
@@ -941,14 +1148,17 @@ impl Core {
         if closed.is_empty() {
             return;
         }
-        if let Some(out) = &mut self.out {
+        let channel = self.channel;
+        if let Some(out) = &self.out {
+            let mut w = out.lock().expect("jsonl writer lock");
             for stats in &closed {
-                if writeln!(out, "{}", jsonl_line("window", "stats", stats)).is_err() {
+                if writeln!(w, "{}", jsonl_line("window", channel, "stats", stats)).is_err() {
+                    drop(w);
                     self.out = None;
                     return;
                 }
             }
-            let _ = out.flush();
+            let _ = w.flush();
         }
     }
 

@@ -312,6 +312,84 @@ fn uplink_losses_surface_as_replies() {
     assert!(summary.conservation_ok, "conservation: {summary:?}");
 }
 
+/// Sharded daemon at C = 2: every request is answered, the conservation
+/// identity closes on each channel *and* globally, and both channels
+/// actually carry traffic.
+#[test]
+fn sharded_daemon_conserves_per_channel_and_globally() {
+    use hybridcast_core::config::{AssignmentStrategy, ChannelLayout};
+    let results = std::env::temp_dir().join(format!(
+        "hybridcast-serve-sharded-{}.jsonl",
+        std::process::id()
+    ));
+    let mut cfg = base_config();
+    cfg.hybrid = HybridConfig {
+        cutoff: 30, // mixed push/pull, spread over both channels
+        pull: PullPolicyKind::importance(0.5),
+        channels: ChannelLayout::Sharded {
+            channels: 2,
+            assignment: AssignmentStrategy::PatternAware,
+        },
+        ..HybridConfig::default()
+    };
+    cfg.serve.unit_millis = 1.0;
+    cfg.serve.telemetry_window = 50.0;
+    cfg.serve.results_path = Some(results.display().to_string());
+    let server = ServerHandle::start(cfg).expect("server starts");
+    let (mut stream, reader) = client(server.addr());
+
+    let total = 300u64;
+    for i in 0..total {
+        // Stride across the catalog so both channels see push and pull
+        // items regardless of how the plan splits them.
+        let item = (i * 7 % 80) as u32;
+        send(&mut stream, i, (i % 3) as u8, item);
+    }
+    stream
+        .write_all(&encode_shutdown())
+        .expect("shutdown frame");
+
+    let replies = reader.join().expect("reader sees EOF after drain");
+    let summary = server.join().expect("clean shutdown");
+
+    assert_eq!(replies.len() as u64, total, "drain answers everything");
+    assert_eq!(summary.channels, 2);
+    assert_eq!(summary.per_channel.len(), 2);
+    assert_eq!(summary.accepted, total);
+    assert!(summary.conservation_ok, "global conservation: {summary:?}");
+    let mut accepted_sum = 0u64;
+    for ch in &summary.per_channel {
+        assert!(
+            ch.conservation_ok,
+            "channel {} must balance its own books: {ch:?}",
+            ch.channel
+        );
+        assert_eq!(
+            ch.accepted,
+            ch.served_push + ch.served_pull + ch.shed + ch.timed_out + ch.uplink_lost
+        );
+        assert!(
+            ch.accepted > 0,
+            "channel {} saw no traffic under a striding client",
+            ch.channel
+        );
+        accepted_sum += ch.accepted;
+    }
+    assert_eq!(accepted_sum, summary.accepted);
+
+    // Window lines carry a channel tag; both channels stream telemetry.
+    let text = std::fs::read_to_string(&results).expect("results written");
+    let lines: Vec<&str> = text.lines().collect();
+    let header: serde_json::Value = serde_json::from_str(lines[0]).expect("header parses");
+    assert_eq!(header["channels"].as_u64(), Some(2));
+    for line in &lines[1..lines.len() - 1] {
+        let w: serde_json::Value = serde_json::from_str(line).expect("window parses");
+        assert_eq!(w["kind"].as_str(), Some("window"));
+        assert!(w["channel"].as_u64().unwrap_or(99) < 2);
+    }
+    let _ = std::fs::remove_file(&results);
+}
+
 /// The wire-level sanity check used by docs/examples: a request round
 /// trip straight against a fresh daemon.
 #[test]

@@ -9,6 +9,7 @@
 //! inside the documented parameter domains.
 
 use hybridcast_core::bandwidth::{BandwidthConfig, BandwidthPolicy};
+use hybridcast_core::config::AssignmentStrategy;
 use hybridcast_core::prelude::{AdaptiveConfig, ChannelLayout, FaultSpec, HybridConfig};
 use hybridcast_core::pull::PullPolicyKind;
 use hybridcast_core::push::PushKind;
@@ -158,12 +159,22 @@ pub fn generate_case(seed: u64) -> FuzzCase {
         max_attempts: uniform_usize(&mut rng, 1, 5) as u32,
         backoff_slots: uniform(&mut rng, 0.0, 3.0),
     });
-    let channels = if chance(&mut rng, 0.25) {
-        ChannelLayout::Split {
+    let channels = match uniform_usize(&mut rng, 0, 7) {
+        0 | 1 => ChannelLayout::Split {
             pull_channels: uniform_usize(&mut rng, 1, 3) as u32,
-        }
-    } else {
-        ChannelLayout::Interleaved
+        },
+        2 | 3 => ChannelLayout::Sharded {
+            channels: uniform_usize(&mut rng, 1, num_items.min(6)) as u32,
+            assignment: *pick(
+                &mut rng,
+                &[
+                    AssignmentStrategy::Range,
+                    AssignmentStrategy::Hash,
+                    AssignmentStrategy::PatternAware,
+                ],
+            ),
+        },
+        _ => ChannelLayout::Interleaved,
     };
     let drift = chance(&mut rng, 0.15).then(|| DriftConfig {
         period: uniform(&mut rng, 200.0, 1_000.0),
@@ -183,7 +194,16 @@ pub fn generate_case(seed: u64) -> FuzzCase {
             rerank: chance(&mut rng, 0.5),
         }
     });
-    let faults = gen_faults(&mut rng, horizon, num_items);
+    let mut faults = gen_faults(&mut rng, horizon, num_items);
+
+    // Cutoff motion is a single-channel feature: the sharded scheduler
+    // fixes each channel's push slice at construction, and the simulator
+    // asserts as much. Keep multi-channel cases inside the legal domain.
+    let mut adaptive = adaptive;
+    if channels.shard_count() > 1 {
+        adaptive = None;
+        faults.retain(|f| !matches!(f, FaultSpec::ForceCutoff { .. }));
+    }
 
     FuzzCase {
         seed,
@@ -252,5 +272,37 @@ mod tests {
         );
         assert!(cases.iter().any(|c| !c.faults.is_empty()), "faulted runs");
         assert!(cases.iter().any(|c| c.adaptive.is_some()), "adaptive runs");
+        assert!(
+            cases.iter().any(|c| c.hybrid.channels.shard_count() > 1),
+            "multi-channel sharded corner"
+        );
+    }
+
+    #[test]
+    fn sharded_cases_stay_inside_the_legal_domain() {
+        // `simulate` asserts that cutoff motion only happens on a single
+        // channel; the generator must never produce an illegal pairing.
+        let mut sharded_seen = 0;
+        for seed in 0..300 {
+            let case = generate_case(seed);
+            if case.hybrid.channels.shard_count() > 1 {
+                sharded_seen += 1;
+                assert!(case.adaptive.is_none(), "seed {seed}: sharded + adaptive");
+                assert!(
+                    !case
+                        .faults
+                        .iter()
+                        .any(|f| matches!(f, FaultSpec::ForceCutoff { .. })),
+                    "seed {seed}: sharded + forced cutoff"
+                );
+                if let ChannelLayout::Sharded { channels, .. } = case.hybrid.channels {
+                    assert!(channels as usize <= case.scenario.num_items);
+                }
+            }
+        }
+        assert!(
+            sharded_seen >= 30,
+            "only {sharded_seen} sharded cases in 300"
+        );
     }
 }

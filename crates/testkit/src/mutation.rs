@@ -36,6 +36,11 @@ pub enum Mutation {
     /// least important item is always served first, inverting priority
     /// dominance. Caught by the statistical oracle, not the stream ones.
     InvertedScoring,
+    /// Duplicate every 9th `PullTx` — the observable symptom of a
+    /// double-decremented idle-channel counter: two pull transmissions
+    /// occupying the same channel at the same time. Caught by the
+    /// channel-accounting oracle.
+    PhantomPullChannel,
 }
 
 /// Every mutation, in a stable order (the smoke test iterates this).
@@ -47,6 +52,7 @@ pub const ALL_MUTATIONS: &[Mutation] = &[
     Mutation::DropPushTx,
     Mutation::ReclassifyServed,
     Mutation::InvertedScoring,
+    Mutation::PhantomPullChannel,
 ];
 
 /// A sink adapter that corrupts the event stream according to one
@@ -60,6 +66,7 @@ pub struct MutatingSink<S> {
     seen_served: u64,
     seen_arrivals: u64,
     seen_push: u64,
+    seen_pull: u64,
 }
 
 impl<S: Sink> MutatingSink<S> {
@@ -72,6 +79,7 @@ impl<S: Sink> MutatingSink<S> {
             seen_served: 0,
             seen_arrivals: 0,
             seen_push: 0,
+            seen_pull: 0,
         }
     }
 
@@ -133,6 +141,16 @@ impl<S: Sink> Sink for MutatingSink<S> {
                 } else {
                     *event
                 }
+            }
+            (TelemetryEvent::PullTx { .. }, Mutation::PhantomPullChannel) => {
+                self.seen_pull += 1;
+                if self.seen_pull.is_multiple_of(9) {
+                    // Forward the event twice: an identical occupancy
+                    // interval is exactly what a double-decremented
+                    // idle-channel counter produces.
+                    self.inner.record(event);
+                }
+                *event
             }
             (TelemetryEvent::PushTx { .. }, Mutation::DropPushTx) => {
                 self.seen_push += 1;

@@ -16,14 +16,27 @@
 //! 6. **Queue aggregate consistency** — the driver shadow-recounts
 //!    `Q_i`/`R_i` from raw queue entries at audit points; any discrepancy
 //!    lands in [`HarnessReport::queue_audit`] and is merged here.
+//! 7. **Channel accounting** — reconstructing every pull transmission's
+//!    occupancy interval from `PullTx { time, duration }`, the number of
+//!    concurrent pulls never exceeds the layout's pull capacity (1 for
+//!    the interleaved layout, `pull_channels` for the split layout, `C`
+//!    for the sharded layout). A double-decremented idle-channel counter
+//!    shows up here as a phantom overlapping transmission.
+//! 8. **Channel-marginal conservation** — the horizon census's
+//!    per-channel marginal must re-sum to the per-class total: every
+//!    still-held request is owned by exactly one broadcast channel.
+//! 9. **KSY partition sanity** — on a sharded layout, the item→channel
+//!    plan rebuilt from the case must price at or above the balanced
+//!    Kenyon–Schabanel–Young lower bound `(Σ√(pᵢlᵢ))²/(2C)`, with a
+//!    finite non-negative gap and every item routed to a real channel.
 //!
 //! Per-class priority dominance (Class-A beats Class-C under the
 //! importance policy) is a *statistical* oracle; it lives in
 //! [`check_dominance`] and runs over replications, not per fuzz case.
 
 use hybridcast_core::prelude::{
-    simulate_harness, HarnessReport, HybridConfig, NullSink, PullPolicy, SimParams, Sink,
-    TelemetryEvent,
+    simulate_harness, ChannelLayout, ChannelPlan, HarnessReport, HybridConfig, NullSink,
+    PullPolicy, SimParams, Sink, TelemetryEvent,
 };
 use hybridcast_core::push::PushKind;
 use hybridcast_workload::catalog::ItemId;
@@ -42,6 +55,9 @@ pub struct OracleSink {
     blocked: Vec<u64>,
     lost: Vec<u64>,
     push_seq: Vec<ItemId>,
+    /// `(start, end)` occupancy intervals of every pull transmission,
+    /// reconstructed as `end = time`, `start = time - duration`.
+    pull_intervals: Vec<(f64, f64)>,
     cutoff_changes: u64,
     violations: Vec<String>,
 }
@@ -57,8 +73,39 @@ impl OracleSink {
             blocked: vec![0; num_classes],
             lost: vec![0; num_classes],
             push_seq: Vec::new(),
+            pull_intervals: Vec::new(),
             cutoff_changes: 0,
             violations: Vec::new(),
+        }
+    }
+
+    /// 7. Channel accounting: sweep the reconstructed pull occupancy
+    ///    intervals and report the peak number of concurrent pulls if it
+    ///    exceeds what the layout physically provides.
+    fn check_channel_accounting(&mut self, capacity: u64) {
+        // Back-to-back dispatch recomputes `start = end - duration` in
+        // floats; shave an epsilon off each start so exact abutment (the
+        // next pull starting the instant the last one finished) never
+        // counts as overlap. Real phantom overlaps span O(duration).
+        const EPS: f64 = 1e-6;
+        let mut edges: Vec<(f64, i64)> = Vec::with_capacity(self.pull_intervals.len() * 2);
+        for &(start, end) in &self.pull_intervals {
+            edges.push((start + EPS, 1));
+            edges.push((end, -1));
+        }
+        // Sort by time, closers before openers at ties.
+        edges.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut live = 0i64;
+        let mut peak = 0i64;
+        for (_, delta) in edges {
+            live += delta;
+            peak = peak.max(live);
+        }
+        if peak as u64 > capacity {
+            self.violations.push(format!(
+                "channel accounting broken: {peak} concurrent pull transmissions \
+                 on a layout with {capacity} pull channel(s)"
+            ));
         }
     }
 
@@ -101,9 +148,14 @@ impl OracleSink {
             }
         }
         // 5. Push round-robin fairness, when the gate applies: flat push
-        // schedule and a cutoff that never moved.
+        // schedule, a cutoff that never moved, and one channel — across
+        // shards the global stream interleaves C independent cycles.
         let k = case.hybrid.cutoff;
-        if case.hybrid.push == PushKind::Flat && self.cutoff_changes == 0 && k >= 1 {
+        if case.hybrid.push == PushKind::Flat
+            && self.cutoff_changes == 0
+            && k >= 1
+            && case.hybrid.channels.shard_count() == 1
+        {
             let seq = &self.push_seq;
             let head: Vec<ItemId> = seq.iter().take(k).copied().collect();
             let mut sorted = head.clone();
@@ -126,6 +178,62 @@ impl OracleSink {
             if let Some(stray) = seq.iter().find(|it| it.index() >= k) {
                 self.violations
                     .push(format!("pushed an item outside the push set: {stray:?}"));
+            }
+        }
+        // 7. Channel accounting: concurrent pulls never exceed capacity.
+        let capacity = match case.hybrid.channels {
+            ChannelLayout::Interleaved => 1,
+            ChannelLayout::Split { pull_channels } => pull_channels as u64,
+            // Each broadcast channel interleaves its own pulls, so up to C
+            // pull transmissions may be in flight at once.
+            ChannelLayout::Sharded { channels, .. } => channels.max(1) as u64,
+        };
+        self.check_channel_accounting(capacity);
+        // 8. Channel-marginal conservation: the census's per-channel view
+        // must re-sum to the per-class view, exactly.
+        let shard_count = case.hybrid.channels.shard_count() as usize;
+        if out.census.per_channel.len() != shard_count {
+            self.violations.push(format!(
+                "census has {} channel entries on a {shard_count}-channel layout",
+                out.census.per_channel.len()
+            ));
+        }
+        let channel_sum: u64 = out.census.per_channel.iter().sum();
+        if channel_sum != out.census.total() {
+            self.violations.push(format!(
+                "channel-marginal conservation broken: {channel_sum} requests \
+                 across channels vs {} in the class census",
+                out.census.total()
+            ));
+        }
+        // 9. KSY partition sanity: the plan is deterministic from the
+        // case, so rebuild it and price it against the offline bound.
+        if let ChannelLayout::Sharded {
+            channels,
+            assignment,
+            ..
+        } = case.hybrid.channels
+        {
+            let catalog = case.scenario.build().catalog;
+            let plan = ChannelPlan::build(&catalog, channels.max(1), assignment);
+            if let Some(bad) = plan
+                .assignment()
+                .iter()
+                .find(|&&c| c as u32 >= channels.max(1))
+            {
+                self.violations
+                    .push(format!("plan routes an item to phantom channel {bad}"));
+            }
+            let (cost, lb) = (plan.cost(), plan.lower_bound());
+            if !(cost.is_finite() && lb.is_finite()) || cost < lb - 1e-9 * lb.max(1.0) {
+                self.violations.push(format!(
+                    "KSY bound violated: partition cost {cost} under the \
+                     balanced lower bound {lb}"
+                ));
+            }
+            if plan.gap().is_some_and(|g| !g.is_finite() || g < -1e-9) {
+                self.violations
+                    .push(format!("KSY gap is not a sane ratio: {:?}", plan.gap()));
             }
         }
         // 6. Merge the driver's queue shadow-recount findings.
@@ -171,6 +279,10 @@ impl Sink for OracleSink {
             }
             TelemetryEvent::PushTx { item, .. } => {
                 self.push_seq.push(item);
+            }
+            TelemetryEvent::PullTx { time, duration, .. } => {
+                let end = time.as_f64();
+                self.pull_intervals.push((end - duration.as_f64(), end));
             }
             TelemetryEvent::CutoffChange { .. } => {
                 self.cutoff_changes += 1;
