@@ -33,10 +33,23 @@ USAGE:
     hybridcast fuzz --replay <dir|file>   replay corpus case(s) under the
                                           same oracles
     hybridcast serve [--config <serve.json>] [--addr <host:port>]
-                     [--results <path|->] [--init-config]
+                     [--results <path|->] [--ops-addr <host:port|->]
+                     [--trace <path|->] [--init-config]
                                           run the wall-clock TCP daemon until
                                           SIGTERM/SIGINT, then drain and print
-                                          the run summary as JSON
+                                          the run summary as JSON; --ops-addr
+                                          serves /healthz /stats /config over
+                                          HTTP, --trace records the accepted
+                                          stream as a binary HCT1 trace
+    hybridcast replay --trace <path> [--config <serve.json>]
+                      [--mode daemon|sim]
+                                          re-drive the scheduler from a
+                                          recorded trace in virtual time
+                                          (deterministic: same trace, same
+                                          books) and print the books as JSON
+    hybridcast stats [--addr <host:port>] [--path /stats]
+                                          GET a running daemon's ops endpoint
+                                          and print the JSON body
     hybridcast loadgen [--addr <host:port>] [--rps N] [--conns N] [--secs N]
                        [--seed S] [--items N] [--theta X]
                        [--deadline-ms N] [--grace-ms N]
@@ -223,6 +236,8 @@ fn run_serve_cmd(mut args: Vec<String>) -> Result<(), String> {
     let config_path = take_value::<String>(&mut args, "--config")?;
     let addr = take_value::<String>(&mut args, "--addr")?;
     let results = take_value::<String>(&mut args, "--results")?;
+    let ops_addr = take_value::<String>(&mut args, "--ops-addr")?;
+    let trace = take_value::<String>(&mut args, "--trace")?;
     let channels = take_channels(&mut args)?;
     if !args.is_empty() {
         return Err(format!("unexpected arguments: {args:?}"));
@@ -243,6 +258,16 @@ fn run_serve_cmd(mut args: Vec<String>) -> Result<(), String> {
     match results.as_deref() {
         Some("-") => config.serve.results_path = None,
         Some(path) => config.serve.results_path = Some(path.to_string()),
+        None => {}
+    }
+    match ops_addr.as_deref() {
+        Some("-") => config.serve.ops_addr = None,
+        Some(a) => config.serve.ops_addr = Some(a.to_string()),
+        None => {}
+    }
+    match trace.as_deref() {
+        Some("-") => config.serve.trace_path = None,
+        Some(path) => config.serve.trace_path = Some(path.to_string()),
         None => {}
     }
 
@@ -273,6 +298,107 @@ fn run_serve_cmd(mut args: Vec<String>) -> Result<(), String> {
     } else {
         Err("conservation violated: some accepted frames went unanswered".to_string())
     }
+}
+
+/// The `replay` subcommand: deterministic re-execution of a recorded
+/// binary trace, through the daemon's scheduling discipline (virtual
+/// time) or through the simulator.
+fn run_trace_replay_cmd(mut args: Vec<String>) -> Result<(), String> {
+    use hybridcast_ops::{hex64, replay_daemon, replay_simulator, sim_params_for, Trace};
+    use hybridcast_server::ServeConfig;
+
+    let trace_path =
+        take_value::<String>(&mut args, "--trace")?.ok_or("replay needs --trace <path>")?;
+    let config_path = take_value::<String>(&mut args, "--config")?;
+    let mode = take_value::<String>(&mut args, "--mode")?.unwrap_or_else(|| "daemon".to_string());
+    if !args.is_empty() {
+        return Err(format!("unexpected arguments: {args:?}"));
+    }
+    let trace =
+        Trace::read(std::path::Path::new(&trace_path)).map_err(|e| format!("{trace_path}: {e}"))?;
+    let config = match &config_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            ServeConfig::from_json(&text).map_err(|e| format!("{path}: {e}"))?
+        }
+        None => ServeConfig::default(),
+    };
+    let expected = hybridcast_ops::config_hash(&config.identity_json());
+    if expected != trace.meta.config_hash {
+        eprintln!(
+            "warning: config hash mismatch — trace recorded under {}, replaying under {}; \
+             books may not correspond to the recording deployment",
+            hex64(trace.meta.config_hash),
+            hex64(expected)
+        );
+    }
+    eprintln!(
+        "replaying {} record(s) over {} channel(s) from {trace_path} (mode: {mode})",
+        trace.records.len(),
+        trace.meta.channels
+    );
+    let scenario = config.scenario.build();
+    match mode.as_str() {
+        "daemon" => {
+            let books = replay_daemon(&scenario, &config.hybrid, trace.meta.unit_millis, &trace);
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&books).expect("books serialize")
+            );
+            if books.conservation_ok {
+                Ok(())
+            } else {
+                Err("conservation violated in replayed books".to_string())
+            }
+        }
+        "sim" => {
+            let params = sim_params_for(&trace);
+            let report = replay_simulator(&scenario, &config.hybrid, &params, &trace);
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&report).expect("report serializes")
+            );
+            Ok(())
+        }
+        other => Err(format!("--mode must be `daemon` or `sim`, got `{other}`")),
+    }
+}
+
+/// The `stats` subcommand: one HTTP GET against a running daemon's ops
+/// endpoint, body printed to stdout.
+fn run_stats_cmd(mut args: Vec<String>) -> Result<(), String> {
+    use std::io::{Read, Write};
+
+    let addr =
+        take_value::<String>(&mut args, "--addr")?.unwrap_or_else(|| "127.0.0.1:4651".to_string());
+    let path = take_value::<String>(&mut args, "--path")?.unwrap_or_else(|| "/stats".to_string());
+    if !args.is_empty() {
+        return Err(format!("unexpected arguments: {args:?}"));
+    }
+    if !path.starts_with('/') {
+        return Err(format!("--path must start with `/`, got `{path}`"));
+    }
+    let mut stream = std::net::TcpStream::connect(&addr).map_err(|e| format!("{addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .map_err(|e| format!("{addr}: {e}"))?;
+    stream
+        .write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
+        .map_err(|e| format!("{addr}: {e}"))?;
+    let mut response = Vec::new();
+    stream
+        .read_to_end(&mut response)
+        .map_err(|e| format!("{addr}: {e}"))?;
+    let text = String::from_utf8_lossy(&response);
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("{addr}: malformed HTTP response"))?;
+    let status = head.split(' ').nth(1).unwrap_or("");
+    if status != "200" {
+        return Err(format!("{addr}{path}: HTTP {status}: {body}"));
+    }
+    println!("{body}");
+    Ok(())
 }
 
 /// The `loadgen` subcommand: open-loop traffic against a running daemon.
@@ -332,6 +458,12 @@ fn run() -> Result<(), String> {
     }
     if args.first().map(String::as_str) == Some("loadgen") {
         return run_loadgen_cmd(args.split_off(1));
+    }
+    if args.first().map(String::as_str) == Some("replay") {
+        return run_trace_replay_cmd(args.split_off(1));
+    }
+    if args.first().map(String::as_str) == Some("stats") {
+        return run_stats_cmd(args.split_off(1));
     }
     let replications = take_replications(&mut args)?;
     let telemetry = take_telemetry(&mut args)?;

@@ -1,0 +1,72 @@
+//! Deterministic run digests.
+//!
+//! A serving run is identified by two 64-bit FNV-1a digests: the *config
+//! hash* (over the canonical pretty-printed `ServeConfig` JSON) and the
+//! *channel-plan digest* (over the channel count and the item→channel
+//! assignment bytes). Both are embedded in the `serve.jsonl` header and in
+//! every recorded trace, so a replay or a dashboard can verify it is
+//! looking at artifacts from the same deployment. FNV-1a is used because
+//! it is tiny, dependency-free, and stable across platforms — this is a
+//! fingerprint for mismatch *detection*, not a cryptographic commitment.
+
+/// 64-bit FNV-1a over a byte slice.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// The config hash: FNV-1a over the canonical config JSON text.
+pub fn config_hash(config_json: &str) -> u64 {
+    fnv1a64(config_json.as_bytes())
+}
+
+/// The channel-plan digest: channel count plus the item→channel assignment,
+/// folded byte-wise so two plans differing in a single item's placement
+/// differ in digest.
+pub fn plan_digest(channels: u32, assignment: &[u8]) -> u64 {
+    let mut bytes = Vec::with_capacity(4 + assignment.len());
+    bytes.extend_from_slice(&channels.to_le_bytes());
+    bytes.extend_from_slice(assignment);
+    fnv1a64(&bytes)
+}
+
+/// Fixed-width lowercase hex rendering used everywhere a digest appears in
+/// JSON (headers, `/stats`, trace metadata printouts).
+pub fn hex64(v: u64) -> String {
+    format!("{v:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn plan_digest_sees_single_item_moves() {
+        let a = plan_digest(2, &[0, 0, 1, 1]);
+        let b = plan_digest(2, &[0, 1, 1, 1]);
+        let c = plan_digest(4, &[0, 0, 1, 1]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, plan_digest(2, &[0, 0, 1, 1]));
+    }
+
+    #[test]
+    fn hex_is_fixed_width() {
+        assert_eq!(hex64(0xab), "00000000000000ab");
+        assert_eq!(hex64(u64::MAX).len(), 16);
+    }
+}

@@ -1,0 +1,33 @@
+//! Live operations surface for the hybrid broadcast scheduler.
+//!
+//! Three capabilities, designed to observe and reproduce *running*
+//! deployments without touching the data plane's hot path:
+//!
+//! * **Digests** ([`digest`]): FNV-1a fingerprints of the serve config and
+//!   the item→channel plan, embedded in every artifact a run emits
+//!   (`serve.jsonl` header, trace header, `/stats`) so cross-artifact
+//!   identity is checkable.
+//! * **Binary traces** ([`trace`]): the accepted-request stream recorded
+//!   from the scheduler threads in a compact length-prefixed format
+//!   (`HCT1`) with a self-describing header.
+//! * **Ops endpoint** ([`http`] + [`hub`]): a dependency-free HTTP/1.0
+//!   thread serving `/healthz`, `/stats` (live windowed per-class QoS) and
+//!   `/config`, fed by per-channel snapshots the cores publish.
+//! * **Replay** ([`replay`]): deterministic re-execution of a recorded
+//!   trace through the simulator or through the daemon's scheduling
+//!   discipline in virtual time — same trace in, bit-identical books out.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod digest;
+pub mod http;
+pub mod hub;
+pub mod replay;
+pub mod trace;
+
+pub use digest::{config_hash, fnv1a64, hex64, plan_digest};
+pub use http::OpsServer;
+pub use hub::{ChannelSnapshot, OpsHub};
+pub use replay::{replay_daemon, replay_simulator, sim_params_for, ReplayBooks};
+pub use trace::{Trace, TraceBuffer, TraceMeta, TraceRecord, TraceSink};

@@ -21,6 +21,11 @@ OPTIONS:
     --channels <C>      Shard the catalog across C broadcast channels
                         (pattern-aware assignment, one scheduler thread
                         per channel)
+    --ops-addr <h:p>    Serve /healthz, /stats, /config over HTTP on this
+                        address ('-' disables)
+    --trace <path>      Record the accepted-request stream as a binary
+                        HCT1 trace for later `hybridcast replay`
+                        ('-' disables)
     --help              This text
 
 Runs until SIGTERM/SIGINT (or an in-band shutdown frame), then drains
@@ -33,6 +38,8 @@ fn main() -> ExitCode {
     let mut addr: Option<String> = None;
     let mut results: Option<String> = None;
     let mut channels: Option<String> = None;
+    let mut ops_addr: Option<String> = None;
+    let mut trace: Option<String> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--help" | "-h" => {
@@ -47,6 +54,8 @@ fn main() -> ExitCode {
             "--addr" => addr = args.next(),
             "--results" => results = args.next(),
             "--channels" => channels = args.next(),
+            "--ops-addr" => ops_addr = args.next(),
+            "--trace" => trace = args.next(),
             other => {
                 eprintln!("unknown argument: {other}\n\n{USAGE}");
                 return ExitCode::FAILURE;
@@ -76,6 +85,16 @@ fn main() -> ExitCode {
     match results.as_deref() {
         Some("-") => config.serve.results_path = None,
         Some(path) => config.serve.results_path = Some(path.to_string()),
+        None => {}
+    }
+    match ops_addr.as_deref() {
+        Some("-") => config.serve.ops_addr = None,
+        Some(addr) => config.serve.ops_addr = Some(addr.to_string()),
+        None => {}
+    }
+    match trace.as_deref() {
+        Some("-") => config.serve.trace_path = None,
+        Some(path) => config.serve.trace_path = Some(path.to_string()),
         None => {}
     }
     if let Some(raw) = channels {

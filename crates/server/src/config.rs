@@ -46,6 +46,13 @@ pub struct ServeParams {
     pub telemetry_window: f64,
     /// Where the windowed QoS series streams to (JSONL); `None` disables.
     pub results_path: Option<String>,
+    /// Listen address for the ops HTTP endpoint (`/healthz`, `/stats`,
+    /// `/config`); `None` disables it. `127.0.0.1:0` picks an ephemeral
+    /// port (tests read it back from the handle).
+    pub ops_addr: Option<String>,
+    /// Where to record the accepted-request stream as a binary `HCT1`
+    /// trace; `None` disables recording.
+    pub trace_path: Option<String>,
 }
 
 impl Default for ServeParams {
@@ -61,6 +68,8 @@ impl Default for ServeParams {
             drain_timeout_ms: 2_000,
             telemetry_window: 500.0,
             results_path: Some("results/serve.jsonl".into()),
+            ops_addr: None,
+            trace_path: None,
         }
     }
 }
@@ -152,6 +161,23 @@ impl ServeConfig {
     /// Pretty-printed JSON.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("config serializes")
+    }
+
+    /// The canonical *identity* JSON: this config with the deployment
+    /// ephemera neutralized — listen addresses, output paths, ops/trace
+    /// toggles — leaving exactly the fields that shape scheduling
+    /// behavior. The run's `config_hash` (serve.jsonl header, trace
+    /// header, `/stats`) is FNV-1a over this text, so recording a trace on
+    /// one port and replaying from the same config file on another still
+    /// hash-match.
+    pub fn identity_json(&self) -> String {
+        let mut id = self.clone();
+        id.serve.addr = ServeParams::default().addr;
+        id.serve.unix_socket = None;
+        id.serve.results_path = None;
+        id.serve.ops_addr = None;
+        id.serve.trace_path = None;
+        id.to_json()
     }
 }
 

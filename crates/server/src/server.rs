@@ -62,9 +62,16 @@ use hybridcast_core::queue::PendingItem;
 use hybridcast_core::shard::{ring as shard_ring, Doorbell, ShardConsumer, ShardSet};
 use hybridcast_core::sharded::ShardedScheduler;
 use hybridcast_core::uplink::{UplinkChannel, UplinkOutcome};
+use hybridcast_ops::trace::VERSION as TRACE_VERSION;
+use hybridcast_ops::{
+    config_hash, hex64, plan_digest, ChannelSnapshot, OpsHub, OpsServer, TraceBuffer, TraceMeta,
+    TraceRecord, TraceSink,
+};
 use hybridcast_sim::stats::{SummaryStats, Welford};
 use hybridcast_sim::time::{SimDuration, SimTime};
-use hybridcast_telemetry::{ServiceKind, Sink, TelemetryConfig, TelemetryEvent, WindowRecorder};
+use hybridcast_telemetry::{
+    ServiceKind, Sink, TelemetryConfig, TelemetryEvent, WindowRecorder, WindowStats,
+};
 use hybridcast_workload::catalog::ItemId;
 use hybridcast_workload::classes::ClassId;
 
@@ -85,6 +92,11 @@ const POLL: Duration = Duration::from_millis(25);
 /// Ring items ingested per scheduler tick before time-driven work
 /// (completions, deadlines) gets another look.
 const DRAIN_BUDGET: usize = 4096;
+
+/// How often a core refreshes its ops-hub snapshot when no telemetry
+/// window closed (window closes publish immediately). One uncontended
+/// lock + small memcpy per publish: invisible next to a 25 ms poll tick.
+const PUBLISH_EVERY: Duration = Duration::from_millis(200);
 
 // ---------------------------------------------------------------------------
 // Summary
@@ -201,12 +213,26 @@ pub fn serve(config: ServeConfig, shutdown: Arc<AtomicBool>) -> io::Result<Serve
         .validate()
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
     let listener = TcpListener::bind(&config.serve.addr)?;
-    run(config, listener, shutdown)
+    let ops_listener = bind_ops(&config)?;
+    if let Some(l) = &ops_listener {
+        eprintln!("hybridcastd: ops endpoint on http://{}", l.local_addr()?);
+    }
+    run(config, listener, ops_listener, shutdown)
+}
+
+/// Binds the ops HTTP listener up front (so `:0` resolves before the run
+/// starts), when `serve.ops_addr` asks for one.
+fn bind_ops(config: &ServeConfig) -> io::Result<Option<TcpListener>> {
+    match &config.serve.ops_addr {
+        Some(addr) => Ok(Some(TcpListener::bind(addr)?)),
+        None => Ok(None),
+    }
 }
 
 /// A daemon running on a background thread — the embedding/test harness.
 pub struct ServerHandle {
     addr: SocketAddr,
+    ops_addr: Option<SocketAddr>,
     shutdown: Arc<AtomicBool>,
     join: JoinHandle<io::Result<ServeSummary>>,
 }
@@ -220,11 +246,17 @@ impl ServerHandle {
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
         let listener = TcpListener::bind(&config.serve.addr)?;
         let addr = listener.local_addr()?;
+        let ops_listener = bind_ops(&config)?;
+        let ops_addr = match &ops_listener {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
         let shutdown = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&shutdown);
-        let join = thread::spawn(move || run(config, listener, flag));
+        let join = thread::spawn(move || run(config, listener, ops_listener, flag));
         Ok(ServerHandle {
             addr,
+            ops_addr,
             shutdown,
             join,
         })
@@ -233,6 +265,11 @@ impl ServerHandle {
     /// The actual bound address (resolves `:0`).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The ops endpoint's bound address, when `serve.ops_addr` enabled it.
+    pub fn ops_addr(&self) -> Option<SocketAddr> {
+        self.ops_addr
     }
 
     /// Requests graceful shutdown (idempotent, non-blocking).
@@ -255,6 +292,7 @@ impl ServerHandle {
 fn run(
     config: ServeConfig,
     listener: TcpListener,
+    ops_listener: Option<TcpListener>,
     shutdown: Arc<AtomicBool>,
 ) -> io::Result<ServeSummary> {
     let started = Instant::now();
@@ -290,6 +328,11 @@ fn run(
         .collect();
     let route: Arc<[u8]> = plan.assignment().to_vec().into();
     let doorbells: Vec<Arc<Doorbell>> = (0..channels).map(|_| Arc::new(Doorbell::new())).collect();
+
+    // The run's identity: config hash (over the canonical identity JSON)
+    // and channel-plan digest, stamped into every artifact this run emits.
+    let cfg_hash = config_hash(&config.identity_json());
+    let plan_dig = plan_digest(plan.channels(), plan.assignment());
 
     let mut shareds: Vec<Arc<LoopShared>> = Vec::with_capacity(nloops);
     for _ in 0..nloops {
@@ -345,10 +388,49 @@ fn run(
             "channels": channels,
             "window": config.serve.telemetry_window,
             "unit_millis": config.serve.unit_millis,
+            "config_hash": hex64(cfg_hash),
+            "plan_digest": hex64(plan_dig),
         });
         writeln!(w, "{}", serde_json::to_string(&header).expect("header"))?;
         out = Some(Arc::new(Mutex::new(w)));
     }
+
+    // The ops hub + HTTP endpoint (when enabled): cores publish snapshots,
+    // the endpoint thread serves them — the data plane never blocks on it.
+    let hub: Option<Arc<OpsHub>> = ops_listener.as_ref().map(|_| {
+        Arc::new(OpsHub::new(
+            cfg_hash,
+            plan_dig,
+            channels as u32,
+            class_names.clone(),
+            config.serve.telemetry_window,
+            config.serve.unit_millis,
+            config.to_json(),
+        ))
+    });
+    let ops_server = match (ops_listener, &hub) {
+        (Some(l), Some(h)) => Some(OpsServer::start_on(l, Arc::clone(h))?),
+        _ => None,
+    };
+
+    // The trace sink (when enabled): one shared writer, each core appends
+    // its own records through a bounded local buffer.
+    let trace_sink: Option<Arc<TraceSink>> = match &config.serve.trace_path {
+        Some(path) => {
+            let meta = TraceMeta {
+                version: TRACE_VERSION,
+                config_hash: cfg_hash,
+                channels: channels as u32,
+                plan_digest: plan_dig,
+                unit_millis: config.serve.unit_millis,
+                num_items: scenario.catalog.len() as u32,
+                num_classes: scenario.classes.len() as u8,
+                default_deadline_ms: config.serve.default_deadline_ms,
+            };
+            Some(TraceSink::create(std::path::Path::new(path), &meta)?)
+        }
+        None => None,
+    };
 
     let drain_budget = Duration::from_millis(config.serve.drain_timeout_ms);
     let mut cores: Vec<Core> = schedulers
@@ -362,6 +444,8 @@ fn run(
                 &scenario,
                 clock.clone(),
                 out.clone(),
+                hub.clone(),
+                trace_sink.clone().map(TraceBuffer::new),
             )
         })
         .collect();
@@ -405,6 +489,14 @@ fn run(
     }
     for j in joins {
         let _ = j.join();
+    }
+    // Cores have sealed (flushing their trace buffers); push the sink's
+    // remaining bytes to disk, then retire the ops endpoint.
+    if let Some(sink) = &trace_sink {
+        let _ = sink.flush();
+    }
+    if let Some(ops) = ops_server {
+        ops.stop();
     }
     finish(sealed, started.elapsed(), &ledger, out, &class_names)
 }
@@ -601,8 +693,47 @@ struct Core {
     cursor: SimTime,
     recorder: WindowRecorder,
     out: Option<SharedOut>,
+    /// Live-stats hub (when the ops endpoint is enabled).
+    hub: Option<Arc<OpsHub>>,
+    /// Wall time of the last hub publish (throttles refreshes between
+    /// window closes).
+    last_pub: Instant,
+    /// Latest closed telemetry window, republished with every snapshot.
+    last_window: Option<WindowStats>,
+    /// Accepted-request trace recorder (when trace recording is enabled).
+    trace: Option<TraceBuffer>,
     counters: Counters,
     per_class: Vec<PerClass>,
+}
+
+/// Builds and publishes one core's [`ChannelSnapshot`] (free function so
+/// `seal` can call it after the recorder has been consumed).
+fn publish_snapshot(
+    hub: &OpsHub,
+    channel: u32,
+    counters: &Counters,
+    live: usize,
+    scheduler: &HybridScheduler,
+    last_window: &Option<WindowStats>,
+) {
+    hub.publish(
+        channel,
+        ChannelSnapshot {
+            accepted: counters.accepted,
+            served_push: counters.served_push,
+            served_pull: counters.served_pull,
+            shed: counters.shed,
+            timed_out: counters.timed_out,
+            uplink_lost: counters.uplink_lost,
+            push_tx: counters.push_tx,
+            pull_tx: counters.pull_tx,
+            live: live as u64,
+            queue_items: scheduler.queue().len() as u32,
+            queue_requests: scheduler.queue().total_requests() as u32,
+            cutoff_k: scheduler.cutoff() as u32,
+            last_window: last_window.clone(),
+        },
+    );
 }
 
 /// One JSONL line tagging a serializable payload with its kind and the
@@ -626,6 +757,7 @@ fn jsonl_line(kind: &str, channel: u32, field: &str, payload: &impl Serialize) -
 }
 
 impl Core {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         config: &ServeConfig,
         channel: u32,
@@ -633,6 +765,8 @@ impl Core {
         scenario: &hybridcast_workload::scenario::Scenario,
         clock: WallClock,
         out: Option<SharedOut>,
+        hub: Option<Arc<OpsHub>>,
+        trace: Option<TraceBuffer>,
     ) -> Core {
         let num_classes = scenario.classes.len();
         let recorder = WindowRecorder::new(
@@ -668,6 +802,10 @@ impl Core {
             cursor: SimTime::ZERO,
             recorder,
             out,
+            hub,
+            last_pub: Instant::now(),
+            last_window: None,
+            trace,
             counters: Counters {
                 accepted: 0,
                 shed: 0,
@@ -800,6 +938,26 @@ impl Core {
                 let _ = writeln!(w, "{}", jsonl_line("window", channel, "stats", stats));
             }
         }
+        // Final hub refresh (with the closed partial tail window) and
+        // trace-buffer flush before the books are handed back. (The
+        // recorder was consumed above, so the snapshot is published via
+        // field borrows, not `self.publish`.)
+        if let Some(last) = tail.windows.last() {
+            self.last_window = Some(last.clone());
+        }
+        if let Some(hub) = &self.hub {
+            publish_snapshot(
+                hub,
+                self.channel,
+                &self.counters,
+                self.live.len(),
+                &self.scheduler,
+                &self.last_window,
+            );
+        }
+        if let Some(trace) = &mut self.trace {
+            trace.finish();
+        }
         SealedCore {
             channel,
             counters: self.counters,
@@ -837,6 +995,19 @@ impl Core {
         if deadline_ms > 0 {
             let due = ing.ingest + SimDuration::new(deadline_ms as f64 / self.unit_millis);
             self.timeouts.push(std::cmp::Reverse((due, id)));
+        }
+        // Record the scheduler-ingested stream (raw stamp, effective
+        // deadline) — front-end sheds never reach a core and are not
+        // traced; replay reproduces the scheduler's books, not the
+        // socket layer's.
+        if let Some(trace) = &mut self.trace {
+            trace.push(&TraceRecord {
+                arrival: ing.ingest.as_f64(),
+                item: ing.item.0,
+                class: ing.class.0,
+                channel: self.channel as u8,
+                deadline_ms,
+            });
         }
         self.live.insert(
             id,
@@ -1141,25 +1312,52 @@ impl Core {
     }
 
     fn stream_windows(&mut self) {
-        if self.out.is_none() {
+        if self.out.is_none() && self.hub.is_none() {
             return;
         }
         let closed = self.recorder.drain_closed();
-        if closed.is_empty() {
-            return;
-        }
-        let channel = self.channel;
-        if let Some(out) = &self.out {
-            let mut w = out.lock().expect("jsonl writer lock");
-            for stats in &closed {
-                if writeln!(w, "{}", jsonl_line("window", channel, "stats", stats)).is_err() {
+        if !closed.is_empty() {
+            self.last_window = closed.last().cloned();
+            let channel = self.channel;
+            if let Some(out) = &self.out {
+                let mut w = out.lock().expect("jsonl writer lock");
+                let mut failed = false;
+                for stats in &closed {
+                    if writeln!(w, "{}", jsonl_line("window", channel, "stats", stats)).is_err() {
+                        failed = true;
+                        break;
+                    }
+                }
+                if failed {
                     drop(w);
                     self.out = None;
-                    return;
+                } else {
+                    let _ = w.flush();
                 }
             }
-            let _ = w.flush();
         }
+        self.publish(!closed.is_empty());
+    }
+
+    /// Publishes this core's snapshot to the ops hub: immediately when
+    /// `force` (a window just closed, or seal), otherwise at most every
+    /// [`PUBLISH_EVERY`].
+    fn publish(&mut self, force: bool) {
+        let Some(hub) = &self.hub else {
+            return;
+        };
+        if !force && self.last_pub.elapsed() < PUBLISH_EVERY {
+            return;
+        }
+        self.last_pub = Instant::now();
+        publish_snapshot(
+            hub,
+            self.channel,
+            &self.counters,
+            self.live.len(),
+            &self.scheduler,
+            &self.last_window,
+        );
     }
 
     /// Earliest instant anything is due: the in-flight completion, a

@@ -16,7 +16,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use hybridcast_sim::quantile::P2Dual;
+use hybridcast_sim::quantile::{P2Dual, P2Quantile};
 use hybridcast_sim::time::SimTime;
 use hybridcast_workload::catalog::Catalog;
 use hybridcast_workload::classes::ClassSet;
@@ -108,21 +108,27 @@ impl GaugeTrack {
 /// how hot a window gets.
 const EXACT_DELAY_CAP: usize = 4096;
 
-/// Exact ceil-rank (p50, p95) of `delays` via two partial selections —
-/// the same convention as `P2Dual`'s small-stream fallback.
-fn exact_p50_p95(delays: &[f64]) -> (Option<f64>, Option<f64>) {
+/// Exact ceil-rank (p50, p95, p99) of `delays` via three partial
+/// selections — the same convention as `P2Dual`'s small-stream fallback.
+/// Selecting the p99 rank first lets the lower ranks select within ever
+/// smaller prefixes.
+#[allow(clippy::type_complexity)]
+fn exact_quantiles(delays: &[f64]) -> (Option<f64>, Option<f64>, Option<f64>) {
     let n = delays.len();
     if n == 0 {
-        return (None, None);
+        return (None, None, None);
     }
     let mut scratch = delays.to_vec();
+    let i99 = ((0.99 * n as f64).ceil() as usize).clamp(1, n) - 1;
     let i95 = ((0.95 * n as f64).ceil() as usize).clamp(1, n) - 1;
     let i50 = ((0.5 * n as f64).ceil() as usize).clamp(1, n) - 1;
     let cmp = |a: &f64, b: &f64| a.partial_cmp(b).expect("finite");
-    let (_, p95, _) = scratch.select_nth_unstable_by(i95, cmp);
+    let (_, p99, _) = scratch.select_nth_unstable_by(i99, cmp);
+    let p99 = *p99;
+    let (_, p95, _) = scratch[..=i99].select_nth_unstable_by(i95, cmp);
     let p95 = *p95;
     let (_, p50, _) = scratch[..=i95].select_nth_unstable_by(i50, cmp);
-    (Some(*p50), Some(p95))
+    (Some(*p50), Some(p95), Some(p99))
 }
 
 /// Per-class accumulators for the current window.
@@ -150,6 +156,7 @@ struct ClassAccum {
     delay_max: f64,
     delays: Vec<f64>,
     delay_q: Option<P2Dual>,
+    delay_q99: Option<P2Quantile>,
     stretch_sum: f64,
 }
 
@@ -168,6 +175,7 @@ impl ClassAccum {
             delay_max: f64::NEG_INFINITY,
             delays: Vec::new(),
             delay_q: None,
+            delay_q99: None,
             stretch_sum: 0.0,
         }
     }
@@ -185,6 +193,10 @@ impl ClassAccum {
     fn push_delay(&mut self, delay: f64) {
         if let Some(q) = &mut self.delay_q {
             q.push(delay);
+            self.delay_q99
+                .as_mut()
+                .expect("engaged together")
+                .push(delay);
         } else {
             self.delays.push(delay);
             if self.delays.len() >= EXACT_DELAY_CAP {
@@ -198,18 +210,25 @@ impl ClassAccum {
     #[inline(never)]
     fn engage_p2(&mut self) {
         let mut q = P2Dual::new(0.5, 0.95);
+        let mut q99 = P2Quantile::new(0.99);
         for &d in &self.delays {
             q.push(d);
+            q99.push(d);
         }
         self.delays.clear();
         self.delay_q = Some(q);
+        self.delay_q99 = Some(q99);
     }
 
     fn snapshot(&self, width: f64) -> ClassWindow {
         let n = self.served;
-        let (p50, p95) = match &self.delay_q {
-            Some(q) => (q.estimate_lo(), q.estimate_hi()),
-            None => exact_p50_p95(&self.delays),
+        let (p50, p95, p99) = match &self.delay_q {
+            Some(q) => (
+                q.estimate_lo(),
+                q.estimate_hi(),
+                self.delay_q99.as_ref().and_then(|q| q.estimate()),
+            ),
+            None => exact_quantiles(&self.delays),
         };
         ClassWindow {
             arrivals: self.arrivals,
@@ -224,6 +243,7 @@ impl ClassAccum {
             delay_mean: (n > 0).then(|| self.delay_sum / n as f64),
             delay_p50: p50,
             delay_p95: p95,
+            delay_p99: p99,
             delay_max: (n > 0).then_some(self.delay_max),
             stretch_mean: (n > 0).then(|| self.stretch_sum / n as f64),
             blocking_ratio: if self.arrivals > 0 {
@@ -270,6 +290,10 @@ pub struct ClassWindow {
     pub delay_p50: Option<f64>,
     /// 95th-percentile access delay (exact up to 4096 completions, P² beyond).
     pub delay_p95: Option<f64>,
+    /// 99th-percentile access delay (exact up to 4096 completions, P² beyond;
+    /// `None` for series recorded before the field existed).
+    #[serde(default)]
+    pub delay_p99: Option<f64>,
     /// Worst access delay.
     pub delay_max: Option<f64>,
     /// Mean stretch (delay / item length) of completions.
@@ -610,6 +634,7 @@ mod tests {
         let c = &w.per_class[0];
         assert_eq!(c.served, 2);
         assert_eq!(c.delay_mean, Some(6.0));
+        assert_eq!(c.delay_p99, Some(8.0), "exact ceil-rank p99 of {{4, 8}}");
         assert_eq!(c.delay_max, Some(8.0));
         assert_eq!(c.stretch_mean, Some(0.75));
         assert!(

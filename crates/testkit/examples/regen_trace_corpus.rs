@@ -1,0 +1,30 @@
+//! Regenerates the committed trace corpus (`crates/testkit/traces/`)
+//! byte-for-byte from the deterministic generator:
+//!
+//! ```text
+//! cargo run -p hybridcast-testkit --example regen_trace_corpus
+//! ```
+//!
+//! A unit test pins the committed bytes to this generator's output, so
+//! editing [`hybridcast_testkit::trace_corpus::smoke_case`] (or the
+//! seed/length constants) requires re-running this and committing the
+//! result.
+
+use hybridcast_testkit::trace_corpus::{
+    committed_trace_dir, smoke_case, synthesize_trace, write_trace, SMOKE_RECORDS, SMOKE_SEED,
+};
+
+fn main() {
+    let dir = committed_trace_dir();
+    std::fs::create_dir_all(&dir).expect("corpus dir");
+    let case = smoke_case();
+    let trace = synthesize_trace(&case, SMOKE_SEED, SMOKE_RECORDS);
+    let hct = dir.join("smoke.hct");
+    write_trace(&hct, &trace).expect("write trace");
+    std::fs::write(dir.join("smoke.json"), case.to_json()).expect("write sidecar");
+    println!(
+        "wrote {} ({} records) and its sidecar",
+        hct.display(),
+        trace.records.len()
+    );
+}

@@ -19,7 +19,9 @@
 //! * [`shrink`] — greedy fixpoint minimization (the vendored proptest has
 //!   no shrinking, so the testkit brings its own);
 //! * [`mutation`] — hand-seeded bugs for oracle validation;
-//! * [`corpus`] — the fuzz loop and the committed-corpus replay path.
+//! * [`corpus`] — the fuzz loop and the committed-corpus replay path;
+//! * [`trace_corpus`] — committed binary serving traces, double-replayed
+//!   to pin the record→replay determinism contract.
 
 pub mod case;
 pub mod corpus;
@@ -27,6 +29,7 @@ pub mod generate;
 pub mod mutation;
 pub mod oracle;
 pub mod shrink;
+pub mod trace_corpus;
 
 pub use case::FuzzCase;
 pub use corpus::{committed_corpus_dir, fuzz, load_corpus, replay_corpus, FuzzFailure, FuzzReport};
@@ -34,3 +37,7 @@ pub use generate::generate_case;
 pub use mutation::{MutatingSink, Mutation, NegatedPolicy, ALL_MUTATIONS};
 pub use oracle::{check_dominance, run_case, run_case_with_policy, CaseOutcome, OracleSink};
 pub use shrink::shrink;
+pub use trace_corpus::{
+    committed_trace_dir, load_trace_corpus, replay_trace_corpus, replay_twice, synthesize_trace,
+    TraceCase, TraceCorpusEntry,
+};
