@@ -368,6 +368,7 @@ pub fn adaptive_vs_static(thetas: &[f64], alpha: f64, scale: &RunScale) -> Figur
             candidate_ks: ks.clone(),
             smoothing: 0.5,
             rerank: false,
+            controller: None,
         };
         let out = simulate_adaptive(
             &scenario,
@@ -443,6 +444,7 @@ pub fn drift_tracking(shifts: &[usize], scale: &RunScale) -> FigureData {
             candidate_ks: default_ks(),
             smoothing: 0.5,
             rerank: false,
+            controller: None,
         };
         k_only_cost.push(
             simulate_adaptive(&scenario, &cfg, &params, &base_adaptive)

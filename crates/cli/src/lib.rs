@@ -20,6 +20,7 @@
 use serde::{Deserialize, Serialize};
 
 use hybridcast_analysis::hybrid_model::{HybridDelayModel, ModelDelays};
+use hybridcast_core::adaptive::ControllerConfig;
 use hybridcast_core::churn::{simulate_with_churn, ChurnConfig, ChurnReport};
 use hybridcast_core::config::HybridConfig;
 use hybridcast_core::cutoff::{CutoffOptimizer, CutoffSweep, Objective};
@@ -138,6 +139,18 @@ impl ExperimentConfig {
     /// The telemetry recorder config, when telemetry is enabled.
     pub fn telemetry_config(&self) -> Option<TelemetryConfig> {
         self.telemetry.map(TelemetryConfig::new)
+    }
+
+    /// Arms the online cutoff controller (the `--adaptive` flag): fills
+    /// in a default `adaptive` block when the config has none, and adds
+    /// a default hysteresis controller when the block only describes the
+    /// sweep-based re-optimizer. An already-configured controller is
+    /// left untouched, so the flag is idempotent over explicit configs.
+    pub fn enable_controller(&mut self) {
+        let adaptive = self.adaptive.get_or_insert_with(AdaptiveConfig::default);
+        if adaptive.controller.is_none() {
+            adaptive.controller = Some(ControllerConfig::default());
+        }
     }
 }
 
@@ -490,10 +503,53 @@ mod tests {
             candidate_ks: vec![20, 40, 60],
             smoothing: 0.5,
             rerank: false,
+            controller: None,
         });
         let out = run_adaptive(&cfg);
         assert!(!out.retunes.is_empty());
         assert!([20, 40, 60].contains(&out.final_k));
+    }
+
+    #[test]
+    fn enable_controller_arms_the_online_controller() {
+        // No adaptive block at all: the flag installs both.
+        let mut cfg = quick_cfg();
+        cfg.adaptive = None;
+        cfg.enable_controller();
+        let armed = cfg.adaptive.as_ref().unwrap();
+        assert!(armed.controller.is_some());
+
+        // Sweep-only block: the controller is added, the sweep kept.
+        let mut cfg = quick_cfg();
+        cfg.adaptive = Some(AdaptiveConfig {
+            candidate_ks: vec![15, 35],
+            controller: None,
+            ..AdaptiveConfig::default()
+        });
+        cfg.enable_controller();
+        let armed = cfg.adaptive.as_ref().unwrap();
+        assert_eq!(armed.candidate_ks, vec![15, 35]);
+        assert!(armed.controller.is_some());
+
+        // Explicit controller: idempotent, nothing overwritten.
+        let mut cfg = quick_cfg();
+        cfg.adaptive = Some(AdaptiveConfig {
+            controller: Some(ControllerConfig {
+                step: 7,
+                ..ControllerConfig::default()
+            }),
+            ..AdaptiveConfig::default()
+        });
+        cfg.enable_controller();
+        let ctrl = cfg.adaptive.as_ref().unwrap().controller.as_ref().unwrap();
+        assert_eq!(ctrl.step, 7);
+
+        // The armed config drives a real controller-backed run.
+        let mut cfg = quick_cfg();
+        cfg.adaptive = None;
+        cfg.enable_controller();
+        let out = run_adaptive(&cfg);
+        assert!(out.final_k <= 100);
     }
 
     #[test]

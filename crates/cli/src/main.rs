@@ -58,6 +58,11 @@ USAGE:
                                           RTT quantiles as JSON
 
 OPTIONS:
+    --adaptive            retune the cutoff online from windowed telemetry
+                          (hysteresis-banded controller with SLO guards;
+                          arms a default controller when the config has no
+                          `adaptive` block) and report the retune ledger
+                          alongside the books (simulate)
     --replications <N>    run N independent replications in parallel and
                           report means with 95% confidence intervals
                           (simulate, summary, optimize)
@@ -138,6 +143,17 @@ fn take_channels(
         channels,
         assignment: hybridcast_core::config::AssignmentStrategy::PatternAware,
     }))
+}
+
+/// Strips the bare `--adaptive` flag: route `simulate` through the
+/// online cutoff controller instead of a fixed `K`.
+fn take_adaptive(args: &mut Vec<String>) -> bool {
+    if let Some(i) = args.iter().position(|a| a == "--adaptive") {
+        args.remove(i);
+        true
+    } else {
+        false
+    }
 }
 
 /// Pulls `--flag <value>` out of `args`, parsing the value as `T`.
@@ -468,6 +484,7 @@ fn run() -> Result<(), String> {
     let replications = take_replications(&mut args)?;
     let telemetry = take_telemetry(&mut args)?;
     let channels = take_channels(&mut args)?;
+    let adaptive = take_adaptive(&mut args);
     let (cmd, path) = match args.as_slice() {
         [cmd] if cmd == "init-config" => {
             println!("{}", ExperimentConfig::default().to_json());
@@ -486,7 +503,22 @@ fn run() -> Result<(), String> {
     if let Some(layout) = channels {
         cfg.hybrid.channels = layout;
     }
+    if adaptive {
+        cfg.enable_controller();
+    }
     match cmd {
+        "simulate" | "adaptive" if adaptive => {
+            let out = run_adaptive(&cfg);
+            eprintln!(
+                "adaptive: {} retune window(s), final K = {}",
+                out.retunes.len(),
+                out.final_k
+            );
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&out).expect("report serializes")
+            );
+        }
         "simulate" if cfg.telemetry.is_some() => {
             if cfg.effective_replications() > 1 {
                 let (report, series) = run_simulate_replicated_telemetry(&cfg);

@@ -229,6 +229,28 @@ impl BandwidthManager {
     pub fn capacity(&self, class: ClassId) -> f64 {
         self.capacity[class.index()]
     }
+
+    /// Repartitions the per-class capacities to `shares` (normalized
+    /// internally), keeping the total pool unchanged. Only meaningful
+    /// under [`BandwidthPolicy::PerClass`]; a no-op otherwise.
+    /// Outstanding grants keep their reservations — a shrunken partition
+    /// may transiently sit above its new capacity until they drain.
+    pub fn set_shares(&mut self, shares: &[f64]) {
+        if !matches!(self.policy, BandwidthPolicy::PerClass) {
+            return;
+        }
+        assert_eq!(shares.len(), self.capacity.len(), "one share per class");
+        assert!(
+            shares.iter().all(|s| s.is_finite() && *s >= 0.0),
+            "shares must be finite and non-negative"
+        );
+        let norm: f64 = shares.iter().sum();
+        assert!(norm > 0.0, "shares must not all be zero");
+        let total: f64 = self.capacity.iter().sum();
+        for (cap, &s) in self.capacity.iter_mut().zip(shares) {
+            *cap = s / norm * total;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -250,6 +250,13 @@ impl HybridScheduler {
         &self.bandwidth
     }
 
+    /// Repartitions per-class bandwidth to `shares` (see
+    /// [`BandwidthManager::set_shares`]) — the online controller's
+    /// rebalance mode steers capacity toward measured demand this way.
+    pub fn rebalance_bandwidth(&mut self, shares: &[f64]) {
+        self.bandwidth.set_shares(shares);
+    }
+
     /// Feeds one incoming request to the server.
     pub fn on_request(&mut self, req: &Request) -> Disposition {
         if self.is_push_item(req.item) {

@@ -16,6 +16,8 @@
 //!   and blocking;
 //! * [`hybrid`] — the Fig. 1 dispatch loop tying it all together;
 //! * [`sim_driver`] — the event-driven end-to-end simulation;
+//! * [`adaptive`] — the online cutoff controller: hysteresis-banded hill
+//!   climbing on measured windowed cost, with per-class SLO rescue;
 //! * [`clock`] — the sim-time/wall-time seam the serving daemon drives the
 //!   same scheduler core through;
 //! * [`shard`] — per-shard SPSC ingress rings + doorbell, the seam between
@@ -52,6 +54,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod adaptive;
 pub mod bandwidth;
 pub mod churn;
 pub mod clock;
@@ -70,6 +73,9 @@ pub mod uplink;
 
 /// One-stop imports for scheduler users.
 pub mod prelude {
+    pub use crate::adaptive::{
+        ControllerConfig, ControllerDecision, CutoffController, PlantedControllerBugs, SloConfig,
+    };
     pub use crate::bandwidth::{BandwidthConfig, BandwidthManager, BandwidthPolicy, Grant};
     pub use crate::churn::{
         simulate_with_churn, simulate_with_churn_sink, ChurnConfig, ChurnReport,
@@ -89,13 +95,13 @@ pub mod prelude {
     pub use crate::sharded::{ChannelPlan, ShardedScheduler};
     pub use crate::sim_driver::{
         simulate, simulate_adaptive, simulate_adaptive_telemetry, simulate_adaptive_with_sink,
-        simulate_harness, simulate_replicated, simulate_telemetry, simulate_with_sink,
-        simulate_with_source, AdaptiveConfig, AdaptiveReport, FaultSpec, HarnessReport,
-        PendingCensus, RetuneRecord, SimParams,
+        simulate_adaptive_with_source, simulate_harness, simulate_replicated, simulate_telemetry,
+        simulate_with_sink, simulate_with_source, AdaptiveConfig, AdaptiveReport, FaultSpec,
+        HarnessReport, PendingCensus, RetuneRecord, SimParams,
     };
     pub use crate::uplink::{UplinkChannel, UplinkConfig, UplinkOutcome};
     pub use hybridcast_telemetry::{
-        AggregatedSeries, NullSink, Sink, TelemetryConfig, TelemetryEvent, TimeSeries, VecSink,
-        WindowRecorder,
+        AggregatedSeries, FeedbackSnapshot, FeedbackWindow, NullSink, Sink, TelemetryConfig,
+        TelemetryEvent, TimeSeries, VecSink, WindowRecorder,
     };
 }

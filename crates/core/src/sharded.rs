@@ -361,6 +361,19 @@ impl ShardedScheduler {
         self.shards[0].set_push_set(items, now)
     }
 
+    /// Single-channel delegate of [`HybridScheduler::rebalance_bandwidth`].
+    ///
+    /// # Panics
+    /// Panics on a multi-channel layout.
+    pub fn rebalance_bandwidth(&mut self, shares: &[f64]) {
+        assert_eq!(
+            self.shards.len(),
+            1,
+            "bandwidth rebalancing needs one channel"
+        );
+        self.shards[0].rebalance_bandwidth(shares);
+    }
+
     /// Re-inserts a former broadcast waiter into its owning shard's pull
     /// queue (see [`HybridScheduler::requeue_waiter`]).
     pub fn requeue_waiter(&mut self, req: &Request, now: SimTime) {

@@ -28,6 +28,7 @@ use hybridcast_workload::classes::ClassId;
 use hybridcast_workload::requests::RequestSource;
 use hybridcast_workload::scenario::Scenario;
 
+use crate::adaptive::{ControllerConfig, CutoffController};
 use crate::config::{ChannelLayout, HybridConfig};
 use crate::hybrid::Transmission;
 use crate::metrics::{MetricsCollector, SimReport, TxKind};
@@ -36,7 +37,8 @@ use crate::sharded::ShardedScheduler;
 use crate::uplink::{UplinkChannel, UplinkOutcome};
 use hybridcast_analysis::hybrid_model::HybridDelayModel;
 use hybridcast_telemetry::{
-    emit, NullSink, ServiceKind, Sink, TelemetryConfig, TelemetryEvent, TimeSeries, WindowRecorder,
+    emit, FeedbackWindow, NullSink, ServiceKind, Sink, TelemetryConfig, TelemetryEvent, TimeSeries,
+    WindowRecorder,
 };
 use hybridcast_workload::catalog::ItemId;
 use hybridcast_workload::requests::Request;
@@ -296,6 +298,16 @@ pub struct AdaptiveConfig {
     /// probabilities". Essential under popularity drift.
     #[serde(default)]
     pub rerank: bool,
+    /// When set, the *measured-feedback* controller
+    /// ([`crate::adaptive::CutoffController`]) replaces the model-argmin
+    /// retune: `K` moves by hysteresis-banded hill climbing on the
+    /// windowed prioritized cost instead of by re-solving the analytic
+    /// model. `None` (the default, and what every pre-existing config
+    /// deserializes to) keeps the original open-loop path bit-identical.
+    /// Skipped when absent so pre-existing configs re-serialize to the
+    /// same canonical JSON.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub controller: Option<ControllerConfig>,
 }
 
 impl Default for AdaptiveConfig {
@@ -305,6 +317,7 @@ impl Default for AdaptiveConfig {
             candidate_ks: (10..=90).step_by(10).collect(),
             smoothing: 0.5,
             rerank: false,
+            controller: None,
         }
     }
 }
@@ -320,6 +333,22 @@ pub struct RetuneRecord {
     pub to_k: usize,
     /// The arrival rate estimated over the last window.
     pub estimated_lambda: f64,
+    /// Measured prioritized cost the decision was taken on
+    /// (measured-feedback controller only; the model-argmin path records
+    /// `None`).
+    #[serde(default)]
+    pub measured_cost: Option<f64>,
+    /// Arrivals in the window the decision was taken on.
+    #[serde(default)]
+    pub window_arrivals: u64,
+    /// The controller's SLO rescue path fired (a starved class forced the
+    /// cutoff upward, overriding the hill climb).
+    #[serde(default)]
+    pub slo_rescue: bool,
+    /// The decision held the incumbent cutoff (inside the hysteresis
+    /// band, idle window, or clamped at the band edge).
+    #[serde(default)]
+    pub held: bool,
 }
 
 /// Result of an adaptive run: the usual report plus the cutoff trajectory.
@@ -339,6 +368,10 @@ struct AdaptiveState {
     alpha: f64,
     window_counts: Vec<u64>,
     retunes: Vec<RetuneRecord>,
+    /// Present when `config.controller` is set: the measured-feedback
+    /// control loop and its per-window measurement seam.
+    controller: Option<CutoffController>,
+    feedback: FeedbackWindow,
 }
 
 /// RNG stream id for uplink contention draws.
@@ -561,6 +594,7 @@ impl<S: Sink> Driver<'_, S> {
                 debug_assert_eq!(req.arrival, now);
                 if let Some(state) = &mut self.adaptive {
                     state.window_counts[req.item.index()] += 1;
+                    state.feedback.note_arrival(req.class.index());
                 }
                 self.metrics.on_request(req.class, req.arrival);
                 emit(self.sink, || TelemetryEvent::RequestArrival {
@@ -659,6 +693,11 @@ impl<S: Sink> Driver<'_, S> {
                                 });
                             } else {
                                 served += 1;
+                                if let Some(state) = &mut self.adaptive {
+                                    state
+                                        .feedback
+                                        .note_served(w.class.index(), (now - w.arrival).as_f64());
+                                }
                                 self.metrics
                                     .record_served(w.class, TxKind::Push, w.arrival, now);
                                 emit(self.sink, || TelemetryEvent::RequestServed {
@@ -677,6 +716,11 @@ impl<S: Sink> Driver<'_, S> {
                     TxKind::Pull => {
                         if let Some(batch) = self.scheduler.complete_transmission(channel, tx) {
                             for &(arrival, class) in &batch.requesters {
+                                if let Some(state) = &mut self.adaptive {
+                                    state
+                                        .feedback
+                                        .note_served(class.index(), (now - arrival).as_f64());
+                                }
                                 self.metrics
                                     .record_served(class, TxKind::Pull, arrival, now);
                                 emit(self.sink, || TelemetryEvent::RequestServed {
@@ -805,6 +849,14 @@ impl<S: Sink> Driver<'_, S> {
     /// over the last window, pick the model-optimal cutoff among the
     /// candidates, and migrate server state across the new boundary.
     fn retune(&mut self, now: SimTime) {
+        if self
+            .adaptive
+            .as_ref()
+            .is_some_and(|s| s.controller.is_some())
+        {
+            self.retune_measured(now);
+            return;
+        }
         let Some(state) = &mut self.adaptive else {
             return;
         };
@@ -872,12 +924,73 @@ impl<S: Sink> Driver<'_, S> {
             from_k,
             to_k: best_k,
             estimated_lambda: lambda_est,
+            measured_cost: None,
+            window_arrivals: total,
+            slo_rescue: false,
+            held: best_k == from_k,
         });
         for c in &mut state.window_counts {
             *c = 0;
         }
+        state.feedback.take();
         let target: Vec<ItemId> = order[..best_k].iter().map(|&i| ItemId(i as u32)).collect();
         self.apply_push_target(&target, now);
+        self.audit_now(now);
+    }
+
+    /// The measured-feedback twin of [`retune`](Self::retune): seals the
+    /// window, asks the [`CutoffController`] for the next cutoff, records
+    /// the full decision, and applies the move through the same migration
+    /// ledger as every other cutoff change.
+    fn retune_measured(&mut self, now: SimTime) {
+        let from_k = self.scheduler.cutoff();
+        let catalog_len = self.scheduler.catalog().len();
+        let state = self
+            .adaptive
+            .as_mut()
+            .expect("measured retune needs adaptive state");
+        let snapshot = state.feedback.take();
+        let decision = state
+            .controller
+            .as_mut()
+            .expect("checked by retune")
+            .decide(from_k, snapshot, catalog_len);
+        state.retunes.push(RetuneRecord {
+            time: now.as_f64(),
+            from_k,
+            to_k: decision.target_k,
+            estimated_lambda: decision.window_arrivals as f64 / state.config.period,
+            measured_cost: decision.measured_cost,
+            window_arrivals: decision.window_arrivals,
+            slo_rescue: decision.slo_rescue,
+            held: decision.held,
+        });
+        // Membership: under re-ranking the push set is the top-`K` items by
+        // windowed popularity (same estimate the model path uses); otherwise
+        // the static rank prefix.
+        let order: Vec<usize> = if state.config.rerank {
+            let counts = &state.window_counts;
+            if counts.iter().all(|&c| c == 0) {
+                (0..catalog_len).collect()
+            } else {
+                let mut idx: Vec<usize> = (0..counts.len()).collect();
+                idx.sort_by(|&a, &b| counts[b].cmp(&counts[a]).then(a.cmp(&b)));
+                idx
+            }
+        } else {
+            (0..catalog_len).collect()
+        };
+        for c in &mut state.window_counts {
+            *c = 0;
+        }
+        let target: Vec<ItemId> = order[..decision.target_k]
+            .iter()
+            .map(|&i| ItemId(i as u32))
+            .collect();
+        self.apply_push_target(&target, now);
+        if let Some(shares) = &decision.shares {
+            self.scheduler.rebalance_bandwidth(shares);
+        }
         self.audit_now(now);
     }
 
@@ -1030,6 +1143,15 @@ fn run<S: Sink>(
         push_waiters: vec![Vec::new(); num_items],
         channel_busy: vec![false; shard_count as usize],
         adaptive: adaptive.map(|cfg| AdaptiveState {
+            controller: cfg.controller.as_ref().map(|ctrl| {
+                let weights: Vec<f64> = scenario
+                    .classes
+                    .ids()
+                    .map(|id| scenario.classes.priority(id))
+                    .collect();
+                CutoffController::new(ctrl.clone(), weights, cfg.period)
+            }),
+            feedback: FeedbackWindow::new(num_classes),
             config: cfg.clone(),
             alpha: policy_alpha(&hybrid.pull),
             window_counts: vec![0; num_items],
@@ -1179,7 +1301,7 @@ pub fn simulate_with_sink<S: Sink>(
     params: &SimParams,
     sink: &mut S,
 ) -> SimReport {
-    let source = Box::new(scenario.request_stream_replication(params.replication));
+    let source = scenario.request_source_replication(params.replication);
     run(
         scenario,
         hybrid,
@@ -1218,6 +1340,35 @@ pub fn simulate_with_source(
     .report
 }
 
+/// [`simulate_adaptive`] driven by an arbitrary [`RequestSource`] — e.g. a
+/// recorded trace replayed through the online cutoff controller, which is
+/// how the `adaptive_sweep` bench scores the controller on captured
+/// nonstationary traffic.
+pub fn simulate_adaptive_with_source(
+    scenario: &Scenario,
+    hybrid: &HybridConfig,
+    params: &SimParams,
+    adaptive: &AdaptiveConfig,
+    source: Box<dyn RequestSource>,
+) -> AdaptiveReport {
+    let out = run(
+        scenario,
+        hybrid,
+        params,
+        source,
+        Some(adaptive),
+        &[],
+        None,
+        false,
+        &mut NullSink,
+    );
+    AdaptiveReport {
+        report: out.report,
+        retunes: out.retunes,
+        final_k: out.final_k,
+    }
+}
+
 /// Runs one simulation with the paper's periodic cutoff re-optimization
 /// enabled: every `adaptive.period` broadcast units the server re-estimates
 /// item popularity and the aggregate rate from the last window, asks the
@@ -1242,7 +1393,7 @@ pub fn simulate_adaptive_with_sink<S: Sink>(
     adaptive: &AdaptiveConfig,
     sink: &mut S,
 ) -> AdaptiveReport {
-    let source = Box::new(scenario.request_stream_replication(params.replication));
+    let source = scenario.request_source_replication(params.replication);
     let out = run(
         scenario,
         hybrid,
@@ -1279,7 +1430,7 @@ pub fn simulate_harness<S: Sink>(
     policy: Option<Box<dyn PullPolicy>>,
     sink: &mut S,
 ) -> HarnessReport {
-    let source = Box::new(scenario.request_stream_replication(params.replication));
+    let source = scenario.request_source_replication(params.replication);
     let out = run(
         scenario, hybrid, params, source, adaptive, faults, policy, true, sink,
     );
@@ -1470,6 +1621,7 @@ mod tests {
             candidate_ks: (10..=90).step_by(10).collect(),
             smoothing: 0.5,
             rerank: false,
+            controller: None,
         };
         let out = simulate_adaptive(&scenario, &cfg, &SimParams::quick(), &adaptive);
         assert!(!out.retunes.is_empty(), "controller must fire");
@@ -1494,6 +1646,7 @@ mod tests {
             candidate_ks: vec![20, 40, 60],
             smoothing: 0.5,
             rerank: false,
+            controller: None,
         };
         let out = simulate_adaptive(&scenario, &cfg, &SimParams::quick(), &adaptive);
         assert!(out.final_k <= 60);
@@ -1540,6 +1693,7 @@ mod tests {
             candidate_ks: (10..=90).step_by(10).collect(),
             smoothing: 0.5,
             rerank: false,
+            controller: None,
         };
         let k_only = simulate_adaptive(&scenario, &cfg, &params, &base);
         let rerank_run = simulate_adaptive(
@@ -1566,6 +1720,79 @@ mod tests {
     }
 
     #[test]
+    fn measured_controller_climbs_out_of_a_bad_cutoff() {
+        use crate::adaptive::ControllerConfig;
+        let scenario = ScenarioConfig::icpp2005(0.6).build();
+        // Start from a deliberately bad cutoff with the measured-feedback
+        // controller in charge (no model, no candidate grid).
+        let cfg = HybridConfig::paper(5, 0.25);
+        let adaptive = AdaptiveConfig {
+            period: 250.0,
+            controller: Some(ControllerConfig {
+                step: 10,
+                ..ControllerConfig::default()
+            }),
+            ..AdaptiveConfig::default()
+        };
+        let out = simulate_adaptive(&scenario, &cfg, &SimParams::quick(), &adaptive);
+        assert!(out.retunes.len() >= 10, "one decision per window");
+        assert!(
+            out.final_k > 5,
+            "controller must leave the bad cutoff (final K = {})",
+            out.final_k
+        );
+        // every busy window carries the measured cost it was decided on
+        for r in &out.retunes {
+            if r.window_arrivals > 0 {
+                assert!(r.measured_cost.is_some(), "busy window without cost");
+                let lambda = r.window_arrivals as f64 / 250.0;
+                assert!((r.estimated_lambda - lambda).abs() < 1e-9);
+            }
+            assert!(
+                r.to_k.abs_diff(r.from_k) <= 10,
+                "move larger than one step: {} -> {}",
+                r.from_k,
+                r.to_k
+            );
+        }
+        // ...and the run must beat the static start it abandoned
+        let static_start = simulate(&scenario, &cfg, &SimParams::quick());
+        assert!(
+            out.report.total_prioritized_cost < static_start.total_prioritized_cost,
+            "controller {:.1} vs static start {:.1}",
+            out.report.total_prioritized_cost,
+            static_start.total_prioritized_cost
+        );
+    }
+
+    #[test]
+    fn measured_controller_respects_the_configured_band() {
+        use crate::adaptive::ControllerConfig;
+        let scenario = ScenarioConfig::icpp2005(1.0).build();
+        let cfg = HybridConfig::paper(30, 0.25);
+        let adaptive = AdaptiveConfig {
+            period: 200.0,
+            controller: Some(ControllerConfig {
+                step: 5,
+                k_min: 20,
+                k_max: 45,
+                ..ControllerConfig::default()
+            }),
+            ..AdaptiveConfig::default()
+        };
+        let out = simulate_adaptive(&scenario, &cfg, &SimParams::quick(), &adaptive);
+        for r in &out.retunes {
+            assert!(
+                (20..=45).contains(&r.to_k),
+                "t={}: K={} outside [20, 45]",
+                r.time,
+                r.to_k
+            );
+        }
+        assert!((20..=45).contains(&out.final_k));
+    }
+
+    #[test]
     fn rerank_without_drift_is_not_worse_than_prefix() {
         let scenario = ScenarioConfig::icpp2005(0.6).build();
         let cfg = HybridConfig::paper(40, 0.25);
@@ -1575,6 +1802,7 @@ mod tests {
             candidate_ks: (10..=90).step_by(10).collect(),
             smoothing: 0.5,
             rerank: false,
+            controller: None,
         };
         let adaptive_rerank = AdaptiveConfig {
             rerank: true,

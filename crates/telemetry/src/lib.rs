@@ -29,11 +29,13 @@
 
 pub mod aggregate;
 pub mod event;
+pub mod feedback;
 pub mod sink;
 pub mod window;
 
 pub use aggregate::{AggregatedClassWindow, AggregatedSeries, AggregatedWindow};
 pub use event::{ServiceKind, TelemetryEvent};
+pub use feedback::{FeedbackSnapshot, FeedbackWindow};
 pub use sink::{emit, NullSink, Sink, Tee, VecSink};
 pub use window::{
     ClassWindow, TelemetryConfig, TimeSeries, WindowRecorder, WindowStats, DEFAULT_WINDOW,

@@ -9,8 +9,11 @@
 use std::fs;
 use std::path::Path;
 
-use hybridcast_core::prelude::{AdaptiveConfig, FaultSpec, HybridConfig};
+use hybridcast_core::prelude::{
+    AdaptiveConfig, ControllerConfig, FaultSpec, HybridConfig, PlantedControllerBugs, SloConfig,
+};
 use hybridcast_testkit::{generate_case, run_case, FuzzCase};
+use hybridcast_workload::nonstationary::NonstationaryConfig;
 use hybridcast_workload::scenario::ScenarioConfig;
 
 fn main() {
@@ -66,6 +69,7 @@ fn main() {
                     candidate_ks: vec![10, 40, 70],
                     smoothing: 0.5,
                     rerank: false,
+                    controller: None,
                 }),
                 faults: vec![
                     FaultSpec::UplinkBurst {
@@ -87,6 +91,67 @@ fn main() {
                         k: 15,
                     },
                 ],
+            },
+        ),
+        (
+            "nonstat-theta-switch",
+            FuzzCase {
+                seed: 0,
+                scenario: ScenarioConfig {
+                    num_items: 40,
+                    arrival_rate: 2.0,
+                    nonstationary: Some(NonstationaryConfig::ThetaSwitch {
+                        at: 900.0,
+                        theta_after: 0.2,
+                    }),
+                    ..ScenarioConfig::icpp2005(0.9).with_seed(11)
+                },
+                hybrid: HybridConfig {
+                    cutoff: 12,
+                    ..HybridConfig::paper(12, 0.5)
+                },
+                horizon: 1_800.0,
+                adaptive: None,
+                faults: Vec::new(),
+            },
+        ),
+        (
+            "nonstat-flash-crowd",
+            FuzzCase {
+                seed: 0,
+                scenario: ScenarioConfig {
+                    num_items: 50,
+                    arrival_rate: 1.0,
+                    nonstationary: Some(NonstationaryConfig::FlashCrowd {
+                        start: 1_000.0,
+                        duration: 600.0,
+                        factor: 3.0,
+                    }),
+                    ..ScenarioConfig::icpp2005(0.6).with_seed(23)
+                },
+                hybrid: HybridConfig::paper(10, 0.5),
+                horizon: 3_000.0,
+                adaptive: Some(AdaptiveConfig {
+                    period: 300.0,
+                    candidate_ks: vec![10],
+                    smoothing: 0.5,
+                    rerank: false,
+                    controller: Some(ControllerConfig {
+                        step: 5,
+                        hysteresis: 0.05,
+                        cost_smoothing: 0.0,
+                        settle_windows: 0,
+                        k_min: 0,
+                        k_max: 50,
+                        slo: Some(SloConfig {
+                            grace_windows: 1,
+                            min_service_ratio: 0.0,
+                        }),
+                        rebalance: false,
+                        planted: PlantedControllerBugs::default(),
+                    }),
+                }),
+                faults: Vec::new(),
             },
         ),
     ];

@@ -10,12 +10,15 @@
 
 use hybridcast_core::bandwidth::{BandwidthConfig, BandwidthPolicy};
 use hybridcast_core::config::AssignmentStrategy;
-use hybridcast_core::prelude::{AdaptiveConfig, ChannelLayout, FaultSpec, HybridConfig};
+use hybridcast_core::prelude::{
+    AdaptiveConfig, ChannelLayout, ControllerConfig, FaultSpec, HybridConfig, SloConfig,
+};
 use hybridcast_core::pull::PullPolicyKind;
 use hybridcast_core::push::PushKind;
 use hybridcast_core::uplink::UplinkConfig;
 use hybridcast_sim::rng::Xoshiro256;
 use hybridcast_workload::classes::{ClassSet, ServiceClass};
+use hybridcast_workload::nonstationary::NonstationaryConfig;
 use hybridcast_workload::popularity::PopularityModel;
 use hybridcast_workload::requests::DriftConfig;
 use hybridcast_workload::scenario::ScenarioConfig;
@@ -111,6 +114,28 @@ fn gen_faults(rng: &mut Xoshiro256, horizon: f64, num_items: usize) -> Vec<Fault
         .collect()
 }
 
+/// Random nonstationary disturbance (all four variants of the family).
+fn gen_nonstationary(rng: &mut Xoshiro256, horizon: f64, num_items: usize) -> NonstationaryConfig {
+    match uniform_usize(rng, 0, 3) {
+        0 => NonstationaryConfig::FlashCrowd {
+            start: uniform(rng, 0.1, 0.5) * horizon,
+            duration: uniform(rng, 0.1, 0.3) * horizon,
+            factor: *pick(rng, &[0.3, 2.0, 3.0, 5.0]),
+        },
+        1 => NonstationaryConfig::DiurnalRotation {
+            period: uniform(rng, 0.1, 0.4) * horizon,
+            shift: uniform_usize(rng, 1, num_items.max(1)),
+        },
+        2 => NonstationaryConfig::ThetaSwitch {
+            at: uniform(rng, 0.2, 0.7) * horizon,
+            theta_after: *pick(rng, &[0.0, 0.6, 1.4]),
+        },
+        _ => NonstationaryConfig::Permutation {
+            at: uniform(rng, 0.2, 0.7) * horizon,
+        },
+    }
+}
+
 /// Deterministically grows one valid fuzz case from `seed`.
 pub fn generate_case(seed: u64) -> FuzzCase {
     let mut rng = Xoshiro256::new(seed ^ 0xF0FA_57C3_B00C_A5E5);
@@ -181,17 +206,41 @@ pub fn generate_case(seed: u64) -> FuzzCase {
         shift: uniform_usize(&mut rng, 1, 10),
     });
     let batch_mean = chance(&mut rng, 0.15).then(|| uniform(&mut rng, 1.5, 4.0));
+    // Nonstationary disturbances are source-level (they remap the request
+    // stream, not the scheduler), so every layout may carry one.
+    let nonstationary =
+        chance(&mut rng, 0.25).then(|| gen_nonstationary(&mut rng, horizon, num_items));
     let adaptive = chance(&mut rng, 0.2).then(|| {
         let mut ks: Vec<usize> = (0..uniform_usize(&mut rng, 1, 4))
             .map(|_| uniform_usize(&mut rng, 0, num_items))
             .collect();
         ks.sort_unstable();
         ks.dedup();
+        // Half the adaptive cases run the measured-feedback controller
+        // instead of the model-argmin path.
+        let controller = chance(&mut rng, 0.5).then(|| {
+            let k_min = uniform_usize(&mut rng, 0, num_items / 2);
+            ControllerConfig {
+                step: uniform_usize(&mut rng, 1, (num_items / 4).max(1)),
+                hysteresis: uniform(&mut rng, 0.0, 0.2),
+                cost_smoothing: uniform(&mut rng, 0.0, 0.8),
+                settle_windows: uniform_usize(&mut rng, 0, 2) as u32,
+                k_min,
+                k_max: uniform_usize(&mut rng, k_min, num_items),
+                slo: chance(&mut rng, 0.5).then(|| SloConfig {
+                    grace_windows: uniform_usize(&mut rng, 0, 2) as u32,
+                    min_service_ratio: uniform(&mut rng, 0.0, 0.9),
+                }),
+                rebalance: chance(&mut rng, 0.3),
+                planted: Default::default(),
+            }
+        });
         AdaptiveConfig {
             period: uniform(&mut rng, 0.2, 0.5) * horizon,
             candidate_ks: ks,
             smoothing: 0.5,
             rerank: chance(&mut rng, 0.5),
+            controller,
         }
     });
     let mut faults = gen_faults(&mut rng, horizon, num_items);
@@ -215,6 +264,7 @@ pub fn generate_case(seed: u64) -> FuzzCase {
             seed: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
             drift,
             batch_mean,
+            nonstationary,
             ..ScenarioConfig::default()
         },
         hybrid: HybridConfig {
@@ -275,6 +325,33 @@ mod tests {
         assert!(
             cases.iter().any(|c| c.hybrid.channels.shard_count() > 1),
             "multi-channel sharded corner"
+        );
+        assert!(
+            cases
+                .iter()
+                .any(|c| c.adaptive.as_ref().is_some_and(|a| a.controller.is_some())),
+            "measured-feedback controller runs"
+        );
+        let ns = |f: fn(&NonstationaryConfig) -> bool| {
+            cases
+                .iter()
+                .any(|c| c.scenario.nonstationary.as_ref().is_some_and(f))
+        };
+        assert!(
+            ns(|n| matches!(n, NonstationaryConfig::FlashCrowd { .. })),
+            "flash crowd corner"
+        );
+        assert!(
+            ns(|n| matches!(n, NonstationaryConfig::DiurnalRotation { .. })),
+            "diurnal rotation corner"
+        );
+        assert!(
+            ns(|n| matches!(n, NonstationaryConfig::ThetaSwitch { .. })),
+            "theta switch corner"
+        );
+        assert!(
+            ns(|n| matches!(n, NonstationaryConfig::Permutation { .. })),
+            "permutation corner"
         );
     }
 

@@ -47,6 +47,27 @@ fn drop_adaptive(case: &FuzzCase) -> Option<FuzzCase> {
     })
 }
 
+/// Falls back from the measured-feedback controller to the plain
+/// model-argmin retune (strictly less machinery, same adaptive cadence).
+fn drop_controller(case: &FuzzCase) -> Option<FuzzCase> {
+    case.adaptive
+        .as_ref()
+        .is_some_and(|a| a.controller.is_some())
+        .then(|| {
+            let mut out = case.clone();
+            out.adaptive.as_mut().expect("checked above").controller = None;
+            out
+        })
+}
+
+fn drop_nonstationary(case: &FuzzCase) -> Option<FuzzCase> {
+    case.scenario.nonstationary.is_some().then(|| {
+        let mut out = case.clone();
+        out.scenario.nonstationary = None;
+        out
+    })
+}
+
 fn drop_uplink(case: &FuzzCase) -> Option<FuzzCase> {
     case.hybrid.uplink.is_some().then(|| {
         let mut out = case.clone();
@@ -162,6 +183,10 @@ fn clamp_cutoffs(case: &mut FuzzCase) {
         }
         adaptive.candidate_ks.sort_unstable();
         adaptive.candidate_ks.dedup();
+        if let Some(ctrl) = &mut adaptive.controller {
+            ctrl.k_min = ctrl.k_min.min(d);
+            ctrl.k_max = ctrl.k_max.min(d).max(ctrl.k_min);
+        }
     }
 }
 
@@ -170,7 +195,9 @@ fn clamp_cutoffs(case: &mut FuzzCase) {
 const TRANSFORMS: &[Transform] = &[
     drop_one_fault,
     drop_last_fault,
+    drop_controller,
     drop_adaptive,
+    drop_nonstationary,
     drop_uplink,
     lift_admission_control,
     drop_drift_and_batching,
@@ -252,6 +279,11 @@ mod tests {
             candidate_ks: vec![2, 8, 10],
             smoothing: 0.5,
             rerank: false,
+            controller: Some(hybridcast_core::prelude::ControllerConfig {
+                k_min: 4,
+                k_max: 10,
+                ..Default::default()
+            }),
         });
         // Keep the adaptive block but halve the catalog: ks must clamp.
         let minimized = shrink(&case, |c| c.adaptive.is_some());
@@ -259,5 +291,33 @@ mod tests {
         assert!(minimized.hybrid.cutoff <= d);
         let ks = &minimized.adaptive.as_ref().unwrap().candidate_ks;
         assert!(ks.iter().all(|&k| k <= d), "{ks:?} vs D = {d}");
+    }
+
+    #[test]
+    fn controller_band_stays_inside_the_shrunk_catalog() {
+        let mut case = generate_case(11);
+        case.scenario.num_items = 10;
+        case.hybrid.cutoff = 10;
+        case.adaptive = Some(hybridcast_core::prelude::AdaptiveConfig {
+            period: 100.0,
+            candidate_ks: vec![5],
+            smoothing: 0.5,
+            rerank: false,
+            controller: Some(hybridcast_core::prelude::ControllerConfig {
+                k_min: 6,
+                k_max: 10,
+                ..Default::default()
+            }),
+        });
+        // The failure "needs" the controller, so only the catalog shrinks
+        // around it — the band must follow.
+        let minimized = shrink(&case, |c| {
+            c.adaptive.as_ref().is_some_and(|a| a.controller.is_some())
+        });
+        let d = minimized.scenario.num_items;
+        let adaptive = minimized.adaptive.as_ref().unwrap();
+        let ctrl = adaptive.controller.as_ref().unwrap();
+        assert!(ctrl.k_min <= ctrl.k_max, "band stays non-empty");
+        assert!(ctrl.k_max <= d, "k_max {} vs D = {d}", ctrl.k_max);
     }
 }

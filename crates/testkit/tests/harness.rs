@@ -6,7 +6,8 @@
 use hybridcast_core::bandwidth::BandwidthConfig;
 use hybridcast_core::config::AssignmentStrategy;
 use hybridcast_core::prelude::{
-    simulate_harness, ChannelLayout, HybridConfig, NullSink, SimParams,
+    simulate_harness, AdaptiveConfig, ChannelLayout, ControllerConfig, CutoffOptimizer,
+    HybridConfig, NullSink, Objective, PlantedControllerBugs, SimParams,
 };
 use hybridcast_core::uplink::UplinkConfig;
 use hybridcast_testkit::{
@@ -103,6 +104,158 @@ fn mutation_smoke_names_the_right_oracle() {
     find(Mutation::DropPushTx, "push cycle");
     find(Mutation::ReclassifyServed, "conservation");
     find(Mutation::PhantomPullChannel, "channel accounting");
+}
+
+/// A measured-feedback controller case sized so every regret-oracle gate
+/// opens: stationary load, no faults or uplink, one channel, incumbent
+/// inside the band, plenty of windows before the horizon. At `rate` 1.0
+/// the single channel is moderately loaded and the cost landscape over
+/// `K` rises steeply toward the pure-push corner (a wrong-way climber
+/// pays dearly); at the paper's rate 5.0 the channel saturates and the
+/// landscape flattens into backlog (noise to hold against).
+fn controller_case(theta: f64, rate: f64) -> FuzzCase {
+    FuzzCase {
+        seed: 4_242,
+        scenario: ScenarioConfig {
+            arrival_rate: rate,
+            ..ScenarioConfig::icpp2005(theta)
+        },
+        hybrid: HybridConfig::paper(20, 0.5),
+        horizon: 6_000.0,
+        adaptive: Some(AdaptiveConfig {
+            period: 250.0,
+            candidate_ks: vec![20],
+            smoothing: 0.5,
+            rerank: false,
+            controller: Some(ControllerConfig {
+                step: 10,
+                hysteresis: 0.05,
+                cost_smoothing: 0.0,
+                settle_windows: 0,
+                k_min: 0,
+                k_max: 100,
+                slo: None,
+                rebalance: false,
+                planted: PlantedControllerBugs::default(),
+            }),
+        }),
+        faults: Vec::new(),
+    }
+}
+
+/// `controller_case(theta, rate)` with one controller defect planted.
+fn with_planted(theta: f64, rate: f64, plant: fn(&mut PlantedControllerBugs)) -> FuzzCase {
+    let mut case = controller_case(theta, rate);
+    let ctrl = case.adaptive.as_mut().unwrap().controller.as_mut().unwrap();
+    plant(&mut ctrl.planted);
+    case
+}
+
+#[test]
+fn clean_controller_cases_pass_every_oracle() {
+    for (theta, rate) in [(1.0, 1.0), (0.6, 5.0)] {
+        let outcome = run_case(&controller_case(theta, rate));
+        assert!(
+            outcome.passed(),
+            "theta {theta} rate {rate}: {}",
+            outcome.to_json()
+        );
+    }
+}
+
+#[test]
+fn controller_mutation_smoke_names_the_right_oracle() {
+    // Each planted controller defect must be caught by exactly the oracle
+    // built for it — the other controller needles must stay silent, or
+    // the attribution (and any future bisection on it) is mush.
+    const NEEDLES: [&str; 3] = ["regret", "stale telemetry", "hysteresis"];
+    let check = |case: &FuzzCase, needle: &str| {
+        let outcome = run_case(case);
+        assert!(
+            outcome.panicked.is_none(),
+            "planted '{needle}' bug crashed: {:?}",
+            outcome.panicked
+        );
+        assert!(
+            outcome.violations.iter().any(|v| v.contains(needle)),
+            "planted bug should trip the '{needle}' oracle, got {:?}",
+            outcome.violations
+        );
+        for other in NEEDLES.iter().filter(|&&n| n != needle) {
+            assert!(
+                !outcome.violations.iter().any(|v| v.contains(other)),
+                "'{other}' oracle misfired on the '{needle}' bug: {:?}",
+                outcome.violations
+            );
+        }
+    };
+    // The sign-flipped gradient seeks the in-band cost maximum, which
+    // only shows against a steep landscape — the half-loaded channel.
+    check(
+        &with_planted(1.0, 1.0, |p| p.flip_gradient = true),
+        "regret",
+    );
+    // Chasing noise needs noise to chase: the saturated channel's flat,
+    // backlogged landscape keeps the honest controller holding, so every
+    // sub-band move the bypass bug makes is unjustified.
+    check(
+        &with_planted(0.6, 5.0, |p| p.bypass_hysteresis = true),
+        "hysteresis",
+    );
+    check(
+        &with_planted(0.6, 5.0, |p| p.stale_window = true),
+        "stale telemetry",
+    );
+}
+
+#[test]
+fn controller_converges_to_the_offline_optimum_band() {
+    // The convergence property: on a stationary workload with a steep
+    // cost landscape the controller must end within one hysteresis band
+    // (one step) of the offline sweep's best K — and the extraction
+    // ledger must balance at every retune (empty queue audit), so
+    // conservation survived every migration it took to get there.
+    let case = controller_case(1.0, 1.0);
+    let scenario = case.scenario.build();
+    let params = case.params();
+    let step = case
+        .adaptive
+        .as_ref()
+        .unwrap()
+        .controller
+        .as_ref()
+        .unwrap()
+        .step;
+    // The controller starts at K = 20 and moves in steps of 10, so its
+    // reachable set is exactly this grid.
+    let sweep = CutoffOptimizer::new(Objective::TotalPrioritizedCost, params)
+        .with_replications(2)
+        .sweep(&scenario, &case.hybrid, (0..=100).step_by(step));
+    let best_k = sweep.best_k();
+    for replication in 0..3u64 {
+        let out = simulate_harness(
+            &scenario,
+            &case.hybrid,
+            &params.with_replication(replication),
+            case.adaptive.as_ref(),
+            &[],
+            None,
+            &mut NullSink,
+        );
+        assert!(
+            out.queue_audit.is_empty(),
+            "replication {replication}: books unbalanced at a retune: {:?}",
+            out.queue_audit
+        );
+        // P&O probes the neighbors forever, so "converged" means parked
+        // on the optimum or mid-probe one step off it.
+        assert!(
+            out.final_k.abs_diff(best_k) <= step,
+            "replication {replication}: settled at K = {} vs offline best \
+             K = {best_k} — more than one step away",
+            out.final_k
+        );
+    }
 }
 
 #[test]

@@ -32,6 +32,7 @@ pub mod catalog;
 pub mod classes;
 pub mod clients;
 pub mod lengths;
+pub mod nonstationary;
 pub mod popularity;
 pub mod requests;
 pub mod scenario;
@@ -42,6 +43,7 @@ pub mod prelude {
     pub use crate::classes::{ClassId, ClassSet, ServiceClass};
     pub use crate::clients::{Client, ClientId, ClientPool};
     pub use crate::lengths::LengthModel;
+    pub use crate::nonstationary::{NonstationaryConfig, Regime};
     pub use crate::popularity::PopularityModel;
     pub use crate::requests::{
         DriftConfig, ReplaySource, Request, RequestGenerator, RequestSource,

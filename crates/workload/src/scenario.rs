@@ -13,8 +13,9 @@ use hybridcast_sim::rng::{streams, RngFactory};
 use crate::catalog::Catalog;
 use crate::classes::ClassSet;
 use crate::lengths::LengthModel;
+use crate::nonstationary::NonstationaryConfig;
 use crate::popularity::PopularityModel;
-use crate::requests::{DriftConfig, RequestGenerator};
+use crate::requests::{DriftConfig, RequestGenerator, RequestSource};
 
 /// Full description of a workload scenario (serializable).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -38,6 +39,14 @@ pub struct ScenarioConfig {
     /// is the paper's plain Poisson process.
     #[serde(default)]
     pub batch_mean: Option<f64>,
+    /// Optional nonstationary disturbance (flash crowd, diurnal rotation,
+    /// θ regime switch, popularity permutation). `None` is stationary.
+    ///
+    /// Skipped when absent so the canonical JSON of pre-existing
+    /// stationary configs — and every hash derived from it (trace
+    /// headers, corpus sidecars) — stays byte-identical.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub nonstationary: Option<NonstationaryConfig>,
 }
 
 impl Default for ScenarioConfig {
@@ -51,6 +60,7 @@ impl Default for ScenarioConfig {
             seed: 0xC0FFEE,
             drift: None,
             batch_mean: None,
+            nonstationary: None,
         }
     }
 }
@@ -80,6 +90,9 @@ impl ScenarioConfig {
             self.arrival_rate > 0.0 && self.arrival_rate.is_finite(),
             "arrival rate must be positive"
         );
+        if let Some(ns) = &self.nonstationary {
+            ns.validate();
+        }
         let factory = RngFactory::new(self.seed);
         let mut len_rng = factory.stream(streams::LENGTHS);
         let catalog = Catalog::build(
@@ -142,6 +155,22 @@ impl Scenario {
             g = g.with_batching(b);
         }
         g
+    }
+
+    /// The request source for replication `r`, with the scenario's
+    /// nonstationary disturbance (if any) applied — what the simulation
+    /// driver consumes. Stationary scenarios return the plain generator.
+    pub fn request_source_replication(&self, r: u64) -> Box<dyn RequestSource> {
+        let inner: Box<dyn RequestSource> = Box::new(self.request_stream_replication(r));
+        match &self.config.nonstationary {
+            None => inner,
+            Some(ns) => ns.wrap(
+                inner,
+                self.catalog.len(),
+                &self.factory,
+                &self.factory.replication(r),
+            ),
+        }
     }
 
     /// The pull-set arrival rate `λ = λ′ · Σ_{i>K} P_i` for cutoff `k`

@@ -44,6 +44,7 @@ fn main() {
         candidate_ks: (10..=90).step_by(10).collect(),
         smoothing: 0.5,
         rerank: false,
+        controller: None,
     };
     let k_only = simulate_adaptive(&scenario, &cfg, &params, &base);
     println!(

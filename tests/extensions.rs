@@ -135,6 +135,7 @@ fn adaptive_controller_via_facade() {
         candidate_ks: vec![20, 40, 60, 80],
         smoothing: 0.5,
         rerank: false,
+        controller: None,
     };
     let out = simulate_adaptive(
         &scenario,
@@ -184,6 +185,7 @@ fn drift_degrades_static_but_not_rerank() {
         candidate_ks: (10..=90).step_by(10).collect(),
         smoothing: 0.5,
         rerank: true,
+        controller: None,
     };
     let tracked = simulate_adaptive(&drifting, &cfg, &params, &rerank)
         .report

@@ -160,6 +160,7 @@ fn adaptive_with_single_candidate_never_moves() {
         candidate_ks: vec![40],
         smoothing: 0.5,
         rerank: false,
+        controller: None,
     };
     let out = simulate_adaptive(
         &scenario,

@@ -12,7 +12,7 @@
 //!
 //! Supported shapes (everything the workspace derives):
 //! - named-field structs, with `#[serde(default)]` / `#[serde(default =
-//!   "path")]` on fields;
+//!   "path")]` / `#[serde(skip_serializing_if = "path")]` on fields;
 //! - tuple structs with exactly one field (newtypes), which serialize as
 //!   their inner value, with or without `#[serde(transparent)]`;
 //! - enums of unit and named-field variants, externally tagged or internally
@@ -374,10 +374,25 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
 fn ser_named_fields(fields: &[Field], self_prefix: &str) -> String {
     let mut out = String::new();
     for f in fields {
-        out.push_str(&format!(
+        let push = format!(
             "members.push(({:?}.to_string(), ::serde::Serialize::serialize_value(&{}{})));\n",
             f.name, self_prefix, f.name
-        ));
+        );
+        // `skip_serializing_if = "path"` omits the member entirely when the
+        // predicate holds, so optional fields added later don't perturb the
+        // canonical JSON (and the hashes derived from it) of older configs.
+        match f.attrs.iter().find(|a| a.key == "skip_serializing_if") {
+            Some(SerdeAttr {
+                value: Some(path), ..
+            }) => out.push_str(&format!(
+                "if !{path}(&{}{}) {{\n{push}}}\n",
+                self_prefix, f.name
+            )),
+            Some(SerdeAttr { value: None, .. }) => {
+                panic!("skip_serializing_if on `{}` needs a path", f.name)
+            }
+            None => out.push_str(&push),
+        }
     }
     out
 }
