@@ -25,6 +25,38 @@
 //! sharded schedules against, and `cost` is the objective the
 //! cross-channel optimizer in `hybridcast_core::sharded` minimizes.
 
+use serde::Serialize;
+
+/// The full KSY pricing of one candidate partition: the achieved cost,
+/// the balanced-relaxation lower bound, and the relative gap between
+/// them — what a what-if report quotes per candidate channel plan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct PlanPrice {
+    /// Achieved partition cost `Σ_c L_c² / 2`.
+    pub cost: f64,
+    /// Balanced lower bound `(Σᵢ wᵢ)² / (2C)`.
+    pub lower_bound: f64,
+    /// `cost / lower_bound − 1` (`None` on a zero-weight catalog).
+    pub gap: Option<f64>,
+}
+
+/// Prices a partition in one call: per-channel loads from `assignment`,
+/// then cost, lower bound, and gap (see [`PlanPrice`]).
+///
+/// # Panics
+/// Panics if the slices disagree in length, an assignment is out of
+/// range, or `channels == 0`.
+pub fn price_partition(weights: &[f64], assignment: &[u8], channels: u32) -> PlanPrice {
+    let loads = channel_loads(weights, assignment, channels);
+    let cost = partition_cost(&loads);
+    let lower_bound = partition_lower_bound(weights, channels);
+    PlanPrice {
+        cost,
+        lower_bound,
+        gap: gap_to_lower_bound(cost, lower_bound),
+    }
+}
+
 /// KSY weight of one item: `√(p·l)`.
 pub fn ksy_weight(prob: f64, length: f64) -> f64 {
     debug_assert!(prob >= 0.0 && length >= 0.0);

@@ -31,7 +31,7 @@
 use hybridcast_bench::results_dir;
 use hybridcast_core::config::HybridConfig;
 use hybridcast_core::pull::PullPolicyKind;
-use hybridcast_server::loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
+use hybridcast_server::loadgen::{fmt_quantile_ms, run_loadgen, LoadgenConfig, LoadgenReport};
 use hybridcast_server::{ServeConfig, ServeSummary, ServerHandle};
 use serde_json::json;
 
@@ -148,13 +148,13 @@ fn main() {
         let q = |c: usize| {
             r.per_class
                 .get(c)
-                .map(|p| (p.rtt_ms.p50, p.rtt_ms.p99))
-                .unwrap_or((0.0, 0.0))
+                .map(|p| (fmt_quantile_ms(p.rtt_ms.p50), fmt_quantile_ms(p.rtt_ms.p99)))
+                .unwrap_or_else(|| ("n/a".into(), "n/a".into()))
         };
         let (a50, a99) = q(0);
         let (c50, c99) = q(2);
         println!(
-            "| {:.0} | {:.0} | {} | {} | {shed_pct:.1} | {a50:.2}/{a99:.2} | {c50:.2}/{c99:.2} | {cpu_us:.1} | {} | {} |",
+            "| {:.0} | {:.0} | {} | {} | {shed_pct:.1} | {a50}/{a99} | {c50}/{c99} | {cpu_us:.1} | {} | {} |",
             run.target_rps,
             r.achieved_rps,
             r.answered,

@@ -42,11 +42,27 @@ USAGE:
                                           HTTP, --trace records the accepted
                                           stream as a binary HCT1 trace
     hybridcast replay --trace <path> [--config <serve.json>]
-                      [--mode daemon|sim]
+                      [--mode daemon|sim] [--allow-mismatch]
                                           re-drive the scheduler from a
                                           recorded trace in virtual time
                                           (deterministic: same trace, same
-                                          books) and print the books as JSON
+                                          books) and print the books as JSON;
+                                          a structural trace/config mismatch
+                                          (catalog, classes, channels,
+                                          unit_millis) is a hard error unless
+                                          --allow-mismatch is passed
+    hybridcast whatif --trace <path> [--config <serve.json>]
+                      [--cutoffs K1,K2,..] [--channels C1,C2,..]
+                      [--assignments range,hash,pattern_aware]
+                      [--bandwidths B1,B2,..] [--controller]
+                      [--allow-mismatch]
+                                          replay the trace under every grid
+                                          combination, rank by whole-run
+                                          backlog-aware cost with KSY pricing,
+                                          print the side-by-side table and
+                                          write results/WHATIF_<hash>.json;
+                                          --controller adds an adaptive-cutoff
+                                          leg per point (C = 1 only)
     hybridcast stats [--addr <host:port>] [--path /stats]
                                           GET a running daemon's ops endpoint
                                           and print the JSON body
@@ -148,12 +164,32 @@ fn take_channels(
 /// Strips the bare `--adaptive` flag: route `simulate` through the
 /// online cutoff controller instead of a fixed `K`.
 fn take_adaptive(args: &mut Vec<String>) -> bool {
-    if let Some(i) = args.iter().position(|a| a == "--adaptive") {
+    take_flag(args, "--adaptive")
+}
+
+/// Strips a bare boolean flag, returning whether it was present.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == flag) {
         args.remove(i);
         true
     } else {
         false
     }
+}
+
+/// Pulls `--flag v1,v2,..` out of `args`, parsing each comma-separated
+/// element as `T`. Absent flag → empty list (inherit the base value).
+fn take_list<T: std::str::FromStr>(args: &mut Vec<String>, flag: &str) -> Result<Vec<T>, String> {
+    let Some(raw) = take_value::<String>(args, flag)? else {
+        return Ok(Vec::new());
+    };
+    raw.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse()
+                .map_err(|_| format!("invalid {flag} element `{s}`"))
+        })
+        .collect()
 }
 
 /// Pulls `--flag <value>` out of `args`, parsing the value as `T`.
@@ -320,13 +356,16 @@ fn run_serve_cmd(mut args: Vec<String>) -> Result<(), String> {
 /// binary trace, through the daemon's scheduling discipline (virtual
 /// time) or through the simulator.
 fn run_trace_replay_cmd(mut args: Vec<String>) -> Result<(), String> {
-    use hybridcast_ops::{hex64, replay_daemon, replay_simulator, sim_params_for, Trace};
+    use hybridcast_ops::{
+        hex64, replay_daemon, replay_simulator, sim_params_for, structural_mismatches, Trace,
+    };
     use hybridcast_server::ServeConfig;
 
     let trace_path =
         take_value::<String>(&mut args, "--trace")?.ok_or("replay needs --trace <path>")?;
     let config_path = take_value::<String>(&mut args, "--config")?;
     let mode = take_value::<String>(&mut args, "--mode")?.unwrap_or_else(|| "daemon".to_string());
+    let allow_mismatch = take_flag(&mut args, "--allow-mismatch");
     if !args.is_empty() {
         return Err(format!("unexpected arguments: {args:?}"));
     }
@@ -339,14 +378,40 @@ fn run_trace_replay_cmd(mut args: Vec<String>) -> Result<(), String> {
         }
         None => ServeConfig::default(),
     };
-    let expected = hybridcast_ops::config_hash(&config.identity_json());
-    if expected != trace.meta.config_hash {
-        eprintln!(
-            "warning: config hash mismatch — trace recorded under {}, replaying under {}; \
-             books may not correspond to the recording deployment",
-            hex64(trace.meta.config_hash),
-            hex64(expected)
-        );
+    // Structural mismatches (id reinterpretation, re-routing, deadline
+    // rescaling) make the replayed books silently incomparable to the
+    // recording — a hard error unless the override is explicit.
+    let structural = structural_mismatches(
+        &trace,
+        config.scenario.num_items as u32,
+        config.scenario.classes.len() as u8,
+        config.hybrid.channels.shard_count(),
+        config.serve.unit_millis,
+    );
+    if !structural.is_empty() {
+        if allow_mismatch {
+            eprintln!("warning: replaying under an acknowledged structural mismatch:");
+            for m in &structural {
+                eprintln!("  - {m}");
+            }
+        } else {
+            return Err(format!(
+                "structural mismatch between trace and replay config:\n  {}\n\
+                 pass --allow-mismatch to replay anyway (out-of-range items fold \
+                 back in via modulo; re-routed records are counted in the books)",
+                structural.join("\n  ")
+            ));
+        }
+    } else {
+        let expected = hybridcast_ops::config_hash(&config.identity_json());
+        if expected != trace.meta.config_hash {
+            eprintln!(
+                "warning: config hash mismatch — trace recorded under {}, replaying under {}; \
+                 books may not correspond to the recording deployment",
+                hex64(trace.meta.config_hash),
+                hex64(expected)
+            );
+        }
     }
     eprintln!(
         "replaying {} record(s) over {} channel(s) from {trace_path} (mode: {mode})",
@@ -357,6 +422,13 @@ fn run_trace_replay_cmd(mut args: Vec<String>) -> Result<(), String> {
     match mode.as_str() {
         "daemon" => {
             let books = replay_daemon(&scenario, &config.hybrid, trace.meta.unit_millis, &trace);
+            if books.rerouted > 0 || books.remapped_items > 0 {
+                eprintln!(
+                    "replay re-routed {} record(s) and remapped {} out-of-catalog item(s) \
+                     through the replay config's plan",
+                    books.rerouted, books.remapped_items
+                );
+            }
             println!(
                 "{}",
                 serde_json::to_string_pretty(&books).expect("books serialize")
@@ -378,6 +450,93 @@ fn run_trace_replay_cmd(mut args: Vec<String>) -> Result<(), String> {
         }
         other => Err(format!("--mode must be `daemon` or `sim`, got `{other}`")),
     }
+}
+
+/// The `whatif` subcommand: one recorded trace replayed under a grid of
+/// modified configs, ranked by whole-run backlog-aware cost.
+fn run_whatif_cmd(mut args: Vec<String>) -> Result<(), String> {
+    use hybridcast_core::config::AssignmentStrategy;
+    use hybridcast_ops::{render_table, run_whatif, whatif_hash, Trace, WhatIfGrid};
+    use hybridcast_server::ServeConfig;
+
+    let trace_path =
+        take_value::<String>(&mut args, "--trace")?.ok_or("whatif needs --trace <path>")?;
+    let config_path = take_value::<String>(&mut args, "--config")?;
+    let cutoffs = take_list::<usize>(&mut args, "--cutoffs")?;
+    let channels = take_list::<u32>(&mut args, "--channels")?;
+    let assignment_names = take_list::<String>(&mut args, "--assignments")?;
+    let bandwidths = take_list::<f64>(&mut args, "--bandwidths")?;
+    let controller = take_flag(&mut args, "--controller");
+    let allow_mismatch = take_flag(&mut args, "--allow-mismatch");
+    if !args.is_empty() {
+        return Err(format!("unexpected arguments: {args:?}"));
+    }
+    if let Some(c) = channels.iter().find(|&&c| c == 0 || c > 256) {
+        return Err(format!("--channels elements must be in 1..=256, got {c}"));
+    }
+    if let Some(b) = bandwidths.iter().find(|b| !(b.is_finite() && **b > 0.0)) {
+        return Err(format!("--bandwidths elements must be positive, got {b}"));
+    }
+    let assignments = assignment_names
+        .iter()
+        .map(|name| match name.as_str() {
+            "range" => Ok(AssignmentStrategy::Range),
+            "hash" => Ok(AssignmentStrategy::Hash),
+            "pattern_aware" => Ok(AssignmentStrategy::PatternAware),
+            other => Err(format!(
+                "--assignments must be range|hash|pattern_aware, got `{other}`"
+            )),
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let grid = WhatIfGrid {
+        cutoffs,
+        channels,
+        assignments,
+        bandwidths,
+        controller: if controller {
+            vec![false, true]
+        } else {
+            Vec::new()
+        },
+    };
+    let trace =
+        Trace::read(std::path::Path::new(&trace_path)).map_err(|e| format!("{trace_path}: {e}"))?;
+    let config = match &config_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            ServeConfig::from_json(&text).map_err(|e| format!("{path}: {e}"))?
+        }
+        None => ServeConfig::default(),
+    };
+    let scenario = config.scenario.build();
+    eprintln!(
+        "what-if: {} grid point(s) over {} record(s) from {trace_path}",
+        grid.points().len(),
+        trace.records.len()
+    );
+    let report = run_whatif(&scenario, &config.hybrid, &trace, &grid, allow_mismatch)?;
+    if report.points.is_empty() {
+        return Err(format!(
+            "every grid point was skipped:\n{}",
+            report
+                .skipped
+                .iter()
+                .map(|s| format!("  {}: {}", s.label, s.reason))
+                .collect::<Vec<_>>()
+                .join("\n")
+        ));
+    }
+    let dir = hybridcast_bench::results_dir();
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let path = dir.join(format!("WHATIF_{}.json", whatif_hash(&trace, &grid)));
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&report).expect("report serializes"),
+    )
+    .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    print!("{}", render_table(&report));
+    eprintln!("[saved {}]", path.display());
+    Ok(())
 }
 
 /// The `stats` subcommand: one HTTP GET against a running daemon's ops
@@ -477,6 +636,9 @@ fn run() -> Result<(), String> {
     }
     if args.first().map(String::as_str) == Some("replay") {
         return run_trace_replay_cmd(args.split_off(1));
+    }
+    if args.first().map(String::as_str) == Some("whatif") {
+        return run_whatif_cmd(args.split_off(1));
     }
     if args.first().map(String::as_str) == Some("stats") {
         return run_stats_cmd(args.split_off(1));

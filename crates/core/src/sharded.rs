@@ -26,6 +26,7 @@
 //! conflict rate.
 
 use hybridcast_analysis::ksy;
+pub use hybridcast_analysis::ksy::PlanPrice;
 use hybridcast_sim::rng::RngFactory;
 use hybridcast_sim::time::SimTime;
 use hybridcast_workload::catalog::{Catalog, ItemId};
@@ -137,6 +138,12 @@ impl ChannelPlan {
     /// (`None` on a zero-weight catalog).
     pub fn gap(&self) -> Option<f64> {
         ksy::gap_to_lower_bound(self.cost(), self.lower_bound())
+    }
+
+    /// The full KSY pricing of this plan in one value (what a what-if
+    /// report quotes per candidate).
+    pub fn price(&self) -> ksy::PlanPrice {
+        ksy::price_partition(&self.weights, &self.channel_of, self.channels)
     }
 }
 

@@ -16,6 +16,10 @@
 //! * **Replay** ([`replay`]): deterministic re-execution of a recorded
 //!   trace through the simulator or through the daemon's scheduling
 //!   discipline in virtual time — same trace in, bit-identical books out.
+//! * **What-if** ([`whatif`]): the counterfactual sweep over replay — one
+//!   recorded trace re-run under a grid of modified configs (cutoff,
+//!   channels, assignment, bandwidth, controller) with KSY pricing and a
+//!   ranked recommendation.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -25,9 +29,17 @@ pub mod http;
 pub mod hub;
 pub mod replay;
 pub mod trace;
+pub mod whatif;
 
 pub use digest::{config_hash, fnv1a64, hex64, plan_digest};
 pub use http::OpsServer;
 pub use hub::{ChannelSnapshot, OpsHub};
-pub use replay::{replay_daemon, replay_simulator, sim_params_for, ReplayBooks};
+pub use replay::{
+    replay_daemon, replay_requests, replay_simulator, route_stats, sim_params_for,
+    structural_mismatches, ReplayBooks, RouteStats,
+};
 pub use trace::{Trace, TraceBuffer, TraceMeta, TraceRecord, TraceSink};
+pub use whatif::{
+    backlog_aware_cost, evaluate_point, render_table, run_whatif, whatif_hash, OverrideSpec,
+    PointReport, WhatIfGrid, WhatIfReport,
+};

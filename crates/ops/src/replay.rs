@@ -35,7 +35,7 @@ use hybridcast_core::config::HybridConfig;
 use hybridcast_core::hybrid::{Disposition, HybridScheduler, Transmission};
 use hybridcast_core::metrics::SimReport;
 use hybridcast_core::metrics::TxKind;
-use hybridcast_core::sharded::ShardedScheduler;
+use hybridcast_core::sharded::{ChannelPlan, ShardedScheduler};
 use hybridcast_core::sim_driver::{simulate_with_source, SimParams};
 use hybridcast_core::uplink::{UplinkChannel, UplinkOutcome};
 use hybridcast_sim::time::{SimDuration, SimTime};
@@ -44,7 +44,7 @@ use hybridcast_workload::classes::ClassId;
 use hybridcast_workload::requests::{ReplaySource, Request};
 use hybridcast_workload::scenario::Scenario;
 
-use crate::trace::Trace;
+use crate::trace::{Trace, TraceRecord};
 
 /// The uplink RNG stream id — must match the daemon's and the simulator's
 /// lane so a replay draws the same loss/latency sequence.
@@ -124,10 +124,106 @@ pub struct ReplayBooks {
     pub timed_out: u64,
     /// Uplink losses.
     pub uplink_lost: u64,
+    /// Records whose recorded channel differs from the replay plan's
+    /// routing (always 0 when replaying under the recording config; counts
+    /// every record landing on a new channel under an override).
+    pub rerouted: u64,
+    /// Records whose item id exceeded the replay catalog and was folded
+    /// back in via `item % catalog_len` (override replays only).
+    pub remapped_items: u64,
     /// Per-channel books, channel order.
     pub per_channel: Vec<ChannelBook>,
     /// Per-class books, class order.
     pub per_class: Vec<ClassBook>,
+}
+
+/// Re-routing statistics for replaying `trace` under a (possibly
+/// overridden) channel plan: every record is mapped into the replay
+/// catalog (`item % catalog_len` when out of range) and routed to
+/// `plan.channel_of(item)` — the same routing the daemon applies at
+/// ingest — rather than trusting the recorded channel byte, which may
+/// reference channels the override no longer has.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct RouteStats {
+    /// Records routed to a different channel than recorded.
+    pub rerouted: u64,
+    /// Records with `item >= catalog_len`, folded back via modulo.
+    pub remapped_items: u64,
+}
+
+/// Maps one recorded request into the replay config's catalog and plan:
+/// returns the record with `item` folded into `0..catalog_len` and
+/// `channel` re-derived from `plan`, updating `stats`.
+fn route_record(
+    rec: &TraceRecord,
+    catalog_len: u32,
+    plan: &ChannelPlan,
+    stats: &mut RouteStats,
+) -> TraceRecord {
+    let mut r = *rec;
+    if catalog_len > 0 && r.item >= catalog_len {
+        r.item %= catalog_len;
+        stats.remapped_items += 1;
+    }
+    let channel = plan.channel_of(ItemId(r.item));
+    if channel != r.channel as u32 {
+        stats.rerouted += 1;
+    }
+    r.channel = channel as u8;
+    r
+}
+
+/// Classifies the *structural* mismatches between a trace header and the
+/// replay config — the ones under which replayed books are not comparable
+/// to the recording and a what-if answer would be silently garbage:
+///
+/// * catalog size (`num_items`) differs — item ids reinterpreted;
+/// * service-class count differs — class ids and priorities reinterpreted;
+/// * channel count differs — the plan re-routes every record;
+/// * `unit_millis` differs while the trace carries deadlines — every
+///   recorded wall-ms budget converts to a different number of broadcast
+///   units, so timeouts fire at different virtual times.
+///
+/// A non-empty return must be a hard error unless the caller explicitly
+/// opted in (`--allow-mismatch` / the what-if override seam). A plain
+/// `config_hash` mismatch with an empty return (e.g. a changed pull
+/// policy) stays a warning: the books remain well-defined, just different.
+pub fn structural_mismatches(
+    trace: &Trace,
+    num_items: u32,
+    num_classes: u8,
+    channels: u32,
+    unit_millis: f64,
+) -> Vec<String> {
+    let meta = &trace.meta;
+    let mut out = Vec::new();
+    if meta.num_items != num_items {
+        out.push(format!(
+            "catalog size: trace recorded num_items={}, replay config has {} — item ids would be reinterpreted",
+            meta.num_items, num_items
+        ));
+    }
+    if meta.num_classes != num_classes {
+        out.push(format!(
+            "service classes: trace recorded num_classes={}, replay config has {} — class ids and priorities would be reinterpreted",
+            meta.num_classes, num_classes
+        ));
+    }
+    if meta.channels != channels {
+        out.push(format!(
+            "channel count: trace recorded channels={}, replay config has {} — every record re-routes through the new plan",
+            meta.channels, channels
+        ));
+    }
+    if (unit_millis - meta.unit_millis).abs() > f64::EPSILON
+        && trace.records.iter().any(|r| r.deadline_ms > 0)
+    {
+        out.push(format!(
+            "unit_millis: trace recorded {} ms/unit, replay uses {} — recorded deadline budgets convert to a different number of broadcast units",
+            meta.unit_millis, unit_millis
+        ));
+    }
+    out
 }
 
 /// Replays the trace through the simulator: recorded arrivals in global
@@ -139,21 +235,45 @@ pub fn replay_simulator(
     params: &SimParams,
     trace: &Trace,
 ) -> SimReport {
-    let requests: Vec<Request> = trace
-        .sorted_by_arrival()
-        .into_iter()
-        .map(|r| Request {
-            arrival: SimTime::new(r.arrival),
-            item: ItemId(r.item),
-            class: ClassId(r.class),
-        })
-        .collect();
     simulate_with_source(
         scenario,
         hybrid,
         params,
-        Box::new(ReplaySource::new(requests)),
+        Box::new(ReplaySource::new(replay_requests(scenario, trace))),
     )
+}
+
+/// The trace's requests in global arrival order, mapped into `scenario`'s
+/// catalog (out-of-range items folded back via `item % catalog_len`) —
+/// the request stream sim-mode replay and the what-if harness drive. The
+/// simulator routes items through its own channel plan, so the recorded
+/// channel byte is irrelevant here.
+pub fn replay_requests(scenario: &Scenario, trace: &Trace) -> Vec<Request> {
+    let catalog_len = scenario.catalog.len() as u32;
+    trace
+        .sorted_by_arrival()
+        .into_iter()
+        .map(|r| Request {
+            arrival: SimTime::new(r.arrival),
+            item: ItemId(if catalog_len > 0 {
+                r.item % catalog_len
+            } else {
+                r.item
+            }),
+            class: ClassId(r.class),
+        })
+        .collect()
+}
+
+/// Computes the [`RouteStats`] replaying `trace` under `plan` would
+/// incur, without running the replay — the what-if report's per-point
+/// re-route accounting.
+pub fn route_stats(trace: &Trace, catalog_len: u32, plan: &ChannelPlan) -> RouteStats {
+    let mut stats = RouteStats::default();
+    for rec in &trace.records {
+        route_record(rec, catalog_len, plan, &mut stats);
+    }
+    stats
 }
 
 /// Simulator params whose horizon comfortably covers every recorded
@@ -193,6 +313,17 @@ pub fn replay_daemon(
         .iter()
         .map(|(_, c)| c.name.clone())
         .collect();
+    // Route every record through *this* config's plan rather than the
+    // recorded channel byte: identical when replaying under the recording
+    // config (the daemon routed by plan too), and the well-defined
+    // re-route when an override changed the channel count or catalog.
+    let catalog_len = scenario.catalog.len() as u32;
+    let mut stats = RouteStats::default();
+    let mut grouped: Vec<Vec<TraceRecord>> = vec![Vec::new(); schedulers.len()];
+    for rec in &trace.records {
+        let routed = route_record(rec, catalog_len, &plan, &mut stats);
+        grouped[routed.channel as usize].push(routed);
+    }
     let mut per_channel = Vec::new();
     let mut per_class: Vec<ClassAcc> = class_names.iter().map(|_| ClassAcc::default()).collect();
     for (c, scheduler) in schedulers.into_iter().enumerate() {
@@ -210,13 +341,12 @@ pub fn replay_daemon(
             class_names.len(),
             scenario.catalog.len(),
         );
-        core.replay(&trace.channel_records(c as u32));
+        core.replay(&grouped[c]);
         per_channel.push(core.channel_book(c as u32));
         for (dst, src) in per_class.iter_mut().zip(&core.per_class) {
             dst.merge(src);
         }
     }
-    let _ = plan;
     let mut books = ReplayBooks {
         records: trace.records.len() as u64,
         channels: per_channel.len() as u32,
@@ -227,6 +357,8 @@ pub fn replay_daemon(
         shed: 0,
         timed_out: 0,
         uplink_lost: 0,
+        rerouted: stats.rerouted,
+        remapped_items: stats.remapped_items,
         per_channel,
         per_class: per_class
             .iter()
@@ -680,6 +812,89 @@ mod tests {
         );
         let generated: u64 = a.per_class.iter().map(|c| c.generated).sum();
         assert_eq!(generated, 300);
+    }
+
+    #[test]
+    fn replay_under_recording_config_reroutes_nothing() {
+        let scenario = scenario();
+        let hybrid = HybridConfig::default();
+        let trace = synthetic_trace(1, 200);
+        let books = replay_daemon(&scenario, &hybrid, 1.0, &trace);
+        assert_eq!(books.rerouted, 0);
+        assert_eq!(books.remapped_items, 0);
+    }
+
+    #[test]
+    fn channel_override_reroutes_records_through_the_new_plan() {
+        let scenario = scenario();
+        // Trace recorded under 2 channels, replayed under the default
+        // single-channel config: every record stamped channel 1 must
+        // re-route to channel 0 instead of being dropped.
+        let trace = synthetic_trace(2, 300);
+        let stamped_off_zero = trace.records.iter().filter(|r| r.channel != 0).count() as u64;
+        assert!(stamped_off_zero > 0, "test trace uses both channels");
+        let books = replay_daemon(&scenario, &HybridConfig::default(), 1.0, &trace);
+        assert_eq!(books.channels, 1);
+        assert_eq!(books.rerouted, stamped_off_zero);
+        assert_eq!(books.accepted, 300, "no record silently dropped");
+        assert!(books.conservation_ok, "{books:?}");
+    }
+
+    #[test]
+    fn out_of_catalog_items_are_folded_back_in() {
+        let scenario = scenario();
+        let n = scenario.catalog.len() as u32;
+        let mut trace = synthetic_trace(1, 100);
+        trace.meta.num_items = n + 50;
+        for (i, rec) in trace.records.iter_mut().enumerate() {
+            if i % 5 == 0 {
+                rec.item = n + (i as u32 % 50);
+            }
+        }
+        let books = replay_daemon(&scenario, &HybridConfig::default(), 1.0, &trace);
+        assert_eq!(books.remapped_items, 20);
+        assert_eq!(
+            books.accepted, 100,
+            "remapped records are replayed, not shed"
+        );
+        assert!(books.conservation_ok, "{books:?}");
+
+        let params = sim_params_for(&trace);
+        let report = replay_simulator(&scenario, &HybridConfig::default(), &params, &trace);
+        let generated: u64 = report.per_class.iter().map(|c| c.generated).sum();
+        assert_eq!(generated, 100, "sim replay ingests every remapped record");
+    }
+
+    #[test]
+    fn structural_mismatch_classifier_flags_each_axis() {
+        let trace = synthetic_trace(1, 50);
+        let m = &trace.meta;
+        // Matching config: clean.
+        assert!(structural_mismatches(
+            &trace,
+            m.num_items,
+            m.num_classes,
+            m.channels,
+            m.unit_millis
+        )
+        .is_empty());
+        let items = structural_mismatches(&trace, m.num_items + 1, m.num_classes, 1, 1.0);
+        assert_eq!(items.len(), 1, "{items:?}");
+        assert!(items[0].contains("catalog size"));
+        let classes = structural_mismatches(&trace, m.num_items, m.num_classes + 1, 1, 1.0);
+        assert!(classes[0].contains("service classes"));
+        let channels = structural_mismatches(&trace, m.num_items, m.num_classes, 4, 1.0);
+        assert!(channels[0].contains("channel count"));
+        // The synthetic trace carries deadlines, so a unit_millis change
+        // is structural…
+        let units = structural_mismatches(&trace, m.num_items, m.num_classes, 1, 2.0);
+        assert!(units[0].contains("unit_millis"), "{units:?}");
+        // …but not on a deadline-free trace.
+        let mut free = trace.clone();
+        for rec in &mut free.records {
+            rec.deadline_ms = 0;
+        }
+        assert!(structural_mismatches(&free, m.num_items, m.num_classes, 1, 2.0).is_empty());
     }
 
     #[test]

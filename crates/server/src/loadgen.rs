@@ -144,20 +144,34 @@ pub struct ClassLoadReport {
 
 /// Latency quantiles: exact order statistics up to [`EXACT_LIMIT`]
 /// samples, streaming P² estimates beyond.
+///
+/// Quantiles are `Option` because they can legitimately be unknown: an
+/// empty sample has no order statistics, and the P² estimators need at
+/// least five observations before they produce an estimate. `None`
+/// serializes as JSON `null` and renders as `n/a` — never as a
+/// fabricated `0.0` that reads like a measured zero-millisecond RTT.
 #[derive(Debug, Clone, Default, Serialize)]
 pub struct LatencyQuantiles {
     /// Sample count.
     pub count: u64,
     /// Mean.
     pub mean: f64,
-    /// Median.
-    pub p50: f64,
-    /// 95th percentile.
-    pub p95: f64,
-    /// 99th percentile.
-    pub p99: f64,
+    /// Median, if enough samples were observed to estimate it.
+    pub p50: Option<f64>,
+    /// 95th percentile, if estimable.
+    pub p95: Option<f64>,
+    /// 99th percentile, if estimable.
+    pub p99: Option<f64>,
     /// Maximum.
     pub max: f64,
+}
+
+/// Renders an optional quantile for text reports: `n/a` when absent.
+pub fn fmt_quantile_ms(q: Option<f64>) -> String {
+    match q {
+        Some(v) => format!("{v:.2}"),
+        None => "n/a".into(),
+    }
 }
 
 impl LatencyQuantiles {
@@ -171,9 +185,9 @@ impl LatencyQuantiles {
         LatencyQuantiles {
             count: n as u64,
             mean: xs.iter().sum::<f64>() / n as f64,
-            p50: q(0.50),
-            p95: q(0.95),
-            p99: q(0.99),
+            p50: Some(q(0.50)),
+            p95: Some(q(0.95)),
+            p99: Some(q(0.99)),
             max: xs[n - 1],
         }
     }
@@ -228,12 +242,15 @@ impl RttAccum {
     fn quantiles(self) -> LatencyQuantiles {
         match self.p2 {
             None => LatencyQuantiles::from_samples(self.exact),
+            // An estimator that has not converged reports `None`, not a
+            // made-up 0.0 (the old `unwrap_or(0.0)` masked short runs as
+            // zero-latency ones).
             Some((dual, p99)) => LatencyQuantiles {
                 count: self.count,
                 mean: self.sum / self.count.max(1) as f64,
-                p50: dual.estimate_lo().unwrap_or(0.0),
-                p95: dual.estimate_hi().unwrap_or(0.0),
-                p99: p99.estimate().unwrap_or(0.0),
+                p50: dual.estimate_lo(),
+                p95: dual.estimate_hi(),
+                p99: p99.estimate(),
                 max: self.max,
             },
         }
@@ -640,18 +657,27 @@ mod tests {
     fn quantiles_are_exact_order_statistics() {
         let q = LatencyQuantiles::from_samples((1..=100).map(|i| i as f64).collect());
         assert_eq!(q.count, 100);
-        assert_eq!(q.p50, 50.0);
-        assert_eq!(q.p95, 95.0);
-        assert_eq!(q.p99, 99.0);
+        assert_eq!(q.p50, Some(50.0));
+        assert_eq!(q.p95, Some(95.0));
+        assert_eq!(q.p99, Some(99.0));
         assert_eq!(q.max, 100.0);
         assert!((q.mean - 50.5).abs() < 1e-12);
     }
 
     #[test]
-    fn empty_sample_is_all_zero() {
+    fn empty_sample_reports_unknown_quantiles_not_zeros() {
         let q = LatencyQuantiles::from_samples(Vec::new());
         assert_eq!(q.count, 0);
         assert_eq!(q.max, 0.0);
+        assert_eq!(q.p50, None);
+        assert_eq!(q.p95, None);
+        assert_eq!(q.p99, None);
+        assert_eq!(fmt_quantile_ms(q.p50), "n/a");
+        assert_eq!(fmt_quantile_ms(Some(12.5)), "12.50");
+        // Serializes as null, not 0.0 — downstream tooling can tell
+        // "unknown" from "zero milliseconds".
+        let json = serde_json::to_string(&q).expect("serializes");
+        assert!(json.contains("\"p50\":null"), "{json}");
     }
 
     #[test]
@@ -677,8 +703,8 @@ mod tests {
         }
         let q = acc.quantiles();
         assert_eq!(q.count, 100);
-        assert_eq!(q.p50, 50.0);
-        assert_eq!(q.p99, 99.0);
+        assert_eq!(q.p50, Some(50.0));
+        assert_eq!(q.p99, Some(99.0));
         assert_eq!(q.max, 100.0);
     }
 
@@ -696,20 +722,30 @@ mod tests {
         let q = acc.quantiles();
         assert_eq!(q.count, n);
         // P² tolerance: a few percent on a well-behaved sample.
-        assert!(
-            (q.p50 - 0.50 * n as f64).abs() < 0.05 * n as f64,
-            "{}",
-            q.p50
+        let (p50, p95, p99) = (
+            q.p50.expect("converged"),
+            q.p95.expect("converged"),
+            q.p99.expect("converged"),
         );
-        assert!(
-            (q.p95 - 0.95 * n as f64).abs() < 0.05 * n as f64,
-            "{}",
-            q.p95
-        );
-        assert!(
-            (q.p99 - 0.99 * n as f64).abs() < 0.05 * n as f64,
-            "{}",
-            q.p99
-        );
+        assert!((p50 - 0.50 * n as f64).abs() < 0.05 * n as f64, "{p50}");
+        assert!((p95 - 0.95 * n as f64).abs() < 0.05 * n as f64, "{p95}");
+        assert!((p99 - 0.99 * n as f64).abs() < 0.05 * n as f64, "{p99}");
+    }
+
+    #[test]
+    fn unfed_p2_reports_none_not_zero() {
+        // An engaged-but-unfed estimator has no estimate. The old
+        // `unwrap_or(0.0)` turned this into a reported zero-millisecond
+        // quantile; it must surface as `None` instead. (Direct
+        // construction — the accumulator itself only engages P² past
+        // EXACT_LIMIT samples.)
+        let mut acc = RttAccum::new();
+        acc.p2 = Some((P2Dual::new(0.50, 0.95), P2Quantile::new(0.99)));
+        let q = acc.quantiles();
+        assert_eq!(q.count, 0);
+        assert_eq!(q.p50, None);
+        assert_eq!(q.p95, None);
+        assert_eq!(q.p99, None);
+        assert_eq!(fmt_quantile_ms(q.p99), "n/a");
     }
 }

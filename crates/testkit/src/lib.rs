@@ -21,7 +21,10 @@
 //! * [`mutation`] — hand-seeded bugs for oracle validation;
 //! * [`corpus`] — the fuzz loop and the committed-corpus replay path;
 //! * [`trace_corpus`] — committed binary serving traces, double-replayed
-//!   to pin the record→replay determinism contract.
+//!   to pin the record→replay determinism contract;
+//! * [`whatif_oracle`] — replay-under-override determinism and the
+//!   what-if recommendation oracle (the winning config must reproduce
+//!   its reported books when re-replayed standalone).
 
 pub mod case;
 pub mod corpus;
@@ -30,6 +33,7 @@ pub mod mutation;
 pub mod oracle;
 pub mod shrink;
 pub mod trace_corpus;
+pub mod whatif_oracle;
 
 pub use case::FuzzCase;
 pub use corpus::{committed_corpus_dir, fuzz, load_corpus, replay_corpus, FuzzFailure, FuzzReport};
@@ -40,4 +44,7 @@ pub use shrink::shrink;
 pub use trace_corpus::{
     committed_trace_dir, load_trace_corpus, replay_trace_corpus, replay_twice, synthesize_trace,
     TraceCase, TraceCorpusEntry,
+};
+pub use whatif_oracle::{
+    replay_override_twice, sharded_c1_matches_unsharded, whatif_recommendation_oracle,
 };
